@@ -1,0 +1,48 @@
+//! Criterion bench for one full Muffin search episode — sample a
+//! candidate, train its head on the proxy dataset, evaluate, reward — the
+//! unit of cost the paper's 500-episode budget is made of.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use muffin::{
+    multi_fairness_reward, MuffinSearch, RewardConfig, RnnController, SearchConfig,
+};
+use muffin_data::IsicLike;
+use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_tensor::Rng64;
+
+fn bench_full_episode(c: &mut Criterion) {
+    let mut rng = Rng64::seed(30);
+    let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+    let pool = ModelPool::train(
+        &split.train,
+        &[
+            Architecture::resnet18(),
+            Architecture::densenet121(),
+            Architecture::shufflenet_v2_x1_0(),
+        ],
+        &BackboneConfig::fast(),
+        &mut rng,
+    );
+    let config = SearchConfig::fast(&["age", "site"]);
+    let search = MuffinSearch::new(pool, split, config).expect("search setup");
+    let space = search.space();
+    let controller =
+        RnnController::new(space.clone(), search.config().controller, &mut rng);
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("one_episode_train_and_reward", |bench| {
+        bench.iter(|| {
+            let sampled = controller.sample(&mut rng);
+            let candidate = space.decode(&sampled.actions).expect("in range");
+            let (_, eval) = search
+                .evaluate_candidate(&candidate, &search.split().val, 1234)
+                .expect("candidate evaluates");
+            black_box(multi_fairness_reward(&eval, &["age", "site"], RewardConfig::default()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_episode);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Combiner ablation** — the learned, fairness-aware muffin head vs the
+//! naive ways of uniting the same two models: majority vote, mean
+//! probability, max probability, plus the oracle upper bound. The muffin
+//! head should dominate the naive combiners on fairness at comparable
+//! accuracy because it is trained on the weighted unprivileged proxy.
+
+use muffin::{
+    FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset, TextTable,
+};
+use muffin_bench::{isic_context, print_header};
+use muffin_models::{oracle_accuracy, Ensemble, EnsembleRule};
+use muffin_nn::Activation;
+use muffin_tensor::Rng64;
+
+fn main() {
+    let ctx = isic_context();
+    print_header("Ablation: muffin head vs naive combiners", ctx.scale);
+
+    let age = ctx.dataset.schema().by_name("age").expect("age");
+    let site = ctx.dataset.schema().by_name("site").expect("site");
+    let privilege = PrivilegeMap::infer(&ctx.pool, &ctx.split.val, &[age, site], 0.02);
+    let proxy = ProxyDataset::build(&ctx.split.train, &privilege).expect("proxy");
+
+    let a = ctx.pool.by_name("ResNet-50").expect("in pool");
+    let b = ctx.pool.by_name("ResNet-34").expect("in pool");
+    println!("pair: {} + {}\n", a.name(), b.name());
+
+    let mut table = TextTable::new(&["combiner", "acc", "U_age", "U_site"]);
+    for model in [a, b] {
+        let e = model.evaluate(&ctx.split.test);
+        table.row_owned(vec![
+            format!("single: {}", model.name()),
+            format!("{:.2}%", e.accuracy * 100.0),
+            format!("{:.4}", e.attribute("age").unwrap().unfairness),
+            format!("{:.4}", e.attribute("site").unwrap().unfairness),
+        ]);
+    }
+
+    for rule in
+        [EnsembleRule::MajorityVote, EnsembleRule::MeanProbability, EnsembleRule::MaxProbability]
+    {
+        let ensemble = Ensemble::new(vec![a.clone(), b.clone()], rule);
+        let e = ensemble.evaluate(&ctx.split.test);
+        table.row_owned(vec![
+            format!("{rule:?}"),
+            format!("{:.2}%", e.accuracy * 100.0),
+            format!("{:.4}", e.attribute("age").unwrap().unfairness),
+            format!("{:.4}", e.attribute("site").unwrap().unfairness),
+        ]);
+    }
+
+    let mut rng = Rng64::seed(777);
+    let indices =
+        vec![ctx.pool.index_of(a.name()).expect("a"), ctx.pool.index_of(b.name()).expect("b")];
+    let mut fusing = FusingStructure::new(
+        indices,
+        HeadSpec::new(vec![16, 12, 8], Activation::Relu),
+        &ctx.pool,
+        &mut rng,
+    )
+    .expect("valid structure");
+    fusing.train_head(&ctx.pool, &ctx.split.train, &proxy, &HeadTrainConfig::default(), &mut rng);
+    let e = fusing.evaluate(&ctx.pool, &ctx.split.test);
+    table.row_owned(vec![
+        "muffin head (weighted proxy)".into(),
+        format!("{:.2}%", e.accuracy * 100.0),
+        format!("{:.4}", e.attribute("age").unwrap().unfairness),
+        format!("{:.4}", e.attribute("site").unwrap().unfairness),
+    ]);
+
+    let oracle = oracle_accuracy(&[a, b], &ctx.split.test);
+    table.row_owned(vec![
+        "oracle (upper bound)".into(),
+        format!("{:.2}%", oracle * 100.0),
+        "—".into(),
+        "—".into(),
+    ]);
+    println!("{table}");
+    println!("reading: the oracle bounds every combiner; mean-probability averaging is a");
+    println!("strong baseline on accuracy. The muffin head's edge comes from the *search*");
+    println!("(pairing + head shape chosen for the Eq. 3 reward) and from targeting the");
+    println!("unprivileged groups — a fixed pair with a fixed head, as here, need not beat");
+    println!("naive averaging. Compare with the searched candidates in fig5.");
+}

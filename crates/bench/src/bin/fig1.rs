@@ -1,0 +1,91 @@
+//! **Figure 1** — fairness of existing neural architectures on different
+//! attributes: (a–b) the gender attribute has uniformly small unfairness,
+//! (c) age and site both have high unfairness and no single architecture
+//! wins both.
+
+use muffin::{pareto_min_indices, TextTable};
+use muffin_bench::{isic_context, plots_dir, print_header};
+use muffin_plot::BarChart;
+
+fn main() {
+    let ctx = isic_context();
+    print_header("Figure 1: unfairness of existing architectures per attribute", ctx.scale);
+
+    let evals: Vec<_> = ctx
+        .pool
+        .iter()
+        .take(ctx.vanilla_count)
+        .map(|m| m.evaluate(&ctx.split.test))
+        .collect();
+
+    let mut table = TextTable::new(&[
+        "model", "acc", "U_age", "gap_age", "U_site", "gap_site", "U_gender", "gap_gender",
+    ]);
+    for e in &evals {
+        let row = |name: &str| {
+            let a = e.attribute(name).expect("attribute present");
+            (format!("{:.4}", a.unfairness), format!("{:.2}%", a.accuracy_gap * 100.0))
+        };
+        let (ua, ga) = row("age");
+        let (us, gs) = row("site");
+        let (ug, gg) = row("gender");
+        table.row_owned(vec![
+            e.model.clone(),
+            format!("{:.2}%", e.accuracy * 100.0),
+            ua,
+            ga,
+            us,
+            gs,
+            ug,
+            gg,
+        ]);
+    }
+    println!("{table}");
+
+    let max_gender =
+        evals.iter().map(|e| e.attribute("gender").unwrap().unfairness).fold(f32::MIN, f32::max);
+    let min_age =
+        evals.iter().map(|e| e.attribute("age").unwrap().unfairness).fold(f32::MAX, f32::min);
+    let min_site =
+        evals.iter().map(|e| e.attribute("site").unwrap().unfairness).fold(f32::MAX, f32::min);
+    println!("max gender unfairness: {max_gender:.4} (paper: < 0.12, ~3% gap)");
+    println!("min age unfairness:    {min_age:.4} (paper: > 0.4, 36.27% gap)");
+    println!("min site unfairness:   {min_site:.4} (paper: > 0.4, 45.04% gap)");
+
+    // Paper claim: the age and site rankings disagree — no architecture
+    // dominates both (the Fig. 1(c) Pareto frontier has multiple members).
+    let frontier = pareto_min_indices(&evals, |e| {
+        (e.attribute("age").unwrap().unfairness, e.attribute("site").unwrap().unfairness)
+    });
+    println!("\nPareto frontier of (U_age, U_site) among existing networks:");
+    for &i in &frontier {
+        println!("  {}", evals[i].model);
+    }
+    println!(
+        "frontier size {} — {}",
+        frontier.len(),
+        if frontier.len() > 1 {
+            "no single architecture takes over both attributes (matches paper)"
+        } else {
+            "WARNING: one architecture dominates both (differs from paper)"
+        }
+    );
+
+    // Rendered figure: one bar group per model, one bar per attribute.
+    let mut chart = BarChart::new("Fig 1: unfairness per attribute", "unfairness score U")
+        .series_labels(&["age", "site", "gender"]);
+    for e in &evals {
+        chart = chart.category(
+            &e.model,
+            &[
+                e.attribute("age").unwrap().unfairness,
+                e.attribute("site").unwrap().unfairness,
+                e.attribute("gender").unwrap().unfairness,
+            ],
+        );
+    }
+    let path = plots_dir().join("fig1.svg");
+    if chart.save(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

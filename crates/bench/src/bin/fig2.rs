@@ -1,0 +1,74 @@
+//! **Figure 2** — no existing single-model method improves two unfair
+//! attributes simultaneously: applying D (data balancing) or L (fair loss)
+//! to one attribute worsens the other (the seesaw), and models that are
+//! already fair on an attribute hit a bottleneck.
+
+use muffin::TextTable;
+use muffin_bench::{isic_context, print_header};
+use muffin_models::{Architecture, FairnessMethod};
+
+fn main() {
+    let mut ctx = isic_context();
+    print_header("Figure 2: single-attribute methods seesaw between age and site", ctx.scale);
+
+    let age = ctx.dataset.schema().by_name("age").expect("age");
+    let site = ctx.dataset.schema().by_name("site").expect("site");
+
+    for arch in
+        [Architecture::resnet18(), Architecture::densenet121(), Architecture::mobilenet_v2()]
+    {
+        let vanilla = ctx
+            .pool
+            .by_name(arch.name())
+            .expect("vanilla model in pool")
+            .evaluate(&ctx.split.test);
+        let (v_age, v_site) = (
+            vanilla.attribute("age").unwrap().unfairness,
+            vanilla.attribute("site").unwrap().unfairness,
+        );
+
+        let mut table = TextTable::new(&["variant", "acc", "U_age", "U_site", "age", "site"]);
+        table.row_owned(vec![
+            "vanilla".into(),
+            format!("{:.2}%", vanilla.accuracy * 100.0),
+            format!("{v_age:.4}"),
+            format!("{v_site:.4}"),
+            "·".into(),
+            "·".into(),
+        ]);
+        for (method, attr, label) in [
+            (FairnessMethod::DataBalancing, age, "D(Age)"),
+            (FairnessMethod::DataBalancing, site, "D(Site)"),
+            (FairnessMethod::FairLoss, age, "L(Age)"),
+            (FairnessMethod::FairLoss, site, "L(Site)"),
+        ] {
+            let model = method.apply(&arch, &ctx.split.train, attr, &ctx.backbone, &mut ctx.rng);
+            let e = model.evaluate(&ctx.split.test);
+            let (u_age, u_site) = (
+                e.attribute("age").unwrap().unfairness,
+                e.attribute("site").unwrap().unfairness,
+            );
+            let verdict = |before: f32, after: f32| {
+                if after < before - 1e-3 {
+                    "improved"
+                } else if after > before + 1e-3 {
+                    "WORSE"
+                } else {
+                    "flat"
+                }
+            };
+            table.row_owned(vec![
+                label.into(),
+                format!("{:.2}%", e.accuracy * 100.0),
+                format!("{u_age:.4}"),
+                format!("{u_site:.4}"),
+                verdict(v_age, u_age).into(),
+                verdict(v_site, u_site).into(),
+            ]);
+        }
+        println!("{} (vanilla U_age {:.3}, U_site {:.3})", arch.name(), v_age, v_site);
+        println!("{table}");
+    }
+    println!("paper shape: optimising one attribute raises the other's unfairness,");
+    println!("and models already fair on an attribute cannot push it further (bottleneck).");
+}

@@ -1,0 +1,63 @@
+//! **Figure 9(a)** — ablation: the importance of the weighted proxy
+//! dataset. For the fixed head `[16,16,16,8]` on the paper's pair
+//! (optimised DenseNet121 + original ResNet-18), training with the
+//! Algorithm-1 weighted dataset lowers both age and site unfairness while
+//! keeping accuracy, compared with uniform (original-dataset) weights.
+
+use muffin::{
+    Candidate, FusingStructure, HeadSpec, HeadTrainConfig, MuffinError, PrivilegeMap,
+    ProxyDataset, TextTable,
+};
+use muffin_bench::{isic_context, print_header};
+use muffin_nn::Activation;
+use muffin_tensor::Rng64;
+
+fn run_variant(
+    label: &str,
+    ctx: &muffin_bench::Context,
+    proxy: &ProxyDataset,
+    table: &mut TextTable,
+) -> Result<(), MuffinError> {
+    let candidate = Candidate {
+        model_indices: vec![
+            ctx.pool.index_of("DenseNet121+D(site)").expect("optimised D121 in pool"),
+            ctx.pool.index_of("ResNet-18").expect("R18 in pool"),
+        ],
+        head: HeadSpec::new(vec![16, 16, 16, 8], Activation::Relu),
+    };
+    let mut head_rng = Rng64::seed(0xF19A);
+    let mut fusing = FusingStructure::new(
+        candidate.model_indices.clone(),
+        candidate.head.clone(),
+        &ctx.pool,
+        &mut head_rng,
+    )?;
+    fusing.train_head(&ctx.pool, &ctx.split.train, proxy, &HeadTrainConfig::default(), &mut head_rng);
+    let e = fusing.evaluate(&ctx.pool, &ctx.split.test);
+    table.row_owned(vec![
+        label.into(),
+        format!("{:.4}", e.attribute("age").unwrap().unfairness),
+        format!("{:.4}", e.attribute("site").unwrap().unfairness),
+        format!("{:.2}%", e.accuracy * 100.0),
+    ]);
+    Ok(())
+}
+
+fn main() {
+    let ctx = isic_context();
+    print_header("Figure 9(a): weighted proxy dataset vs original (uniform) dataset", ctx.scale);
+    println!("fixed pair: DenseNet121+D(site) + ResNet-18, fixed head [16,16,16,8]\n");
+
+    let age = ctx.dataset.schema().by_name("age").expect("age");
+    let site = ctx.dataset.schema().by_name("site").expect("site");
+    let privilege = PrivilegeMap::infer(&ctx.pool, &ctx.split.val, &[age, site], 0.02);
+    let weighted = ProxyDataset::build(&ctx.split.train, &privilege).expect("proxy");
+    let uniform = weighted.with_uniform_weights();
+
+    let mut table = TextTable::new(&["training data", "U_age", "U_site", "acc"]);
+    run_variant("weighted (Algorithm 1)", &ctx, &weighted, &mut table).expect("variant runs");
+    run_variant("original (uniform)", &ctx, &uniform, &mut table).expect("variant runs");
+    println!("{table}");
+    println!("paper shape: with the weighted dataset both unfairness scores decline while");
+    println!("overall accuracy is maintained.");
+}

@@ -1,0 +1,102 @@
+//! Diagnostic probe: how much of the oracle headroom does the muffin head
+//! capture on unprivileged groups, across head-loss variants?
+
+use muffin::{FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset};
+use muffin_bench::isic_context;
+use muffin_nn::{Activation, LossKind, LrSchedule};
+use muffin_tensor::Rng64;
+
+fn main() {
+    let ctx = isic_context();
+    let age = ctx.dataset.schema().by_name("age").unwrap();
+    let site = ctx.dataset.schema().by_name("site").unwrap();
+    let privilege = PrivilegeMap::infer(&ctx.pool, &ctx.split.val, &[age, site], 0.02);
+    let proxy = ProxyDataset::build(&ctx.split.train, &privilege).expect("proxy");
+    let test = &ctx.split.test;
+    let unpriv_idx: Vec<usize> = (0..test.len())
+        .filter(|&i| {
+            privilege.is_unprivileged(age, test.groups(age)[i])
+                || privilege.is_unprivileged(site, test.groups(site)[i])
+        })
+        .collect();
+
+    let a = ctx.pool.index_of("ResNet-50").unwrap();
+    let b = ctx.pool.index_of("ResNet-34").unwrap();
+    let preds_a = ctx.pool.get(a).unwrap().predict(test.features());
+    let preds_b = ctx.pool.get(b).unwrap().predict(test.features());
+    let acc_on = |preds: &[usize], idx: &[usize]| {
+        idx.iter().filter(|&&i| preds[i] == test.labels()[i]).count() as f32 / idx.len() as f32
+    };
+    let oracle = unpriv_idx
+        .iter()
+        .filter(|&&i| preds_a[i] == test.labels()[i] || preds_b[i] == test.labels()[i])
+        .count() as f32
+        / unpriv_idx.len() as f32;
+    println!(
+        "unpriv acc: A {:.3} B {:.3} oracle {:.3} ({} samples)",
+        acc_on(&preds_a, &unpriv_idx),
+        acc_on(&preds_b, &unpriv_idx),
+        oracle,
+        unpriv_idx.len()
+    );
+
+    // Disagreement-only proxy: restrict support to samples where the pair
+    // disagrees in the training split.
+    let train_preds_a = ctx.pool.get(a).unwrap().predict(ctx.split.train.features());
+    let train_preds_b = ctx.pool.get(b).unwrap().predict(ctx.split.train.features());
+    let disagree_proxy = {
+        let keep: Vec<usize> = proxy
+            .indices()
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| train_preds_a[i] != train_preds_b[i])
+            .map(|(k, _)| k)
+            .collect();
+        println!("disagreement proxy: {} of {} samples", keep.len(), proxy.len());
+        keep
+    };
+
+    for (label, loss, epochs, lr, disagree_only) in [
+        ("MSE e60 lr.4", LossKind::WeightedMse, 60u32, 0.4f32, false),
+        ("MSE e150 lr.6", LossKind::WeightedMse, 150, 0.6, false),
+        ("MSE e60 disagree", LossKind::WeightedMse, 60, 0.4, true),
+        ("MSE e150 disagree", LossKind::WeightedMse, 150, 0.4, true),
+        ("CE e150 disagree", LossKind::WeightedCrossEntropy, 150, 0.2, true),
+    ] {
+        let mut rng = Rng64::seed(999);
+        let mut fusing = FusingStructure::new(
+            vec![a, b],
+            HeadSpec::new(vec![16, 16, 12], Activation::Relu),
+            &ctx.pool,
+            &mut rng,
+        )
+        .unwrap();
+        let cfg = HeadTrainConfig {
+            epochs,
+            batch_size: 64,
+            schedule: LrSchedule::StepDecay { initial: lr, decay: 0.9, every: 15 },
+            loss,
+        };
+        let data = if disagree_only {
+            use muffin::ProxyDataset;
+            // Rebuild a proxy restricted to disagreement rows.
+            let indices: Vec<usize> =
+                disagree_proxy.iter().map(|&k| proxy.indices()[k]).collect();
+            let weights: Vec<f32> =
+                disagree_proxy.iter().map(|&k| proxy.weights()[k]).collect();
+            ProxyDataset::from_parts(indices, weights)
+        } else {
+            proxy.clone()
+        };
+        fusing.train_head(&ctx.pool, &ctx.split.train, &data, &cfg, &mut rng);
+        let preds = fusing.predict(&ctx.pool, test.features());
+        let e = fusing.evaluate(&ctx.pool, test);
+        println!(
+            "{label:18} unpriv acc {:.3} | overall {:.3} U_age {:.3} U_site {:.3}",
+            acc_on(&preds, &unpriv_idx),
+            e.accuracy,
+            e.attribute("age").unwrap().unfairness,
+            e.attribute("site").unwrap().unfairness
+        );
+    }
+}

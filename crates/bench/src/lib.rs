@@ -1,0 +1,185 @@
+//! Shared experiment context for the Muffin benchmark harness.
+//!
+//! Every `fig*`/`table1` binary regenerates one table or figure of the
+//! paper. They all run on the same seeded substrate, built here: the
+//! ISIC2019-like (or Fitzpatrick17K-like) synthetic dataset, the paper's
+//! 64/16/20 split, and a model pool holding the vanilla zoo plus
+//! single-attribute-optimised variants (the paper's pairings include e.g.
+//! an "optimized DenseNet121").
+//!
+//! Set `MUFFIN_QUICK=1` to shrink datasets, training and episode budgets
+//! for smoke runs; the printed shapes remain qualitatively comparable.
+
+use muffin_data::{Dataset, DatasetSplit, FitzpatrickLike, IsicLike};
+use muffin_models::{Architecture, BackboneConfig, FairnessMethod, ModelPool};
+use muffin_tensor::Rng64;
+
+/// The master seed every experiment derives from, printed in each header.
+pub const EXPERIMENT_SEED: u64 = 7;
+
+/// Scale knobs for one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Dataset size.
+    pub num_samples: usize,
+    /// Backbone training epochs.
+    pub backbone_epochs: u32,
+    /// Reinforcement-learning episodes for searches.
+    pub episodes: u32,
+}
+
+impl Scale {
+    /// Full scale (default) or quick scale when `MUFFIN_QUICK=1`.
+    pub fn from_env() -> Self {
+        if quick_mode() {
+            Self { num_samples: 2_000, backbone_epochs: 15, episodes: 30 }
+        } else {
+            Self { num_samples: 12_000, backbone_epochs: 60, episodes: 150 }
+        }
+    }
+}
+
+/// Whether `MUFFIN_QUICK=1` is set.
+pub fn quick_mode() -> bool {
+    std::env::var("MUFFIN_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// A ready-to-run experiment context.
+pub struct Context {
+    /// The full generated dataset.
+    pub dataset: Dataset,
+    /// Paper split: 64/16/20.
+    pub split: DatasetSplit,
+    /// The trained model pool (vanilla zoo first, optimised variants after).
+    pub pool: ModelPool,
+    /// Number of vanilla (non-optimised) pool members.
+    pub vanilla_count: usize,
+    /// Backbone training configuration used.
+    pub backbone: BackboneConfig,
+    /// The scale the context was built at.
+    pub scale: Scale,
+    /// Experiment RNG, positioned after pool training.
+    pub rng: Rng64,
+}
+
+/// The vanilla ISIC architectures, in Figure 1 order.
+pub fn isic_zoo() -> Vec<Architecture> {
+    vec![
+        Architecture::shufflenet_v2_x1_0(),
+        Architecture::mobilenet_v3_small(),
+        Architecture::mobilenet_v2(),
+        Architecture::densenet121(),
+        Architecture::resnet18(),
+        Architecture::resnet34(),
+        Architecture::resnet50(),
+        Architecture::mobilenet_v3_large(),
+    ]
+}
+
+/// Builds the ISIC-like context: dataset, split, vanilla pool and the four
+/// single-attribute-optimised variants used across the experiments.
+pub fn isic_context() -> Context {
+    let scale = Scale::from_env();
+    let mut rng = Rng64::seed(EXPERIMENT_SEED);
+    let dataset = IsicLike::new().with_num_samples(scale.num_samples).generate(&mut rng);
+    let split = dataset.split_default(&mut rng);
+    let backbone = BackboneConfig::default().with_epochs(scale.backbone_epochs);
+
+    let zoo = isic_zoo();
+    let mut pool = ModelPool::train(&split.train, &zoo, &backbone, &mut rng);
+    let vanilla_count = pool.len();
+
+    let age = dataset.schema().by_name("age").expect("age attribute");
+    let site = dataset.schema().by_name("site").expect("site attribute");
+    for (arch, method, attr) in [
+        (Architecture::densenet121(), FairnessMethod::DataBalancing, site),
+        (Architecture::resnet18(), FairnessMethod::DataBalancing, age),
+        (Architecture::mobilenet_v3_large(), FairnessMethod::FairLoss, site),
+        (Architecture::resnet34(), FairnessMethod::FairLoss, age),
+    ] {
+        pool.push(method.apply(&arch, &split.train, attr, &backbone, &mut rng));
+    }
+
+    Context { dataset, split, pool, vanilla_count, backbone, scale, rng }
+}
+
+/// The Fitzpatrick pool of the paper's Section 4.5: "ResNet, ShuffleNet
+/// and MobileNet".
+pub fn fitzpatrick_zoo() -> Vec<Architecture> {
+    vec![
+        Architecture::resnet18(),
+        Architecture::resnet34(),
+        Architecture::resnet50(),
+        Architecture::shufflenet_v2_x0_5(),
+        Architecture::shufflenet_v2_x1_0(),
+        Architecture::mobilenet_v2(),
+        Architecture::mobilenet_v3_small(),
+        Architecture::mobilenet_v3_large(),
+    ]
+}
+
+/// Builds the Fitzpatrick17K-like context for the Section 4.5 validation.
+pub fn fitzpatrick_context() -> Context {
+    let scale = Scale::from_env();
+    let mut rng = Rng64::seed(EXPERIMENT_SEED + 1);
+    let dataset =
+        FitzpatrickLike::new().with_num_samples(scale.num_samples.min(7_000)).generate(&mut rng);
+    let split = dataset.split_default(&mut rng);
+    let backbone = BackboneConfig::default().with_epochs(scale.backbone_epochs);
+
+    let zoo = fitzpatrick_zoo();
+    let mut pool = ModelPool::train(&split.train, &zoo, &backbone, &mut rng);
+    let vanilla_count = pool.len();
+
+    let tone = dataset.schema().by_name("skin_tone").expect("skin_tone attribute");
+    let lesion = dataset.schema().by_name("type").expect("type attribute");
+    for (arch, method, attr) in [
+        (Architecture::resnet18(), FairnessMethod::DataBalancing, tone),
+        (Architecture::mobilenet_v3_large(), FairnessMethod::FairLoss, lesion),
+    ] {
+        pool.push(method.apply(&arch, &split.train, attr, &backbone, &mut rng));
+    }
+
+    Context { dataset, split, pool, vanilla_count, backbone, scale, rng }
+}
+
+/// Directory where experiment binaries drop rendered SVG figures
+/// (`results/plots/` under the workspace root, created on demand).
+pub fn plots_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/plots");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Prints the standard experiment header.
+pub fn print_header(title: &str, scale: Scale) {
+    println!("=== {title} ===");
+    println!(
+        "seed {EXPERIMENT_SEED} | {} samples | {} backbone epochs | {} episodes{}",
+        scale.num_samples,
+        scale.backbone_epochs,
+        scale.episodes,
+        if quick_mode() { " (QUICK)" } else { "" }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoos_have_eight_members_each() {
+        assert_eq!(isic_zoo().len(), 8);
+        assert_eq!(fitzpatrick_zoo().len(), 8);
+    }
+
+    #[test]
+    fn full_scale_exceeds_quick_scale() {
+        let full = Scale { num_samples: 8_000, backbone_epochs: 60, episodes: 150 };
+        let quick = Scale { num_samples: 2_000, backbone_epochs: 15, episodes: 30 };
+        assert!(full.num_samples > quick.num_samples);
+        assert!(full.episodes > quick.episodes);
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal `--key value` argument parsing, dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+///
+/// # Example
+///
+/// ```
+/// use muffin_cli::Args;
+///
+/// let args = Args::parse_from(["search", "--episodes", "50", "--attrs", "age,site"])
+///     .expect("valid");
+/// assert_eq!(args.command(), "search");
+/// assert_eq!(args.get_u32("episodes", 10).unwrap(), 50);
+/// assert_eq!(args.get_list("attrs"), vec!["age", "site"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if no subcommand is present, an option is missing
+    /// its value, or a positional argument appears after the subcommand.
+    pub fn parse_from<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter.next().ok_or("missing subcommand")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, got option {command}"));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {key}"));
+            };
+            let value =
+                iter.next().ok_or_else(|| format!("option --{name} is missing its value"))?;
+            options.insert(name.to_string(), value);
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Parses the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Args::parse_from`].
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// The subcommand name.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A `u64` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is present but unparsable.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+        }
+    }
+
+    /// A `u32` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is present but unparsable.
+    pub fn get_u32(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+        }
+    }
+
+    /// A `usize` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is present but unparsable.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+        }
+    }
+
+    /// A comma-separated list option (empty vec when absent).
+    pub fn get_list(&self, key: &str) -> Vec<&str> {
+        self.get(key)
+            .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Names of options that were supplied.
+    pub fn option_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let args =
+            Args::parse_from(["generate", "--samples", "500", "--out", "x.json"]).expect("valid");
+        assert_eq!(args.command(), "generate");
+        assert_eq!(args.get("out"), Some("x.json"));
+        assert_eq!(args.get_usize("samples", 0).unwrap(), 500);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(Args::parse_from(Vec::<String>::new()).is_err());
+        assert!(Args::parse_from(["--oops", "1"]).is_err());
+    }
+
+    #[test]
+    fn dangling_option_is_an_error() {
+        let err = Args::parse_from(["run", "--seed"]).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn positional_after_subcommand_is_an_error() {
+        assert!(Args::parse_from(["run", "stray"]).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = Args::parse_from(["run"]).expect("valid");
+        assert_eq!(args.get_u64("seed", 7).unwrap(), 7);
+        assert!(args.get_list("attrs").is_empty());
+        assert!(args.require("data").is_err());
+    }
+
+    #[test]
+    fn unparsable_numbers_are_reported() {
+        let args = Args::parse_from(["run", "--seed", "abc"]).expect("valid");
+        let err = args.get_u64("seed", 0).unwrap_err();
+        assert!(err.contains("abc"));
+    }
+
+    #[test]
+    fn list_trims_and_skips_empties() {
+        let args = Args::parse_from(["run", "--attrs", " age, ,site "]).expect("valid");
+        assert_eq!(args.get_list("attrs"), vec!["age", "site"]);
+    }
+}

@@ -1,0 +1,341 @@
+use crate::Args;
+use muffin::{
+    distill_student, DistillConfig, MuffinSearch, SearchConfig, SearchOutcome, TextTable,
+};
+use muffin_data::{Dataset, FitzpatrickLike, IsicLike};
+use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_tensor::Rng64;
+
+/// Usage text printed by `muffin help` and on argument errors.
+pub const USAGE: &str = "\
+muffin — multi-dimension AI fairness by uniting off-the-shelf models
+
+USAGE:
+  muffin <COMMAND> [--key value]...
+
+COMMANDS:
+  generate    Generate a synthetic dataset
+              --dataset isic|fitzpatrick (default isic)
+              --samples N (default 8000)  --seed S (default 7)
+              --out FILE (required)
+  train-pool  Train and freeze an off-the-shelf model pool
+              --data FILE (required)      --out FILE (required)
+              --archs A,B,... (default: the full zoo)
+              --epochs N (default 60)     --seed S (default 7)
+              --split-seed S (default 7)
+  evaluate    Evaluate every pool model on the test split
+              --data FILE  --pool FILE (required)
+              --split-seed S (default 7)
+  search      Run the Muffin reinforcement-learning search
+              --data FILE  --pool FILE (required)
+              --attrs a,b (required)      --episodes N (default 150)
+              --slots N (default 2)       --seed S (default 7)
+              --split-seed S (default 7)  --out FILE (required)
+              --distill-out FILE (optional: distil the best candidate
+                into a single student MLP and save it as JSON)
+              --student-hidden w1,w2 (default 64,32)
+  report      Summarise a saved search outcome
+              --outcome FILE (required)   --top N (default 5)
+  help        Print this message
+";
+
+/// Runs one CLI invocation. Returns the process exit code.
+///
+/// All output goes to stdout; errors are returned as strings for `main`
+/// to print on stderr.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any argument, IO or pipeline
+/// failure.
+pub fn run(args: &Args) -> Result<(), String> {
+    match args.command() {
+        "generate" => generate(args),
+        "train-pool" => train_pool(args),
+        "evaluate" => evaluate(args),
+        "search" => search(args),
+        "report" => report(args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let samples = args.get_usize("samples", 8_000)?;
+    let seed = args.get_u64("seed", 7)?;
+    let mut rng = Rng64::seed(seed);
+    let dataset = match args.get("dataset").unwrap_or("isic") {
+        "isic" => IsicLike::new().with_num_samples(samples).generate(&mut rng),
+        "fitzpatrick" => FitzpatrickLike::new().with_num_samples(samples).generate(&mut rng),
+        other => return Err(format!("unknown dataset: {other} (expected isic|fitzpatrick)")),
+    };
+    dataset.save_json(out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} samples, {} classes, attributes {:?} to {out}",
+        dataset.len(),
+        dataset.num_classes(),
+        dataset.schema().attribute_names()
+    );
+    Ok(())
+}
+
+fn load_split(args: &Args) -> Result<(Dataset, muffin_data::DatasetSplit), String> {
+    let data_path = args.require("data")?;
+    let dataset = Dataset::load_json(data_path).map_err(|e| e.to_string())?;
+    let split_seed = args.get_u64("split-seed", 7)?;
+    let split = dataset.split_default(&mut Rng64::seed(split_seed));
+    Ok((dataset, split))
+}
+
+fn train_pool(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let (_, split) = load_split(args)?;
+    let epochs = args.get_u32("epochs", 60)?;
+    let seed = args.get_u64("seed", 7)?;
+
+    let requested = args.get_list("archs");
+    let architectures: Vec<Architecture> = if requested.is_empty() {
+        Architecture::zoo()
+    } else {
+        requested
+            .iter()
+            .map(|name| {
+                Architecture::by_name(name).ok_or_else(|| format!("unknown architecture: {name}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let config = BackboneConfig::default().with_epochs(epochs);
+    let mut rng = Rng64::seed(seed);
+    let pool = ModelPool::train(&split.train, &architectures, &config, &mut rng);
+    pool.save_json(out).map_err(|e| e.to_string())?;
+    println!("trained and froze {} models into {out}", pool.len());
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    let (_, split) = load_split(args)?;
+    let pool = ModelPool::load_json(args.require("pool")?).map_err(|e| e.to_string())?;
+    let attr_names: Vec<String> = split
+        .test
+        .schema()
+        .attribute_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut header = vec!["model".to_string(), "accuracy".to_string()];
+    header.extend(attr_names.iter().map(|n| format!("U_{n}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for model in pool.iter() {
+        let eval = model.evaluate(&split.test);
+        let mut row = vec![eval.model.clone(), format!("{:.2}%", eval.accuracy * 100.0)];
+        row.extend(eval.attributes.iter().map(|a| format!("{:.4}", a.unfairness)));
+        table.row_owned(row);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn search(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let (_, split) = load_split(args)?;
+    let pool = ModelPool::load_json(args.require("pool")?).map_err(|e| e.to_string())?;
+    let attrs = args.get_list("attrs");
+    if attrs.is_empty() {
+        return Err("--attrs requires at least one attribute name".into());
+    }
+    let episodes = args.get_u32("episodes", 150)?;
+    let slots = args.get_usize("slots", 2)?;
+    let seed = args.get_u64("seed", 7)?;
+
+    let config = SearchConfig::paper(&attrs).with_episodes(episodes).with_slots(slots);
+    let search = MuffinSearch::new(pool, split, config).map_err(|e| e.to_string())?;
+    println!(
+        "proxy: {} unprivileged samples; space: {} steps",
+        search.proxy().len(),
+        search.space().num_steps()
+    );
+    let outcome = search.run(&mut Rng64::seed(seed)).map_err(|e| e.to_string())?;
+    outcome.save_json(out)?;
+    let best = outcome.best();
+    if let Some(student_path) = args.get("distill-out") {
+        let fusing = search.rebuild(best).map_err(|e| e.to_string())?;
+        let hidden: Vec<usize> = args
+            .get_list("student-hidden")
+            .iter()
+            .map(|w| w.parse().map_err(|_| format!("bad student width: {w}")))
+            .collect::<Result<Vec<usize>, String>>()?;
+        let config = DistillConfig {
+            student_hidden: if hidden.is_empty() { vec![64, 32] } else { hidden },
+            ..DistillConfig::default()
+        };
+        let distilled = distill_student(
+            &fusing,
+            search.pool(),
+            &search.split().train,
+            &config,
+            &mut Rng64::seed(seed ^ 0xD15),
+        )
+        .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string(distilled.student()).map_err(|e| e.to_string())?;
+        std::fs::write(student_path, json).map_err(|e| e.to_string())?;
+        println!(
+            "distilled student ({} params, {:.0}x smaller) written to {student_path}",
+            distilled.student_params(),
+            distilled.compression()
+        );
+    }
+    println!(
+        "best (episode {}): {} head {} | reward {:.3} acc {:.2}% U {:?}",
+        best.first_seen,
+        best.model_names.join("+"),
+        best.head_desc,
+        best.reward,
+        best.accuracy * 100.0,
+        best.unfairness
+    );
+    println!("full history written to {out}");
+    Ok(())
+}
+
+fn report(args: &Args) -> Result<(), String> {
+    let outcome = SearchOutcome::load_json(args.require("outcome")?)?;
+    let top = args.get_usize("top", 5)?;
+    println!(
+        "{} episodes, {} distinct candidates, targets {:?}\n",
+        outcome.history.len(),
+        outcome.distinct().len(),
+        outcome.target_attributes
+    );
+    let mut ranked: Vec<_> = outcome.distinct();
+    ranked.sort_by(|a, b| b.reward.partial_cmp(&a.reward).unwrap_or(std::cmp::Ordering::Equal));
+    let mut table = TextTable::new(&["rank", "reward", "acc", "unfairness", "body", "head"]);
+    for (i, r) in ranked.iter().take(top).enumerate() {
+        table.row_owned(vec![
+            (i + 1).to_string(),
+            format!("{:.3}", r.reward),
+            format!("{:.2}%", r.accuracy * 100.0),
+            r.unfairness.iter().map(|u| format!("{u:.3}")).collect::<Vec<_>>().join("/"),
+            r.model_names.join("+"),
+            r.head_desc.clone(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("muffin_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let args = Args::parse_from(["frobnicate"]).expect("parse");
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        let args = Args::parse_from(["help"]).expect("parse");
+        run(&args).expect("help runs");
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let args = Args::parse_from(["generate"]).expect("parse");
+        assert!(run(&args).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let out = tmp("never_written.json");
+        let args = Args::parse_from(["generate", "--dataset", "cifar", "--out", &out])
+            .expect("parse");
+        assert!(run(&args).unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn full_cli_pipeline_runs() {
+        let data = tmp("data.json");
+        let pool = tmp("pool.json");
+        let outcome = tmp("outcome.json");
+
+        run(&Args::parse_from([
+            "generate", "--samples", "400", "--seed", "3", "--out", &data,
+        ])
+        .expect("parse"))
+        .expect("generate");
+
+        run(&Args::parse_from([
+            "train-pool",
+            "--data",
+            &data,
+            "--archs",
+            "ResNet-18,DenseNet121",
+            "--epochs",
+            "3",
+            "--out",
+            &pool,
+        ])
+        .expect("parse"))
+        .expect("train-pool");
+
+        run(&Args::parse_from(["evaluate", "--data", &data, "--pool", &pool]).expect("parse"))
+            .expect("evaluate");
+
+        let student = tmp("student.json");
+        run(&Args::parse_from([
+            "search",
+            "--data",
+            &data,
+            "--pool",
+            &pool,
+            "--attrs",
+            "age,site",
+            "--episodes",
+            "3",
+            "--out",
+            &outcome,
+            "--distill-out",
+            &student,
+            "--student-hidden",
+            "16",
+        ])
+        .expect("parse"))
+        .expect("search");
+        assert!(std::fs::read_to_string(&student).expect("student written").contains("spec"));
+
+        run(&Args::parse_from(["report", "--outcome", &outcome]).expect("parse"))
+            .expect("report");
+
+        for f in [data, pool, outcome, student] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn train_pool_rejects_unknown_architecture() {
+        let data = tmp("data2.json");
+        run(&Args::parse_from(["generate", "--samples", "300", "--out", &data]).expect("parse"))
+            .expect("generate");
+        let args = Args::parse_from([
+            "train-pool", "--data", &data, "--archs", "VGG-16", "--out", "/dev/null",
+        ])
+        .expect("parse");
+        assert!(run(&args).unwrap_err().contains("unknown architecture"));
+        std::fs::remove_file(data).ok();
+    }
+}

@@ -1,0 +1,19 @@
+//! Library backing the `muffin` command-line tool.
+//!
+//! The CLI drives the full Muffin workflow from the shell, persisting
+//! intermediate artefacts as JSON so steps can be repeated independently:
+//!
+//! ```text
+//! muffin generate  --dataset isic --samples 8000 --seed 7 --out data.json
+//! muffin train-pool --data data.json --archs ResNet-18,DenseNet121 --out pool.json
+//! muffin evaluate  --data data.json --pool pool.json
+//! muffin search    --data data.json --pool pool.json --attrs age,site \
+//!                  --episodes 150 --out outcome.json
+//! muffin report    --outcome outcome.json
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::Args;
+pub use commands::{run, USAGE};

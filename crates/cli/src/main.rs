@@ -1,0 +1,17 @@
+//! The `muffin` command-line tool. See [`muffin_cli::USAGE`].
+
+use muffin_cli::{run, Args, USAGE};
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(err) = run(&args) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}

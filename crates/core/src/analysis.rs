@@ -1,0 +1,313 @@
+//! Agreement/disagreement analysis between paired models (paper
+//! Observation 3, Figure 3 and Figure 6).
+
+use muffin_data::{AttributeId, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Probabilities of the four correctness patterns of a model pair on a set
+/// of samples, following the paper's Figure 3 notation:
+///
+/// * `00` — both wrong, `01` — only the first model right,
+/// * `10` — only the second model right, `11` — both right.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisagreementBreakdown {
+    /// P(both models wrong).
+    pub both_wrong: f32,
+    /// P(first right, second wrong).
+    pub first_only: f32,
+    /// P(first wrong, second right).
+    pub second_only: f32,
+    /// P(both right).
+    pub both_right: f32,
+    /// Number of samples analysed.
+    pub count: usize,
+}
+
+impl DisagreementBreakdown {
+    /// Computes the breakdown over the samples selected by `indices`
+    /// (all samples when `indices` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if prediction lengths differ from `labels`, or an index is
+    /// out of bounds.
+    pub fn of(
+        preds_a: &[usize],
+        preds_b: &[usize],
+        labels: &[usize],
+        indices: Option<&[usize]>,
+    ) -> Self {
+        assert_eq!(preds_a.len(), labels.len(), "first predictions/labels mismatch");
+        assert_eq!(preds_b.len(), labels.len(), "second predictions/labels mismatch");
+        let all: Vec<usize>;
+        let selected = match indices {
+            Some(idx) => idx,
+            None => {
+                all = (0..labels.len()).collect();
+                &all
+            }
+        };
+        let mut counts = [0usize; 4];
+        for &i in selected {
+            let a_ok = preds_a[i] == labels[i];
+            let b_ok = preds_b[i] == labels[i];
+            counts[usize::from(a_ok) * 2 + usize::from(b_ok)] += 1;
+        }
+        let n = selected.len().max(1) as f32;
+        Self {
+            both_wrong: counts[0] as f32 / n,
+            second_only: counts[1] as f32 / n,
+            first_only: counts[2] as f32 / n,
+            both_right: counts[3] as f32 / n,
+            count: selected.len(),
+        }
+    }
+
+    /// Probability that the two models disagree in correctness
+    /// (`01 + 10`) — the paper reports 15.93% for R18 + optimised D121.
+    pub fn disagreement(&self) -> f32 {
+        self.first_only + self.second_only
+    }
+
+    /// Accuracy of an oracle that picks whichever model is right
+    /// (`01 + 10 + 11`) — the headroom fusing can exploit.
+    pub fn oracle_accuracy(&self) -> f32 {
+        1.0 - self.both_wrong
+    }
+}
+
+/// Where a fused model's correct answers and errors come from, relative to
+/// its paired models (the paper's Figure 6(c) bar composition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionComposition {
+    /// Fused-correct where both paired models were right.
+    pub correct_both: f32,
+    /// Fused-correct where only the first paired model was right.
+    pub correct_first_only: f32,
+    /// Fused-correct where only the second paired model was right.
+    pub correct_second_only: f32,
+    /// Fused-correct where neither paired model was right.
+    pub correct_neither: f32,
+    /// Fused-wrong despite both paired models being right.
+    pub error_both: f32,
+    /// Fused-wrong where only the first paired model was right.
+    pub error_first_only: f32,
+    /// Fused-wrong where only the second paired model was right.
+    pub error_second_only: f32,
+    /// Fused-wrong where neither paired model was right.
+    pub error_neither: f32,
+    /// Number of samples analysed.
+    pub count: usize,
+}
+
+impl FusionComposition {
+    /// Computes the composition over the samples selected by `indices`
+    /// (all samples when `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or out-of-bounds indices.
+    pub fn of(
+        fused: &[usize],
+        preds_a: &[usize],
+        preds_b: &[usize],
+        labels: &[usize],
+        indices: Option<&[usize]>,
+    ) -> Self {
+        assert_eq!(fused.len(), labels.len(), "fused predictions/labels mismatch");
+        assert_eq!(preds_a.len(), labels.len(), "first predictions/labels mismatch");
+        assert_eq!(preds_b.len(), labels.len(), "second predictions/labels mismatch");
+        let all: Vec<usize>;
+        let selected = match indices {
+            Some(idx) => idx,
+            None => {
+                all = (0..labels.len()).collect();
+                &all
+            }
+        };
+        let mut counts = [0usize; 8];
+        for &i in selected {
+            let f_ok = fused[i] == labels[i];
+            let a_ok = preds_a[i] == labels[i];
+            let b_ok = preds_b[i] == labels[i];
+            let bucket = usize::from(f_ok) * 4 + usize::from(a_ok) * 2 + usize::from(b_ok);
+            counts[bucket] += 1;
+        }
+        let n = selected.len().max(1) as f32;
+        Self {
+            error_neither: counts[0] as f32 / n,
+            error_second_only: counts[1] as f32 / n,
+            error_first_only: counts[2] as f32 / n,
+            error_both: counts[3] as f32 / n,
+            correct_neither: counts[4] as f32 / n,
+            correct_second_only: counts[5] as f32 / n,
+            correct_first_only: counts[6] as f32 / n,
+            correct_both: counts[7] as f32 / n,
+            count: selected.len(),
+        }
+    }
+
+    /// The fused model's accuracy on the analysed samples.
+    pub fn fused_accuracy(&self) -> f32 {
+        self.correct_both + self.correct_first_only + self.correct_second_only + self.correct_neither
+    }
+
+    /// Fraction of recoverable answers (at least one paired model right)
+    /// that the fused model actually kept — 1.0 means "fully leveraged",
+    /// the paper's lateral-torso case.
+    pub fn leverage(&self) -> f32 {
+        let kept = self.correct_both + self.correct_first_only + self.correct_second_only;
+        let available = kept + self.error_both + self.error_first_only + self.error_second_only;
+        if available <= 0.0 {
+            0.0
+        } else {
+            kept / available
+        }
+    }
+}
+
+/// Per-group accuracies of several prediction vectors on one attribute —
+/// the rows of the paper's Figure 6(a)/(b) and Figure 8 tables.
+///
+/// Returns, for each group of `attr`: `(group, count, Vec<accuracy>)` with
+/// one accuracy per prediction vector, in input order.
+///
+/// # Panics
+///
+/// Panics if any prediction vector's length differs from the dataset.
+pub fn per_group_accuracy_table(
+    predictions: &[&[usize]],
+    dataset: &Dataset,
+    attr: AttributeId,
+) -> Vec<(u16, usize, Vec<f32>)> {
+    let num_groups = dataset.schema().get(attr).expect("attribute in range").num_groups();
+    let groups = dataset.groups(attr);
+    let labels = dataset.labels();
+    for preds in predictions {
+        assert_eq!(preds.len(), labels.len(), "predictions/dataset mismatch");
+    }
+    (0..num_groups as u16)
+        .map(|g| {
+            let members: Vec<usize> =
+                groups.iter().enumerate().filter(|(_, &gg)| gg == g).map(|(i, _)| i).collect();
+            let accs = predictions
+                .iter()
+                .map(|preds| {
+                    if members.is_empty() {
+                        0.0
+                    } else {
+                        members.iter().filter(|&&i| preds[i] == labels[i]).count() as f32
+                            / members.len() as f32
+                    }
+                })
+                .collect();
+            (g, members.len(), accs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_probabilities_sum_to_one() {
+        let labels = [0, 0, 0, 0];
+        let a = [0, 0, 1, 1];
+        let b = [0, 1, 0, 1];
+        let bd = DisagreementBreakdown::of(&a, &b, &labels, None);
+        let total = bd.both_wrong + bd.first_only + bd.second_only + bd.both_right;
+        assert!((total - 1.0).abs() < 1e-6);
+        assert_eq!(bd.count, 4);
+        // a right on 0,1; b right on 0,2.
+        assert!((bd.both_right - 0.25).abs() < 1e-6);
+        assert!((bd.first_only - 0.25).abs() < 1e-6);
+        assert!((bd.second_only - 0.25).abs() < 1e-6);
+        assert!((bd.both_wrong - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oracle_accuracy_counts_any_correct() {
+        let labels = [0, 0];
+        let a = [0, 1];
+        let b = [1, 0];
+        let bd = DisagreementBreakdown::of(&a, &b, &labels, None);
+        assert!((bd.oracle_accuracy() - 1.0).abs() < 1e-6);
+        assert!((bd.disagreement() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_respects_index_subset() {
+        let labels = [0, 0, 0];
+        let a = [0, 1, 1];
+        let b = [0, 1, 1];
+        let bd = DisagreementBreakdown::of(&a, &b, &labels, Some(&[1, 2]));
+        assert!((bd.both_wrong - 1.0).abs() < 1e-6);
+        assert_eq!(bd.count, 2);
+    }
+
+    #[test]
+    fn composition_buckets_are_exhaustive() {
+        let labels = [0; 8];
+        // Enumerate all 8 (fused, a, b) correctness combinations.
+        let fused = [0, 0, 0, 0, 1, 1, 1, 1];
+        let a = [0, 0, 1, 1, 0, 0, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1, 0, 1];
+        let comp = FusionComposition::of(&fused, &a, &b, &labels, None);
+        let total = comp.correct_both
+            + comp.correct_first_only
+            + comp.correct_second_only
+            + comp.correct_neither
+            + comp.error_both
+            + comp.error_first_only
+            + comp.error_second_only
+            + comp.error_neither;
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!((comp.fused_accuracy() - 0.5).abs() < 1e-6);
+        assert!((comp.correct_both - 0.125).abs() < 1e-6);
+        assert!((comp.error_both - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_leverage_means_no_recoverable_errors() {
+        let labels = [0; 4];
+        let a = [0, 0, 1, 1];
+        let b = [0, 1, 0, 1];
+        // Fused keeps every recoverable answer.
+        let fused = [0, 0, 0, 1];
+        let comp = FusionComposition::of(&fused, &a, &b, &labels, None);
+        assert!((comp.leverage() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_leverage_counts_lost_answers() {
+        let labels = [0; 2];
+        let a = [0, 0];
+        let b = [1, 0];
+        let fused = [1, 0]; // loses the first sample that a had right
+        let comp = FusionComposition::of(&fused, &a, &b, &labels, None);
+        assert!((comp.leverage() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_table_reports_each_group_once() {
+        use muffin_data::{AttributeSchema, SensitiveAttribute};
+        use muffin_tensor::Matrix;
+        let ds = Dataset::new(
+            Matrix::zeros(4, 1),
+            vec![0, 0, 1, 1],
+            2,
+            AttributeSchema::new(vec![SensitiveAttribute::new("a", &["g0", "g1"])]),
+            vec![vec![0, 1, 0, 1]],
+        );
+        let preds_a = vec![0usize, 0, 1, 0];
+        let preds_b = vec![0usize, 1, 0, 1];
+        let table =
+            per_group_accuracy_table(&[&preds_a, &preds_b], &ds, AttributeId::new(0));
+        assert_eq!(table.len(), 2);
+        let (g0, n0, accs0) = &table[0];
+        assert_eq!((*g0, *n0), (0, 2));
+        assert!((accs0[0] - 1.0).abs() < 1e-6); // preds_a right on samples 0,2
+        assert!((accs0[1] - 0.5).abs() < 1e-6);
+    }
+}

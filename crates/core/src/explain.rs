@@ -1,0 +1,198 @@
+//! Explaining a trained fusing structure: on disagreements, whom does the
+//! head trust?
+//!
+//! With consensus gating the head only ever decides samples where the body
+//! models disagree. The [`TrustReport`] summarises those decisions: how
+//! often the fused output sides with each body model, and how often it
+//! invents a class neither body predicted — overall and per group of a
+//! chosen attribute. This is the quantitative form of the paper's
+//! Figure 6 narrative ("all correct determinations from ResNet-50 are kept
+//! by Muffin-Site…").
+
+use crate::FusingStructure;
+use muffin_data::{AttributeId, Dataset};
+use muffin_models::ModelPool;
+use serde::{Deserialize, Serialize};
+
+/// Who the head sided with on the disagreement samples of one slice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrustSlice {
+    /// Group index (`u16::MAX` for the overall slice).
+    pub group: u16,
+    /// Number of disagreement samples in the slice.
+    pub disagreements: usize,
+    /// P(fused output equals body model m's prediction | disagreement),
+    /// in body order. Rows can overlap when bodies partially agree.
+    pub sided_with: Vec<f32>,
+    /// P(fused output matches none of the bodies | disagreement).
+    pub invented: f32,
+    /// Accuracy of the fused output on the slice's disagreements.
+    pub accuracy: f32,
+}
+
+/// Trust analysis of a fusing structure on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrustReport {
+    /// Names of the body models, in body order.
+    pub body: Vec<String>,
+    /// The overall slice plus one slice per group of the chosen attribute.
+    pub slices: Vec<TrustSlice>,
+}
+
+impl TrustReport {
+    /// Analyses `fusing` on `dataset`, slicing by `attr` when given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range for the dataset schema.
+    pub fn analyze(
+        fusing: &FusingStructure,
+        pool: &ModelPool,
+        dataset: &Dataset,
+        attr: Option<AttributeId>,
+    ) -> Self {
+        let body_preds: Vec<Vec<usize>> = fusing
+            .model_indices()
+            .iter()
+            .map(|&i| pool.get(i).expect("valid body index").predict(dataset.features()))
+            .collect();
+        let fused = fusing.predict(pool, dataset.features());
+        let body = fusing
+            .model_indices()
+            .iter()
+            .filter_map(|&i| pool.get(i))
+            .map(|m| m.name().to_string())
+            .collect();
+
+        let slice_of = |indices: &[usize], group: u16| -> TrustSlice {
+            let disagreement_idx: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&s| body_preds.iter().any(|p| p[s] != body_preds[0][s]))
+                .collect();
+            let n = disagreement_idx.len().max(1) as f32;
+            let sided_with = body_preds
+                .iter()
+                .map(|p| {
+                    disagreement_idx.iter().filter(|&&s| fused[s] == p[s]).count() as f32 / n
+                })
+                .collect();
+            let invented = disagreement_idx
+                .iter()
+                .filter(|&&s| body_preds.iter().all(|p| fused[s] != p[s]))
+                .count() as f32
+                / n;
+            let accuracy = disagreement_idx
+                .iter()
+                .filter(|&&s| fused[s] == dataset.labels()[s])
+                .count() as f32
+                / n;
+            TrustSlice {
+                group,
+                disagreements: disagreement_idx.len(),
+                sided_with,
+                invented,
+                accuracy,
+            }
+        };
+
+        let all: Vec<usize> = (0..dataset.len()).collect();
+        let mut slices = vec![slice_of(&all, u16::MAX)];
+        if let Some(attr) = attr {
+            let num_groups =
+                dataset.schema().get(attr).expect("attribute in range").num_groups();
+            for g in 0..num_groups as u16 {
+                let members: Vec<usize> = dataset
+                    .groups(attr)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &gg)| gg == g)
+                    .map(|(i, _)| i)
+                    .collect();
+                slices.push(slice_of(&members, g));
+            }
+        }
+        Self { body, slices }
+    }
+
+    /// The overall (non-grouped) slice.
+    pub fn overall(&self) -> &TrustSlice {
+        &self.slices[0]
+    }
+
+    /// The slice for one group, if the report was grouped.
+    pub fn group(&self, group: u16) -> Option<&TrustSlice> {
+        self.slices.iter().find(|s| s.group == group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset};
+    use muffin_data::IsicLike;
+    use muffin_models::{Architecture, BackboneConfig};
+    use muffin_nn::Activation;
+    use muffin_tensor::Rng64;
+
+    fn fixture() -> (FusingStructure, ModelPool, muffin_data::DatasetSplit) {
+        let mut rng = Rng64::seed(90);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18(), Architecture::densenet121()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let age = split.train.schema().by_name("age").unwrap();
+        let site = split.train.schema().by_name("site").unwrap();
+        let privilege = PrivilegeMap::infer(&pool, &split.val, &[age, site], 0.02);
+        let proxy = ProxyDataset::build(&split.train, &privilege).expect("proxy");
+        let mut fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 12], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::fast(), &mut rng);
+        (fusing, pool, split)
+    }
+
+    #[test]
+    fn overall_slice_counts_disagreements() {
+        let (fusing, pool, split) = fixture();
+        let report = TrustReport::analyze(&fusing, &pool, &split.test, None);
+        assert_eq!(report.body.len(), 2);
+        assert_eq!(report.slices.len(), 1);
+        let overall = report.overall();
+        assert!(overall.disagreements > 0, "models should disagree somewhere");
+        // With two bodies that disagree, siding probabilities are disjoint
+        // events plus "invented": they partition the disagreements.
+        let total = overall.sided_with.iter().sum::<f32>() + overall.invented;
+        assert!((total - 1.0).abs() < 1e-5, "partition sums to {total}");
+    }
+
+    #[test]
+    fn grouped_report_has_one_slice_per_group_plus_overall() {
+        let (fusing, pool, split) = fixture();
+        let site = split.test.schema().by_name("site").unwrap();
+        let report = TrustReport::analyze(&fusing, &pool, &split.test, Some(site));
+        assert_eq!(report.slices.len(), 1 + 9);
+        assert!(report.group(7).is_some());
+        assert!(report.group(99).is_none());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (fusing, pool, split) = fixture();
+        let report = TrustReport::analyze(&fusing, &pool, &split.test, None);
+        for slice in &report.slices {
+            assert!((0.0..=1.0).contains(&slice.invented));
+            assert!((0.0..=1.0 + 1e-6).contains(&slice.accuracy));
+            for &p in &slice.sided_with {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+use crate::{MuffinError, ProxyDataset};
+use muffin_data::Dataset;
+use muffin_models::ModelPool;
+use muffin_nn::{Activation, ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
+use muffin_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Architecture of the muffin head: the MLP the controller searches over
+/// (paper component ① — hidden widths like `[16, 18, 12, 8]` plus the
+/// activation function).
+///
+/// # Example
+///
+/// ```
+/// use muffin::HeadSpec;
+/// use muffin_nn::Activation;
+///
+/// let spec = HeadSpec::new(vec![16, 18, 12, 8], Activation::Relu);
+/// assert_eq!(spec.to_string(), "[16,18,12,8] relu");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadSpec {
+    hidden: Vec<usize>,
+    activation: Activation,
+}
+
+impl HeadSpec {
+    /// Creates a head spec from hidden widths and an activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is zero.
+    pub fn new(hidden: Vec<usize>, activation: Activation) -> Self {
+        assert!(hidden.iter().all(|&h| h > 0), "head widths must be positive");
+        Self { hidden, activation }
+    }
+
+    /// Hidden layer widths.
+    pub fn hidden(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Hidden activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The MLP spec for a head with this shape.
+    pub fn to_mlp_spec(&self, input_dim: usize, num_classes: usize) -> MlpSpec {
+        MlpSpec::new(input_dim, &self.hidden, num_classes).with_activation(self.activation)
+    }
+}
+
+impl fmt::Display for HeadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, h) in self.hidden.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, "] {}", self.activation)
+    }
+}
+
+/// Training configuration for the muffin head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadTrainConfig {
+    /// Training epochs.
+    pub epochs: u32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Loss — the paper's Eq. 2 weighted MSE by default.
+    pub loss: LossKind,
+}
+
+impl Default for HeadTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            batch_size: 64,
+            schedule: LrSchedule::StepDecay { initial: 0.4, decay: 0.9, every: 12 },
+            loss: LossKind::WeightedMse,
+        }
+    }
+}
+
+impl HeadTrainConfig {
+    /// A fast configuration for tests (8 epochs).
+    pub fn fast() -> Self {
+        Self { epochs: 8, ..Self::default() }
+    }
+}
+
+/// The paper's model-fusing structure: a "muffin body" of selected frozen
+/// pool models whose output probabilities feed a trained "muffin head"
+/// MLP.
+///
+/// At inference the structure applies **consensus gating**: when every
+/// selected model predicts the same class the consensus stands (the paper:
+/// "the proposed technique is not going to change the output if all models
+/// reached consensus"); the head arbitrates only disagreements.
+///
+/// # Example
+///
+/// ```
+/// use muffin::{FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset};
+/// use muffin_data::IsicLike;
+/// use muffin_models::{Architecture, BackboneConfig, ModelPool};
+/// use muffin_nn::Activation;
+/// use muffin_tensor::Rng64;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = Rng64::seed(11);
+/// let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+/// let pool = ModelPool::train(
+///     &split.train,
+///     &[Architecture::resnet18(), Architecture::densenet121()],
+///     &BackboneConfig::fast(),
+///     &mut rng,
+/// );
+/// let mut map = PrivilegeMap::new();
+/// map.set(split.train.schema().by_name("age").unwrap(), vec![4, 5]);
+/// let proxy = ProxyDataset::build(&split.train, &map)?;
+/// let mut fusing = FusingStructure::new(
+///     vec![0, 1],
+///     HeadSpec::new(vec![16, 8], Activation::Relu),
+///     &pool,
+///     &mut rng,
+/// )?;
+/// fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::fast(), &mut rng);
+/// let preds = fusing.predict(&pool, split.test.features());
+/// assert_eq!(preds.len(), split.test.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusingStructure {
+    model_indices: Vec<usize>,
+    head_spec: HeadSpec,
+    head: Mlp,
+    num_classes: usize,
+    consensus_gating: bool,
+}
+
+impl FusingStructure {
+    /// Creates an untrained fusing structure selecting `model_indices` from
+    /// `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::EmptyPool`] if no model is selected and
+    /// [`MuffinError::InvalidConfig`] if an index is out of range or
+    /// duplicated.
+    pub fn new(
+        model_indices: Vec<usize>,
+        head_spec: HeadSpec,
+        pool: &ModelPool,
+        rng: &mut Rng64,
+    ) -> Result<Self, MuffinError> {
+        if model_indices.is_empty() {
+            return Err(MuffinError::EmptyPool);
+        }
+        for &i in &model_indices {
+            if i >= pool.len() {
+                return Err(MuffinError::InvalidConfig(format!(
+                    "model index {i} out of range for pool of {}",
+                    pool.len()
+                )));
+            }
+        }
+        let mut seen = model_indices.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != model_indices.len() {
+            return Err(MuffinError::InvalidConfig("duplicate model selected".into()));
+        }
+        let num_classes = pool.get(model_indices[0]).expect("validated index").num_classes();
+        let input_dim = num_classes * model_indices.len();
+        let head = Mlp::new(&head_spec.to_mlp_spec(input_dim, num_classes), rng);
+        Ok(Self { model_indices, head_spec, head, num_classes, consensus_gating: true })
+    }
+
+    /// Disables or enables consensus gating (ablation: the head then
+    /// overrides even unanimous bodies).
+    pub fn set_consensus_gating(&mut self, enabled: bool) {
+        self.consensus_gating = enabled;
+    }
+
+    /// Whether consensus gating is active.
+    pub fn consensus_gating(&self) -> bool {
+        self.consensus_gating
+    }
+
+    /// Indices of the selected pool models (the muffin body).
+    pub fn model_indices(&self) -> &[usize] {
+        &self.model_indices
+    }
+
+    /// The head architecture.
+    pub fn head_spec(&self) -> &HeadSpec {
+        &self.head_spec
+    }
+
+    /// Trainable parameters in the head.
+    pub fn head_param_count(&self) -> usize {
+        self.head.param_count()
+    }
+
+    /// Total parameters including the (frozen) bodies' reported CNN sizes —
+    /// the x-axis of the paper's Figure 9(b).
+    pub fn total_reported_params(&self, pool: &ModelPool) -> u64 {
+        let body: u64 = self
+            .model_indices
+            .iter()
+            .filter_map(|&i| pool.get(i))
+            .map(|m| m.reported_params())
+            .sum();
+        body + self.head_param_count() as u64
+    }
+
+    /// Concatenated body probabilities — the head's input representation.
+    pub fn head_inputs(&self, pool: &ModelPool, features: &Matrix) -> Matrix {
+        let probs: Vec<Matrix> = self
+            .model_indices
+            .iter()
+            .map(|&i| pool.get(i).expect("validated index").predict_proba(features))
+            .collect();
+        let refs: Vec<&Matrix> = probs.iter().collect();
+        Matrix::hcat(&refs).expect("equal row counts by construction")
+    }
+
+    /// Trains the head on the proxy dataset with the paper's Eq. 2 loss
+    /// (or the configured alternative). Body parameters stay frozen.
+    pub fn train_head(
+        &mut self,
+        pool: &ModelPool,
+        source: &Dataset,
+        proxy: &ProxyDataset,
+        config: &HeadTrainConfig,
+        rng: &mut Rng64,
+    ) {
+        let features = source.features().select_rows(proxy.indices());
+        let labels: Vec<usize> = proxy.indices().iter().map(|&i| source.labels()[i]).collect();
+        let inputs = self.head_inputs(pool, &features);
+        let trainer = ClassifierTrainer::new(config.epochs, config.batch_size)
+            .with_schedule(config.schedule);
+        trainer.fit(&mut self.head, &inputs, &labels, Some(proxy.weights()), config.loss, rng);
+    }
+
+    /// Predicts classes for `features`: consensus where the body agrees,
+    /// head output where it disagrees.
+    pub fn predict(&self, pool: &ModelPool, features: &Matrix) -> Vec<usize> {
+        let body_preds: Vec<Vec<usize>> = self
+            .model_indices
+            .iter()
+            .map(|&i| pool.get(i).expect("validated index").predict(features))
+            .collect();
+        let inputs = self.head_inputs(pool, features);
+        let head_preds = self.head.predict(&inputs);
+        (0..features.rows())
+            .map(|s| {
+                let first = body_preds[0][s];
+                if self.consensus_gating && body_preds.iter().all(|p| p[s] == first) {
+                    first
+                } else {
+                    head_preds[s]
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the fused model on `dataset`.
+    pub fn evaluate(&self, pool: &ModelPool, dataset: &Dataset) -> muffin_models::ModelEvaluation {
+        let preds = self.predict(pool, dataset.features());
+        let names: Vec<&str> = self
+            .model_indices
+            .iter()
+            .filter_map(|&i| pool.get(i))
+            .map(|m| m.name())
+            .collect();
+        let label = format!("Muffin({} | {})", names.join("+"), self.head_spec);
+        muffin_models::ModelEvaluation::of(&preds, dataset, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrivilegeMap;
+    use muffin_data::IsicLike;
+    use muffin_models::{Architecture, BackboneConfig};
+    use muffin_nn::accuracy;
+
+    fn setup() -> (ModelPool, muffin_data::DatasetSplit, ProxyDataset, Rng64) {
+        let mut rng = Rng64::seed(50);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18(), Architecture::densenet121()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let mut map = PrivilegeMap::new();
+        map.set(split.train.schema().by_name("age").unwrap(), vec![4, 5]);
+        map.set(split.train.schema().by_name("site").unwrap(), vec![5, 6, 7, 8]);
+        let proxy = ProxyDataset::build(&split.train, &map).expect("proxy");
+        (pool, split, proxy, rng)
+    }
+
+    #[test]
+    fn rejects_empty_selection() {
+        let (pool, _, _, mut rng) = setup();
+        let err = FusingStructure::new(
+            vec![],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, MuffinError::EmptyPool);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicates() {
+        let (pool, _, _, mut rng) = setup();
+        let spec = HeadSpec::new(vec![8], Activation::Relu);
+        assert!(matches!(
+            FusingStructure::new(vec![9], spec.clone(), &pool, &mut rng),
+            Err(MuffinError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FusingStructure::new(vec![0, 0], spec, &pool, &mut rng),
+            Err(MuffinError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn head_input_dim_is_models_times_classes() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let inputs = fusing.head_inputs(&pool, split.test.features());
+        assert_eq!(inputs.cols(), 2 * 8);
+        assert_eq!(inputs.rows(), split.test.len());
+    }
+
+    #[test]
+    fn consensus_gating_respects_unanimous_body() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        // Untrained head: wherever the two bodies agree, the fused output
+        // must equal the consensus anyway.
+        let preds = fusing.predict(&pool, split.test.features());
+        let a = pool.get(0).unwrap().predict(split.test.features());
+        let b = pool.get(1).unwrap().predict(split.test.features());
+        for i in 0..preds.len() {
+            if a[i] == b[i] {
+                assert_eq!(preds[i], a[i], "consensus overridden at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn trained_head_beats_untrained_on_proxy_groups() {
+        let (pool, split, proxy, mut rng) = setup();
+        let mut fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 12], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let before = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
+        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::default(), &mut rng);
+        let after = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
+        assert!(after >= before - 0.02, "training should not degrade accuracy: {before} -> {after}");
+    }
+
+    #[test]
+    fn fused_model_at_least_matches_best_body_overall() {
+        let (pool, split, proxy, mut rng) = setup();
+        let mut fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 12], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::default(), &mut rng);
+        let fused = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
+        let best_body = (0..2)
+            .map(|i| accuracy(&pool.get(i).unwrap().predict(split.test.features()), split.test.labels()))
+            .fold(f32::MIN, f32::max);
+        assert!(fused > best_body - 0.05, "fused {fused} vs best body {best_body}");
+    }
+
+    #[test]
+    fn total_params_include_bodies_and_head() {
+        let (pool, _, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let expected_body = 11_689_512u64 + 7_978_856;
+        assert_eq!(
+            fusing.total_reported_params(&pool),
+            expected_body + fusing.head_param_count() as u64
+        );
+    }
+
+    #[test]
+    fn head_spec_display_matches_paper_notation() {
+        let spec = HeadSpec::new(vec![16, 10, 10, 8], Activation::Tanh);
+        assert_eq!(spec.to_string(), "[16,10,10,8] tanh");
+    }
+
+    #[test]
+    fn three_model_bodies_fuse_and_gate() {
+        let mut rng = Rng64::seed(51);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[
+                Architecture::resnet18(),
+                Architecture::densenet121(),
+                Architecture::mobilenet_v2(),
+            ],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let fusing = FusingStructure::new(
+            vec![0, 1, 2],
+            HeadSpec::new(vec![16], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let inputs = fusing.head_inputs(&pool, split.test.features());
+        assert_eq!(inputs.cols(), 3 * 8);
+        // Unanimous three-way agreement must pass through untouched.
+        let preds = fusing.predict(&pool, split.test.features());
+        let bodies: Vec<Vec<usize>> =
+            (0..3).map(|i| pool.get(i).unwrap().predict(split.test.features())).collect();
+        for s in 0..preds.len() {
+            if bodies.iter().all(|b| b[s] == bodies[0][s]) {
+                assert_eq!(preds[s], bodies[0][s]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_model_body_with_gating_is_the_model_itself() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        // One body always "agrees with itself" → gating passes it through.
+        assert_eq!(
+            fusing.predict(&pool, split.test.features()),
+            pool.get(0).unwrap().predict(split.test.features())
+        );
+    }
+
+    #[test]
+    fn evaluation_label_names_the_bodies_and_head() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 8], Activation::Tanh),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let eval = fusing.evaluate(&pool, &split.test);
+        assert!(eval.model.contains("ResNet-18"));
+        assert!(eval.model.contains("DenseNet121"));
+        assert!(eval.model.contains("[16,8] tanh"));
+    }
+
+    #[test]
+    fn gating_can_be_disabled() {
+        let (pool, _, _, mut rng) = setup();
+        let mut fusing = FusingStructure::new(
+            vec![0],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        assert!(fusing.consensus_gating());
+        fusing.set_consensus_gating(false);
+        assert!(!fusing.consensus_gating());
+    }
+}

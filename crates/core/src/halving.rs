@@ -1,0 +1,246 @@
+//! Successive-halving search over the Muffin candidate space.
+//!
+//! A third search strategy besides the paper's REINFORCE controller and
+//! plain [`crate::random_search`]: sample a wide rung of random
+//! candidates, train every head with a *small* epoch budget, keep the best
+//! fraction, retrain the survivors with a larger budget, and repeat. The
+//! resource (head-training epochs) grows geometrically as the population
+//! shrinks, so the total cost stays close to one full-budget sweep while
+//! many more candidates get screened.
+
+use crate::{EpisodeRecord, HeadTrainConfig, MuffinError, MuffinSearch, SearchOutcome};
+use muffin_tensor::Rng64;
+
+/// Configuration of a successive-halving run.
+#[derive(Debug, Clone, Copy)]
+pub struct HalvingConfig {
+    /// Candidates sampled into the first rung.
+    pub initial_population: usize,
+    /// Fraction kept at each rung (e.g. `0.5` halves the population).
+    pub keep_fraction: f32,
+    /// Head-training epochs in the first rung.
+    pub initial_epochs: u32,
+    /// Multiplier applied to the epoch budget at each rung.
+    pub epoch_growth: f32,
+    /// Number of rungs.
+    pub rungs: u32,
+}
+
+impl Default for HalvingConfig {
+    fn default() -> Self {
+        Self {
+            initial_population: 32,
+            keep_fraction: 0.5,
+            initial_epochs: 8,
+            epoch_growth: 2.0,
+            rungs: 3,
+        }
+    }
+}
+
+impl HalvingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::InvalidConfig`] naming the violated field.
+    pub fn validate(&self) -> Result<(), MuffinError> {
+        if self.initial_population == 0 {
+            return Err(MuffinError::InvalidConfig("initial_population must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.keep_fraction) || self.keep_fraction <= 0.0 {
+            return Err(MuffinError::InvalidConfig("keep_fraction must be in (0, 1)".into()));
+        }
+        if self.initial_epochs == 0 || self.rungs == 0 {
+            return Err(MuffinError::InvalidConfig("epochs and rungs must be positive".into()));
+        }
+        if self.epoch_growth < 1.0 {
+            return Err(MuffinError::InvalidConfig("epoch_growth must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Runs successive halving over `search`'s candidate space and returns the
+/// survivors' final-rung evaluations as a [`SearchOutcome`] (one record
+/// per candidate-evaluation, across all rungs).
+///
+/// # Errors
+///
+/// Returns configuration errors up front and propagates candidate
+/// construction failures.
+pub fn successive_halving(
+    search: &MuffinSearch,
+    config: &HalvingConfig,
+    rng: &mut Rng64,
+) -> Result<SearchOutcome, MuffinError> {
+    config.validate()?;
+    let space = search.space();
+    let sizes = space.step_sizes();
+    let target_names: Vec<&str> =
+        search.config().target_attributes.iter().map(String::as_str).collect();
+
+    // Rung 0 population: distinct random action vectors.
+    let mut population: Vec<Vec<usize>> = Vec::new();
+    let mut attempts = 0;
+    while population.len() < config.initial_population && attempts < config.initial_population * 20
+    {
+        let actions: Vec<usize> = sizes.iter().map(|&n| rng.below(n)).collect();
+        if !population.contains(&actions) {
+            population.push(actions);
+        }
+        attempts += 1;
+    }
+
+    let mut history: Vec<EpisodeRecord> = Vec::new();
+    let mut best_idx = 0usize;
+    let mut best_reward = f32::MIN;
+    let mut epochs = config.initial_epochs;
+    let mut episode = 0u32;
+
+    for rung in 0..config.rungs {
+        let mut scored: Vec<(Vec<usize>, f32)> = Vec::with_capacity(population.len());
+        for actions in &population {
+            let candidate = space.decode(actions)?;
+            let head_seed = (rung as u64) << 48 ^ rng.uniform(0.0, 1.0).to_bits() as u64;
+            // Rung-specific head budget.
+            let head = HeadTrainConfig { epochs, ..search.config().head.clone() };
+            let mut head_rng = Rng64::seed(head_seed);
+            let mut fusing = crate::FusingStructure::new(
+                candidate.model_indices.clone(),
+                candidate.head.clone(),
+                search.pool(),
+                &mut head_rng,
+            )?;
+            fusing.train_head(
+                search.pool(),
+                &search.split().train,
+                search.proxy(),
+                &head,
+                &mut head_rng,
+            );
+            let eval = fusing.evaluate(search.pool(), &search.split().val);
+            let reward =
+                search.config().reward_kind.evaluate(&eval, &target_names, search.config().reward);
+            let record = EpisodeRecord {
+                episode,
+                actions: actions.clone(),
+                model_names: candidate
+                    .model_indices
+                    .iter()
+                    .filter_map(|&i| search.pool().get(i))
+                    .map(|m| m.name().to_string())
+                    .collect(),
+                head_desc: format!("{} @{}ep", candidate.head, epochs),
+                accuracy: eval.accuracy,
+                unfairness: target_names
+                    .iter()
+                    .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
+                    .collect(),
+                reward,
+                head_params: fusing.head_param_count(),
+                total_params: fusing.total_reported_params(search.pool()),
+                head_seed,
+                first_seen: episode,
+            };
+            if reward > best_reward {
+                best_reward = reward;
+                best_idx = history.len();
+            }
+            history.push(record);
+            scored.push((actions.clone(), reward));
+            episode += 1;
+        }
+        // Keep the top fraction for the next rung.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let keep = ((scored.len() as f32 * config.keep_fraction).ceil() as usize).max(1);
+        population = scored.into_iter().take(keep).map(|(a, _)| a).collect();
+        epochs = ((epochs as f32) * config.epoch_growth).round() as u32;
+    }
+
+    Ok(SearchOutcome {
+        history,
+        best_by_reward: best_idx,
+        target_attributes: search.config().target_attributes.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchConfig;
+    use muffin_data::IsicLike;
+    use muffin_models::{Architecture, BackboneConfig, ModelPool};
+
+    fn setup() -> (MuffinSearch, Rng64) {
+        let mut rng = Rng64::seed(120);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18(), Architecture::densenet121()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let config = SearchConfig::fast(&["age", "site"]);
+        (MuffinSearch::new(pool, split, config).expect("setup"), rng)
+    }
+
+    fn tiny_config() -> HalvingConfig {
+        HalvingConfig {
+            initial_population: 6,
+            keep_fraction: 0.5,
+            initial_epochs: 2,
+            epoch_growth: 2.0,
+            rungs: 2,
+        }
+    }
+
+    #[test]
+    fn population_shrinks_and_budget_grows() {
+        let (search, mut rng) = setup();
+        let outcome = successive_halving(&search, &tiny_config(), &mut rng).expect("runs");
+        // Rung 0: 6 evaluations at 2 epochs; rung 1: 3 at 4 epochs.
+        assert_eq!(outcome.history.len(), 9);
+        let rung0 = outcome.history.iter().filter(|r| r.head_desc.ends_with("@2ep")).count();
+        let rung1 = outcome.history.iter().filter(|r| r.head_desc.ends_with("@4ep")).count();
+        assert_eq!(rung0, 6);
+        assert_eq!(rung1, 3);
+    }
+
+    #[test]
+    fn survivors_are_the_best_of_their_rung() {
+        let (search, mut rng) = setup();
+        let outcome = successive_halving(&search, &tiny_config(), &mut rng).expect("runs");
+        let rung0: Vec<&EpisodeRecord> =
+            outcome.history.iter().filter(|r| r.head_desc.ends_with("@2ep")).collect();
+        let rung1: Vec<&EpisodeRecord> =
+            outcome.history.iter().filter(|r| r.head_desc.ends_with("@4ep")).collect();
+        let mut rung0_rewards: Vec<f32> = rung0.iter().map(|r| r.reward).collect();
+        rung0_rewards.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let cutoff = rung0_rewards[2]; // top 3 of 6
+        for r in rung1 {
+            let origin = rung0.iter().find(|o| o.actions == r.actions).expect("from rung 0");
+            assert!(origin.reward >= cutoff - 1e-6, "non-survivor advanced");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = HalvingConfig { keep_fraction: 1.5, ..tiny_config() };
+        assert!(bad.validate().is_err());
+        let bad = HalvingConfig { initial_population: 0, ..tiny_config() };
+        assert!(bad.validate().is_err());
+        let bad = HalvingConfig { epoch_growth: 0.5, ..tiny_config() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn halving_is_deterministic_per_seed() {
+        let (search, _) = setup();
+        let a = successive_halving(&search, &tiny_config(), &mut Rng64::seed(3)).expect("runs");
+        let b = successive_halving(&search, &tiny_config(), &mut Rng64::seed(3)).expect("runs");
+        let acts =
+            |o: &SearchOutcome| o.history.iter().map(|r| r.actions.clone()).collect::<Vec<_>>();
+        assert_eq!(acts(&a), acts(&b));
+    }
+}

@@ -1,0 +1,111 @@
+//! Pareto-frontier utilities for the exploration plots (Figures 5 and 7).
+
+/// Indices of the Pareto-optimal items when **minimising** both objectives.
+///
+/// An item is on the frontier if no other item is at least as good in both
+/// objectives and strictly better in one. Ties are kept (both items stay).
+/// The returned indices are sorted by the first objective.
+///
+/// # Example
+///
+/// ```
+/// let points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0), (3.0, 3.0)];
+/// let front = muffin::pareto_min_indices(&points, |&p| p);
+/// assert_eq!(front, vec![0, 1, 2]); // (3,3) is dominated by (2,2)
+/// ```
+pub fn pareto_min_indices<T>(items: &[T], objective: impl Fn(&T) -> (f32, f32)) -> Vec<usize> {
+    let points: Vec<(f32, f32)> = items.iter().map(&objective).collect();
+    let mut front: Vec<usize> = (0..items.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, &(xj, yj))| {
+                let (xi, yi) = points[i];
+                j != i && xj <= xi && yj <= yi && (xj < xi || yj < yi)
+            })
+        })
+        .collect();
+    front.sort_by(|&a, &b| {
+        points[a].0.partial_cmp(&points[b].0).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front
+}
+
+/// Indices of Pareto-optimal items when **maximising** the first objective
+/// (e.g. accuracy) and **minimising** the second (e.g. unfairness).
+///
+/// # Example
+///
+/// ```
+/// // (accuracy, unfairness); sorted by descending accuracy on return.
+/// let points = [(0.80, 0.5), (0.82, 0.6), (0.78, 0.4), (0.79, 0.7)];
+/// let front = muffin::pareto_max_min_indices(&points, |&p| p);
+/// assert_eq!(front, vec![1, 0, 2]); // (0.79, 0.7) is dominated
+/// ```
+pub fn pareto_max_min_indices<T>(items: &[T], objective: impl Fn(&T) -> (f32, f32)) -> Vec<usize> {
+    pareto_min_indices(items, |item| {
+        let (maximise, minimise) = objective(item);
+        (-maximise, minimise)
+    })
+}
+
+/// Whether point `a` dominates point `b` under minimisation of both
+/// coordinates.
+pub fn dominates_min(a: (f32, f32), b: (f32, f32)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_min_indices(&[(1.0, 1.0)], |&p| p), vec![0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        let empty: [(f32, f32); 0] = [];
+        assert!(pareto_min_indices(&empty, |&p| p).is_empty());
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (0.5, 2.0)];
+        assert_eq!(pareto_min_indices(&pts, |&p| p), vec![0]);
+    }
+
+    #[test]
+    fn anti_chain_is_fully_kept() {
+        let pts = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)];
+        assert_eq!(pareto_min_indices(&pts, |&p| p), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_points_both_survive() {
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_min_indices(&pts, |&p| p).len(), 2);
+    }
+
+    #[test]
+    fn max_min_prefers_high_accuracy_low_unfairness() {
+        let pts = [(0.9, 0.2), (0.8, 0.1), (0.7, 0.3)];
+        let front = pareto_max_min_indices(&pts, |&p| p);
+        assert!(front.contains(&0));
+        assert!(front.contains(&1));
+        assert!(!front.contains(&2));
+    }
+
+    #[test]
+    fn dominance_predicate() {
+        assert!(dominates_min((0.0, 0.0), (1.0, 0.0)));
+        assert!(!dominates_min((0.0, 0.0), (0.0, 0.0)));
+        assert!(!dominates_min((0.0, 1.0), (1.0, 0.0)));
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_first_objective() {
+        let pts = [(3.0, 0.0), (0.0, 3.0), (1.5, 1.5)];
+        let front = pareto_min_indices(&pts, |&p| p);
+        assert_eq!(front, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table used by the benchmark harness to print
+/// the paper's tables and figure series.
+///
+/// # Example
+///
+/// ```
+/// use muffin::TextTable;
+///
+/// let mut table = TextTable::new(&["model", "acc"]);
+/// table.row(&["ResNet-18", "78.3%"]);
+/// let text = table.to_string();
+/// assert!(text.contains("ResNet-18"));
+/// assert!(text.contains("model"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut row = cells;
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(&self.header) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `78.32%`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(muffin::fmt_percent(0.78324), "78.32%");
+/// ```
+pub fn fmt_percent(fraction: f32) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats an improvement between two unfairness scores as the paper does:
+/// the relative reduction `(before − after) / before`, signed.
+///
+/// Returns `"—"` when `before` is not positive.
+///
+/// # Example
+///
+/// ```
+/// // 0.38 → 0.28 is a 26.32% improvement (the paper's MobileNet age gain).
+/// assert_eq!(muffin::fmt_improvement(0.38, 0.28), "+26.32%");
+/// assert_eq!(muffin::fmt_improvement(0.30, 0.33), "-10.00%");
+/// ```
+pub fn fmt_improvement(before: f32, after: f32) -> String {
+    if before <= 0.0 {
+        return "—".to_string();
+    }
+    let rel = (before - after) / before;
+    format!("{}{:.2}%", if rel >= 0.0 { "+" } else { "-" }, rel.abs() * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share column offsets.
+        let col2_header = lines[0].find("long-header").unwrap();
+        let col2_row = lines[2].find('x').unwrap();
+        assert_eq!(col2_header, col2_row);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains('1'));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(fmt_percent(1.0), "100.00%");
+        assert_eq!(fmt_percent(0.0), "0.00%");
+    }
+
+    #[test]
+    fn improvement_formatting_matches_paper_quotes() {
+        // ShuffleNet site: 0.45 → 0.44 ≈ +2.22%.
+        assert_eq!(fmt_improvement(0.45, 0.44), "+2.22%");
+        // Paper: 19.44% age improvement for 0.36 → 0.29.
+        assert_eq!(fmt_improvement(0.36, 0.29), "+19.44%");
+    }
+
+    #[test]
+    fn improvement_handles_degenerate_before() {
+        assert_eq!(fmt_improvement(0.0, 0.1), "—");
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = TextTable::new(&["x"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('x'));
+    }
+}

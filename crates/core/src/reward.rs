@@ -1,0 +1,117 @@
+use muffin_models::ModelEvaluation;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multi-fairness reward (paper Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Floor applied to each unfairness score before dividing, so a
+    /// perfectly fair attribute doesn't produce an infinite reward.
+    pub epsilon: f32,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.05 }
+    }
+}
+
+/// The paper's multi-fairness reward:
+///
+/// ```text
+/// Reward = Σ_{k=1..K} A(f', D) / U(f', D)_{a_k}
+/// ```
+///
+/// A larger reward means higher accuracy and lower unfairness on average
+/// over the `K` targeted unfair attributes.
+///
+/// # Example
+///
+/// ```
+/// use muffin::{multi_fairness_reward, RewardConfig};
+/// use muffin_models::ModelEvaluation;
+/// use muffin_data::{AttributeSchema, Dataset, SensitiveAttribute};
+/// use muffin_tensor::Matrix;
+///
+/// let ds = Dataset::new(
+///     Matrix::zeros(4, 1),
+///     vec![0, 0, 1, 1],
+///     2,
+///     AttributeSchema::new(vec![SensitiveAttribute::new("a", &["g0", "g1"])]),
+///     vec![vec![0, 0, 1, 1]],
+/// );
+/// let eval = ModelEvaluation::of(&[0, 0, 1, 1], &ds, "perfect".into());
+/// let r = multi_fairness_reward(&eval, &["a"], RewardConfig::default());
+/// // accuracy 1.0, unfairness floored at epsilon=0.05 → reward 20.
+/// assert!((r - 20.0).abs() < 1e-4);
+/// ```
+pub fn multi_fairness_reward(
+    evaluation: &ModelEvaluation,
+    target_attributes: &[&str],
+    config: RewardConfig,
+) -> f32 {
+    target_attributes
+        .iter()
+        .filter_map(|name| evaluation.attribute(name))
+        .map(|attr| evaluation.accuracy / attr.unfairness.max(config.epsilon))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_data::{AttributeSchema, Dataset, SensitiveAttribute};
+    use muffin_tensor::Matrix;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            Matrix::zeros(8, 1),
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+            2,
+            AttributeSchema::new(vec![
+                SensitiveAttribute::new("a", &["g0", "g1"]),
+                SensitiveAttribute::new("b", &["g0", "g1"]),
+            ]),
+            vec![vec![0, 0, 1, 1, 0, 0, 1, 1], vec![0, 1, 0, 1, 0, 1, 0, 1]],
+        )
+    }
+
+    #[test]
+    fn fairer_model_earns_higher_reward() {
+        let ds = dataset();
+        // Both models are 6/8 accurate. The unfair one concentrates its two
+        // errors in attribute-a group 1 (U_a = 0.5); the fair one spreads
+        // them so every group of every attribute is 3/4 accurate (U = 0).
+        let unfair = ModelEvaluation::of(&[0, 0, 1, 1, 1, 1, 1, 1], &ds, "unfair".into());
+        let fair = ModelEvaluation::of(&[0, 1, 0, 0, 1, 1, 0, 1], &ds, "fair".into());
+        assert!((unfair.accuracy - fair.accuracy).abs() < 1e-6);
+        let cfg = RewardConfig::default();
+        let r_unfair = multi_fairness_reward(&unfair, &["a", "b"], cfg);
+        let r_fair = multi_fairness_reward(&fair, &["a", "b"], cfg);
+        assert!(r_fair > r_unfair, "fair {r_fair} vs unfair {r_unfair}");
+    }
+
+    #[test]
+    fn reward_sums_over_attributes() {
+        let ds = dataset();
+        let eval = ModelEvaluation::of(&[0, 0, 0, 0, 1, 1, 1, 1], &ds, "perfect".into());
+        let cfg = RewardConfig { epsilon: 0.1 };
+        let one = multi_fairness_reward(&eval, &["a"], cfg);
+        let two = multi_fairness_reward(&eval, &["a", "b"], cfg);
+        assert!((two - 2.0 * one).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unknown_attributes_contribute_nothing() {
+        let ds = dataset();
+        let eval = ModelEvaluation::of(&[0; 8], &ds, "m".into());
+        assert_eq!(multi_fairness_reward(&eval, &["zzz"], RewardConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn epsilon_floors_division() {
+        let ds = dataset();
+        let eval = ModelEvaluation::of(&[0, 0, 0, 0, 1, 1, 1, 1], &ds, "perfect".into());
+        let r = multi_fairness_reward(&eval, &["a"], RewardConfig { epsilon: 0.5 });
+        assert!((r - 2.0).abs() < 1e-5); // 1.0 accuracy / 0.5 floor
+    }
+}

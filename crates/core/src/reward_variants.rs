@@ -1,0 +1,117 @@
+//! Alternative multi-objective reward formulations.
+//!
+//! The paper's Eq. 3 divides accuracy by each unfairness score. That choice
+//! has consequences — it steepens the fairness gradient as `U` shrinks and
+//! couples the accuracy and fairness scales — so `DESIGN.md` calls out a
+//! reward-shape ablation. [`RewardKind`] provides the paper's reward plus
+//! two standard alternatives used by the ablation benches.
+
+use crate::RewardConfig;
+use muffin_models::ModelEvaluation;
+use serde::{Deserialize, Serialize};
+
+/// The shape of the multi-objective reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// The paper's Eq. 3: `Σ_k accuracy / max(U_k, ε)`.
+    PaperRatio,
+    /// Linear scalarisation: `accuracy − λ · Σ_k U_k`.
+    LinearPenalty {
+        /// Weight of the total unfairness penalty.
+        lambda: f32,
+    },
+    /// Worst-attribute focus: `accuracy / max(max_k U_k, ε)` — optimises
+    /// the most unfair attribute first.
+    WorstAttribute,
+}
+
+impl RewardKind {
+    /// Evaluates the reward for `evaluation` over the listed attributes.
+    ///
+    /// Attributes missing from the evaluation contribute nothing (paper
+    /// ratio and linear penalty) or are skipped (worst attribute).
+    pub fn evaluate(
+        self,
+        evaluation: &ModelEvaluation,
+        target_attributes: &[&str],
+        config: RewardConfig,
+    ) -> f32 {
+        let scores: Vec<f32> = target_attributes
+            .iter()
+            .filter_map(|name| evaluation.attribute(name))
+            .map(|a| a.unfairness)
+            .collect();
+        match self {
+            RewardKind::PaperRatio => scores
+                .iter()
+                .map(|&u| evaluation.accuracy / u.max(config.epsilon))
+                .sum(),
+            RewardKind::LinearPenalty { lambda } => {
+                evaluation.accuracy - lambda * scores.iter().sum::<f32>()
+            }
+            RewardKind::WorstAttribute => {
+                let worst = scores.iter().copied().fold(0.0f32, f32::max);
+                evaluation.accuracy / worst.max(config.epsilon)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_data::{AttributeSchema, Dataset, SensitiveAttribute};
+    use muffin_tensor::Matrix;
+
+    fn eval(preds: &[usize]) -> ModelEvaluation {
+        let ds = Dataset::new(
+            Matrix::zeros(8, 1),
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+            2,
+            AttributeSchema::new(vec![
+                SensitiveAttribute::new("a", &["g0", "g1"]),
+                SensitiveAttribute::new("b", &["g0", "g1"]),
+            ]),
+            vec![vec![0, 0, 1, 1, 0, 0, 1, 1], vec![0, 1, 0, 1, 0, 1, 0, 1]],
+        );
+        ModelEvaluation::of(preds, &ds, "m".into())
+    }
+
+    #[test]
+    fn paper_ratio_matches_multi_fairness_reward() {
+        let e = eval(&[0, 0, 1, 1, 1, 1, 1, 1]);
+        let cfg = RewardConfig::default();
+        let via_kind = RewardKind::PaperRatio.evaluate(&e, &["a", "b"], cfg);
+        let direct = crate::multi_fairness_reward(&e, &["a", "b"], cfg);
+        assert!((via_kind - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_penalty_decreases_with_unfairness() {
+        let fair = eval(&[0, 1, 0, 0, 1, 1, 0, 1]); // errors spread evenly
+        let unfair = eval(&[0, 0, 1, 1, 1, 1, 1, 1]); // errors in a-group 1
+        let kind = RewardKind::LinearPenalty { lambda: 0.5 };
+        let cfg = RewardConfig::default();
+        assert!(
+            kind.evaluate(&fair, &["a", "b"], cfg) > kind.evaluate(&unfair, &["a", "b"], cfg)
+        );
+    }
+
+    #[test]
+    fn worst_attribute_focuses_on_the_max() {
+        let e = eval(&[0, 0, 1, 1, 1, 1, 1, 1]); // U_a = 0.5, U_b = 0
+        let cfg = RewardConfig { epsilon: 0.05 };
+        let r = RewardKind::WorstAttribute.evaluate(&e, &["a", "b"], cfg);
+        // accuracy 0.75 / worst U 0.5.
+        assert!((r - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_attributes_do_not_contribute() {
+        let e = eval(&[0; 8]);
+        let cfg = RewardConfig::default();
+        assert_eq!(RewardKind::PaperRatio.evaluate(&e, &["zzz"], cfg), 0.0);
+        let lp = RewardKind::LinearPenalty { lambda: 1.0 }.evaluate(&e, &["zzz"], cfg);
+        assert!((lp - e.accuracy).abs() < 1e-6);
+    }
+}

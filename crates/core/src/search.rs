@@ -1,0 +1,622 @@
+use crate::{
+    Candidate, ControllerConfig, FusingStructure, HeadTrainConfig, MuffinError, PrivilegeMap,
+    ProxyDataset, RewardConfig, RewardKind, RnnController, SearchSpace,
+};
+use muffin_data::{Dataset, DatasetSplit};
+use muffin_models::ModelPool;
+use muffin_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a full Muffin search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Reinforcement-learning episodes (the paper uses 500).
+    pub episodes: u32,
+    /// Number of body slots the controller fills (paper default: 2).
+    pub num_slots: usize,
+    /// Names of the unfair attributes being optimised (e.g. age and site).
+    pub target_attributes: Vec<String>,
+    /// Muffin-head training configuration.
+    pub head: HeadTrainConfig,
+    /// Reward configuration (Eq. 3).
+    pub reward: RewardConfig,
+    /// Reward shape (the paper's Eq. 3 ratio by default; alternatives for
+    /// the reward ablation).
+    pub reward_kind: RewardKind,
+    /// Controller hyper-parameters (Eq. 4).
+    pub controller: ControllerConfig,
+    /// Margin used when inferring unprivileged groups from the pool.
+    pub privilege_margin: f32,
+    /// Pool models forced into every candidate's body (Table I fixes the
+    /// base model and searches only for its partner).
+    pub required_models: Vec<usize>,
+    /// REINFORCE batch size `m` of Eq. 4: the controller accumulates this
+    /// many episodes before each policy update.
+    pub reinforce_batch: usize,
+}
+
+impl SearchConfig {
+    /// The paper's configuration for the given unfair attributes:
+    /// 500 episodes, two body slots.
+    pub fn paper(target_attributes: &[&str]) -> Self {
+        Self {
+            episodes: 500,
+            num_slots: 2,
+            target_attributes: target_attributes.iter().map(|s| s.to_string()).collect(),
+            head: HeadTrainConfig::default(),
+            reward: RewardConfig::default(),
+            reward_kind: RewardKind::PaperRatio,
+            controller: ControllerConfig::default(),
+            privilege_margin: 0.02,
+            required_models: Vec::new(),
+            reinforce_batch: 1,
+        }
+    }
+
+    /// A fast configuration for tests and examples (few episodes).
+    pub fn fast(target_attributes: &[&str]) -> Self {
+        Self {
+            episodes: 30,
+            head: HeadTrainConfig::fast(),
+            ..Self::paper(target_attributes)
+        }
+    }
+
+    /// Overrides the episode budget.
+    pub fn with_episodes(mut self, episodes: u32) -> Self {
+        self.episodes = episodes;
+        self
+    }
+
+    /// Overrides the number of body slots.
+    pub fn with_slots(mut self, num_slots: usize) -> Self {
+        self.num_slots = num_slots;
+        self
+    }
+
+    /// Forces pool models into every candidate's body.
+    pub fn with_required_models(mut self, required: Vec<usize>) -> Self {
+        self.required_models = required;
+        self
+    }
+
+    /// Overrides the reward shape (ablation).
+    pub fn with_reward_kind(mut self, kind: RewardKind) -> Self {
+        self.reward_kind = kind;
+        self
+    }
+
+    /// Overrides the Eq. 4 REINFORCE batch size `m`.
+    pub fn with_reinforce_batch(mut self, m: usize) -> Self {
+        self.reinforce_batch = m;
+        self
+    }
+}
+
+/// Metrics of one evaluated candidate during the search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Episode number (0-based). Re-evaluations of a cached candidate keep
+    /// the episode index of their first evaluation in `first_seen`.
+    pub episode: u32,
+    /// The controller's raw action vector.
+    pub actions: Vec<usize>,
+    /// Names of the selected body models.
+    pub model_names: Vec<String>,
+    /// Head description, e.g. `[16,18,12,8] relu`.
+    pub head_desc: String,
+    /// Validation accuracy of the fused model.
+    pub accuracy: f32,
+    /// Validation unfairness per target attribute, in config order.
+    pub unfairness: Vec<f32>,
+    /// Eq. 3 reward.
+    pub reward: f32,
+    /// Trainable parameters in the head.
+    pub head_params: usize,
+    /// Total parameters including frozen bodies (reported CNN sizes).
+    pub total_params: u64,
+    /// Seed used for head initialisation/training, for exact rebuilds.
+    pub head_seed: u64,
+    /// Episode at which this candidate was first evaluated.
+    pub first_seen: u32,
+}
+
+/// Result of a completed search: full history plus the best structures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// One record per episode (cached candidates repeat their metrics).
+    pub history: Vec<EpisodeRecord>,
+    /// Index into `history` of the highest-reward candidate.
+    pub best_by_reward: usize,
+    /// The names of the targeted attributes, in reward order.
+    pub target_attributes: Vec<String>,
+}
+
+impl SearchOutcome {
+    /// Distinct evaluated candidates (first occurrence of each action
+    /// vector).
+    pub fn distinct(&self) -> Vec<&EpisodeRecord> {
+        let mut seen = std::collections::HashSet::new();
+        self.history.iter().filter(|r| seen.insert(r.actions.clone())).collect()
+    }
+
+    /// The best record overall by reward.
+    pub fn best(&self) -> &EpisodeRecord {
+        &self.history[self.best_by_reward]
+    }
+
+    /// The distinct record with the lowest unfairness on `attr_index`
+    /// (ties broken by reward) — the paper's Muffin-Age / Muffin-Site /
+    /// Muffin-Balance selections.
+    pub fn best_for_attribute(&self, attr_index: usize) -> Option<&EpisodeRecord> {
+        self.distinct()
+            .into_iter()
+            .filter(|r| attr_index < r.unfairness.len())
+            .min_by(|a, b| {
+                (a.unfairness[attr_index], -a.reward)
+                    .partial_cmp(&(b.unfairness[attr_index], -b.reward))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The distinct record with the lowest **summed** unfairness over all
+    /// targets (Muffin-Balance in the Fitzpatrick experiment).
+    pub fn best_balanced(&self) -> Option<&EpisodeRecord> {
+        self.distinct().into_iter().min_by(|a, b| {
+            let ua: f32 = a.unfairness.iter().sum();
+            let ub: f32 = b.unfairness.iter().sum();
+            (ua, -a.reward).partial_cmp(&(ub, -b.reward)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Like [`SearchOutcome::best_for_attribute`] but restricted to
+    /// candidates that genuinely **unite** at least two models — the
+    /// paper's Muffin-Age / Muffin-Site always pair models; degenerate
+    /// single-model bodies (duplicate slot picks) are excluded.
+    pub fn best_united_for_attribute(&self, attr_index: usize) -> Option<&EpisodeRecord> {
+        self.distinct()
+            .into_iter()
+            .filter(|r| r.model_names.len() >= 2 && attr_index < r.unfairness.len())
+            .min_by(|a, b| {
+                (a.unfairness[attr_index], -a.reward)
+                    .partial_cmp(&(b.unfairness[attr_index], -b.reward))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Like [`SearchOutcome::best_balanced`] but restricted to candidates
+    /// uniting at least two models.
+    pub fn best_united_balanced(&self) -> Option<&EpisodeRecord> {
+        self.distinct().into_iter().filter(|r| r.model_names.len() >= 2).min_by(|a, b| {
+            let ua: f32 = a.unfairness.iter().sum();
+            let ub: f32 = b.unfairness.iter().sum();
+            (ua, -a.reward).partial_cmp(&(ub, -b.reward)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Serialises the outcome to a JSON file so search histories can be
+    /// archived or plotted externally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if serialisation or the write fails.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())
+    }
+
+    /// Loads an outcome previously written by [`SearchOutcome::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the file cannot be read or parsed.
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        serde_json::from_str(&text).map_err(|e| e.to_string())
+    }
+}
+
+/// The Muffin automated tool: iterates components ①–④ of the paper's
+/// framework — sample a model-fusing structure, train its head on the
+/// fairness proxy dataset, compute the multi-fairness reward, and update
+/// the RNN controller.
+///
+/// # Example
+///
+/// ```no_run
+/// use muffin::{MuffinSearch, SearchConfig};
+/// use muffin_data::IsicLike;
+/// use muffin_models::{Architecture, BackboneConfig, ModelPool};
+/// use muffin_tensor::Rng64;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = Rng64::seed(7);
+/// let split = IsicLike::new().generate(&mut rng).split_default(&mut rng);
+/// let pool = ModelPool::train(
+///     &split.train,
+///     &[Architecture::resnet18(), Architecture::densenet121()],
+///     &BackboneConfig::default(),
+///     &mut rng,
+/// );
+/// let search = MuffinSearch::new(pool, split, SearchConfig::paper(&["age", "site"]))?;
+/// let outcome = search.run(&mut rng)?;
+/// println!("best reward {:.2}", outcome.best().reward);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MuffinSearch {
+    pool: ModelPool,
+    split: DatasetSplit,
+    config: SearchConfig,
+    privilege: PrivilegeMap,
+    proxy: ProxyDataset,
+}
+
+impl MuffinSearch {
+    /// Prepares a search: infers the privilege map from the pool on the
+    /// validation split and builds the Algorithm-1 proxy dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pool is empty, an attribute name is
+    /// unknown, or no unprivileged samples exist.
+    pub fn new(
+        pool: ModelPool,
+        split: DatasetSplit,
+        config: SearchConfig,
+    ) -> Result<Self, MuffinError> {
+        if pool.is_empty() {
+            return Err(MuffinError::EmptyPool);
+        }
+        if config.episodes == 0 {
+            return Err(MuffinError::InvalidConfig("episodes must be positive".into()));
+        }
+        if config.reinforce_batch == 0 {
+            return Err(MuffinError::InvalidConfig("reinforce_batch must be positive".into()));
+        }
+        if let Some(&bad) = config.required_models.iter().find(|&&i| i >= pool.len()) {
+            return Err(MuffinError::InvalidConfig(format!(
+                "required model {bad} out of range for pool of {}",
+                pool.len()
+            )));
+        }
+        let attrs: Result<Vec<_>, _> = config
+            .target_attributes
+            .iter()
+            .map(|name| {
+                split
+                    .train
+                    .schema()
+                    .by_name(name)
+                    .ok_or_else(|| MuffinError::UnknownAttribute(name.clone()))
+            })
+            .collect();
+        let attrs = attrs?;
+        let privilege = PrivilegeMap::infer(&pool, &split.val, &attrs, config.privilege_margin);
+        let proxy = ProxyDataset::build(&split.train, &privilege)?;
+        Ok(Self { pool, split, config, privilege, proxy })
+    }
+
+    /// Prepares a search with an explicitly provided privilege map
+    /// (skipping inference).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MuffinSearch::new`].
+    pub fn with_privilege(
+        pool: ModelPool,
+        split: DatasetSplit,
+        config: SearchConfig,
+        privilege: PrivilegeMap,
+    ) -> Result<Self, MuffinError> {
+        if pool.is_empty() {
+            return Err(MuffinError::EmptyPool);
+        }
+        let proxy = ProxyDataset::build(&split.train, &privilege)?;
+        Ok(Self { pool, split, config, privilege, proxy })
+    }
+
+    /// The model pool being searched over.
+    pub fn pool(&self) -> &ModelPool {
+        &self.pool
+    }
+
+    /// The train/val/test split driving the search.
+    pub fn split(&self) -> &DatasetSplit {
+        &self.split
+    }
+
+    /// The inferred (or supplied) privilege map.
+    pub fn privilege(&self) -> &PrivilegeMap {
+        &self.privilege
+    }
+
+    /// The Algorithm-1 proxy dataset.
+    pub fn proxy(&self) -> &ProxyDataset {
+        &self.proxy
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Trains and evaluates one candidate on a dataset, returning the
+    /// trained structure and its evaluation. Deterministic in `head_seed`.
+    pub fn evaluate_candidate(
+        &self,
+        candidate: &Candidate,
+        eval_on: &Dataset,
+        head_seed: u64,
+    ) -> Result<(FusingStructure, muffin_models::ModelEvaluation), MuffinError> {
+        let mut head_rng = Rng64::seed(head_seed);
+        let mut fusing = FusingStructure::new(
+            candidate.model_indices.clone(),
+            candidate.head.clone(),
+            &self.pool,
+            &mut head_rng,
+        )?;
+        fusing.train_head(&self.pool, &self.split.train, &self.proxy, &self.config.head, &mut head_rng);
+        let eval = fusing.evaluate(&self.pool, eval_on);
+        Ok((fusing, eval))
+    }
+
+    /// Rebuilds the trained structure of a history record exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates candidate-construction errors.
+    pub fn rebuild(&self, record: &EpisodeRecord) -> Result<FusingStructure, MuffinError> {
+        let space = self.space();
+        let candidate = space.decode(&record.actions)?;
+        let (fusing, _) = self.evaluate_candidate(&candidate, &self.split.val, record.head_seed)?;
+        Ok(fusing)
+    }
+
+    /// The controller search space for this pool and configuration.
+    pub fn space(&self) -> SearchSpace {
+        SearchSpace::paper_default(self.pool.len())
+            .with_slots(self.config.num_slots)
+            .expect("validated num_slots")
+            .with_required_models(self.config.required_models.clone())
+            .expect("validated required models")
+    }
+
+    /// Runs the reinforcement-learning loop and returns the history.
+    ///
+    /// Candidates are trained once and cached by action vector; repeated
+    /// samples reuse the cached metrics (the controller still receives the
+    /// reward each time, as in the paper's episode loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates candidate-construction errors (which indicate a bug, not
+    /// a user error, since sampled actions are always in range).
+    pub fn run(&self, rng: &mut Rng64) -> Result<SearchOutcome, MuffinError> {
+        let space = self.space();
+        let mut controller = RnnController::new(space.clone(), self.config.controller, rng);
+        let target_names: Vec<&str> =
+            self.config.target_attributes.iter().map(String::as_str).collect();
+
+        let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
+        let mut history = Vec::with_capacity(self.config.episodes as usize);
+        let mut best_idx = 0usize;
+        let mut best_reward = f32::MIN;
+        let mut pending: Vec<(crate::SampledEpisode, f32)> = Vec::new();
+
+        for episode in 0..self.config.episodes {
+            let sampled = controller.sample(rng);
+            let record = if let Some(cached) = cache.get(&sampled.actions) {
+                let mut r = cached.clone();
+                r.episode = episode;
+                r
+            } else {
+                let candidate = space.decode(&sampled.actions)?;
+                let head_seed = rng.uniform(0.0, 1.0).to_bits() as u64 ^ (episode as u64) << 32;
+                let (fusing, eval) =
+                    self.evaluate_candidate(&candidate, &self.split.val, head_seed)?;
+                let reward =
+                    self.config.reward_kind.evaluate(&eval, &target_names, self.config.reward);
+                let unfairness = target_names
+                    .iter()
+                    .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
+                    .collect();
+                let record = EpisodeRecord {
+                    episode,
+                    actions: sampled.actions.clone(),
+                    model_names: candidate
+                        .model_indices
+                        .iter()
+                        .filter_map(|&i| self.pool.get(i))
+                        .map(|m| m.name().to_string())
+                        .collect(),
+                    head_desc: candidate.head.to_string(),
+                    accuracy: eval.accuracy,
+                    unfairness,
+                    reward,
+                    head_params: fusing.head_param_count(),
+                    total_params: fusing.total_reported_params(&self.pool),
+                    head_seed,
+                    first_seen: episode,
+                };
+                cache.insert(sampled.actions.clone(), record.clone());
+                record
+            };
+
+            pending.push((sampled, record.reward));
+            if pending.len() >= self.config.reinforce_batch {
+                controller.update_batch(&pending);
+                pending.clear();
+            }
+            if record.reward > best_reward {
+                best_reward = record.reward;
+                best_idx = history.len();
+            }
+            history.push(record);
+        }
+        if !pending.is_empty() {
+            controller.update_batch(&pending);
+        }
+
+        Ok(SearchOutcome {
+            history,
+            best_by_reward: best_idx,
+            target_attributes: self.config.target_attributes.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_data::IsicLike;
+    use muffin_models::{Architecture, BackboneConfig};
+
+    fn setup(episodes: u32) -> (MuffinSearch, Rng64) {
+        let mut rng = Rng64::seed(77);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[
+                Architecture::resnet18(),
+                Architecture::densenet121(),
+                Architecture::shufflenet_v2_x1_0(),
+            ],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let config = SearchConfig::fast(&["age", "site"]).with_episodes(episodes);
+        let search = MuffinSearch::new(pool, split, config).expect("valid search");
+        (search, rng)
+    }
+
+    #[test]
+    fn construction_builds_proxy_and_privilege() {
+        let (search, _) = setup(5);
+        assert!(!search.proxy().is_empty());
+        assert_eq!(search.privilege().len(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let mut rng = Rng64::seed(1);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let err =
+            MuffinSearch::new(pool, split, SearchConfig::fast(&["nope"])).unwrap_err();
+        assert_eq!(err, MuffinError::UnknownAttribute("nope".into()));
+    }
+
+    #[test]
+    fn zero_episodes_is_invalid() {
+        let mut rng = Rng64::seed(2);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        let err = MuffinSearch::new(pool, split, SearchConfig::fast(&["age"]).with_episodes(0))
+            .unwrap_err();
+        assert!(matches!(err, MuffinError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn run_produces_one_record_per_episode() {
+        let (search, mut rng) = setup(6);
+        let outcome = search.run(&mut rng).expect("search runs");
+        assert_eq!(outcome.history.len(), 6);
+        assert_eq!(outcome.target_attributes, vec!["age", "site"]);
+        for r in &outcome.history {
+            assert_eq!(r.unfairness.len(), 2);
+            assert!(r.reward.is_finite());
+            assert!(r.accuracy > 0.0);
+            assert!(r.total_params > 1_000_000);
+        }
+    }
+
+    #[test]
+    fn best_record_has_max_reward() {
+        let (search, mut rng) = setup(8);
+        let outcome = search.run(&mut rng).expect("search runs");
+        let max = outcome.history.iter().map(|r| r.reward).fold(f32::MIN, f32::max);
+        assert_eq!(outcome.best().reward, max);
+    }
+
+    #[test]
+    fn cached_candidates_reuse_metrics() {
+        let (search, mut rng) = setup(12);
+        let outcome = search.run(&mut rng).expect("search runs");
+        let distinct = outcome.distinct();
+        // With a tiny space and 12 episodes there are usually repeats; at
+        // minimum distinct <= total.
+        assert!(distinct.len() <= outcome.history.len());
+        // Records with equal actions must carry equal rewards.
+        for r in &outcome.history {
+            let first = outcome
+                .history
+                .iter()
+                .find(|o| o.actions == r.actions)
+                .expect("exists");
+            assert_eq!(first.reward, r.reward);
+            assert_eq!(first.head_seed, r.head_seed);
+        }
+    }
+
+    #[test]
+    fn rebuild_reproduces_recorded_metrics() {
+        let (search, mut rng) = setup(4);
+        let outcome = search.run(&mut rng).expect("search runs");
+        let record = outcome.best();
+        let fusing = search.rebuild(record).expect("rebuild");
+        let eval = fusing.evaluate(search.pool(), &search.split().val);
+        assert!((eval.accuracy - record.accuracy).abs() < 1e-6, "rebuild must be exact");
+    }
+
+    #[test]
+    fn outcome_json_round_trips() {
+        let (search, mut rng) = setup(4);
+        let outcome = search.run(&mut rng).expect("search runs");
+        let path = std::env::temp_dir().join("muffin_outcome_roundtrip.json");
+        outcome.save_json(&path).expect("save");
+        let loaded = SearchOutcome::load_json(&path).expect("load");
+        assert_eq!(loaded.history.len(), outcome.history.len());
+        assert_eq!(loaded.best().actions, outcome.best().actions);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn united_selectors_skip_single_model_bodies() {
+        let (search, mut rng) = setup(10);
+        let outcome = search.run(&mut rng).expect("search runs");
+        if let Some(r) = outcome.best_united_for_attribute(0) {
+            assert!(r.model_names.len() >= 2);
+        }
+        if let Some(r) = outcome.best_united_balanced() {
+            assert!(r.model_names.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn best_for_attribute_minimises_that_attribute() {
+        let (search, mut rng) = setup(8);
+        let outcome = search.run(&mut rng).expect("search runs");
+        let best_age = outcome.best_for_attribute(0).expect("non-empty");
+        for r in outcome.distinct() {
+            assert!(best_age.unfairness[0] <= r.unfairness[0] + 1e-6);
+        }
+        let balanced = outcome.best_balanced().expect("non-empty");
+        let sum: f32 = balanced.unfairness.iter().sum();
+        for r in outcome.distinct() {
+            assert!(sum <= r.unfairness.iter().sum::<f32>() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Public-API surface tests for the `muffin` crate: the types downstream
+//! users hold must satisfy the usual Rust API guidelines (Send + Sync,
+//! Debug, Clone where sensible) and the documented constructors must
+//! exist. Compile-time guarantees, checked once here.
+
+use muffin::{
+    Candidate, ControllerConfig, DisagreementBreakdown, EpisodeRecord, FusingStructure,
+    FusionComposition, HalvingConfig, HeadSpec, HeadTrainConfig, MuffinError, PrivilegeMap,
+    ProxyDataset, RewardConfig, RewardKind, RnnController, SearchConfig, SearchOutcome,
+    SearchSpace, TextTable, TrustReport,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_debug<T: std::fmt::Debug>() {}
+fn assert_clone<T: Clone>() {}
+
+#[test]
+fn public_types_are_send_sync() {
+    assert_send_sync::<MuffinError>();
+    assert_send_sync::<PrivilegeMap>();
+    assert_send_sync::<ProxyDataset>();
+    assert_send_sync::<FusingStructure>();
+    assert_send_sync::<HeadSpec>();
+    assert_send_sync::<HeadTrainConfig>();
+    assert_send_sync::<RewardConfig>();
+    assert_send_sync::<RewardKind>();
+    assert_send_sync::<SearchSpace>();
+    assert_send_sync::<Candidate>();
+    assert_send_sync::<ControllerConfig>();
+    assert_send_sync::<RnnController>();
+    assert_send_sync::<SearchConfig>();
+    assert_send_sync::<SearchOutcome>();
+    assert_send_sync::<EpisodeRecord>();
+    assert_send_sync::<HalvingConfig>();
+    assert_send_sync::<TrustReport>();
+    assert_send_sync::<DisagreementBreakdown>();
+    assert_send_sync::<FusionComposition>();
+}
+
+#[test]
+fn public_types_are_debuggable_and_cloneable() {
+    assert_debug::<MuffinError>();
+    assert_debug::<SearchOutcome>();
+    assert_debug::<FusingStructure>();
+    assert_debug::<TrustReport>();
+    assert_debug::<TextTable>();
+    assert_clone::<PrivilegeMap>();
+    assert_clone::<ProxyDataset>();
+    assert_clone::<FusingStructure>();
+    assert_clone::<SearchConfig>();
+    assert_clone::<SearchOutcome>();
+    assert_clone::<RnnController>();
+}
+
+#[test]
+fn errors_format_and_compose_with_boxed_error() {
+    // MuffinError must slot into `Box<dyn Error>` pipelines (C-GOOD-ERR).
+    fn fails() -> Result<(), Box<dyn std::error::Error>> {
+        Err(Box::new(MuffinError::EmptyPool))
+    }
+    let err = fails().unwrap_err();
+    assert!(err.to_string().contains("pool"));
+}
+
+#[test]
+fn default_configs_are_consistent() {
+    let reward = RewardConfig::default();
+    assert!(reward.epsilon > 0.0);
+    let controller = ControllerConfig::default();
+    assert!(controller.gamma > 0.0 && controller.gamma <= 1.0);
+    assert!((0.0..1.0).contains(&controller.baseline_decay));
+    let halving = HalvingConfig::default();
+    halving.validate().expect("default halving config must be valid");
+    let head = HeadTrainConfig::default();
+    assert!(head.epochs > 0 && head.batch_size > 0);
+    let paper = SearchConfig::paper(&["age"]);
+    assert_eq!(paper.episodes, 500, "the paper's episode count");
+    assert_eq!(paper.num_slots, 2, "the paper's paired-model count");
+}

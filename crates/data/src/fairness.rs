@@ -1,0 +1,293 @@
+//! The paper's fairness metric (Section 3.1).
+//!
+//! For a model `N`, attribute `a_k` splitting dataset `D` into groups
+//! `D_1 … D_G`, the **unfairness score** is the L1 deviation of group
+//! accuracies from the overall accuracy:
+//!
+//! ```text
+//! U(f'_N, D)_{a_k} = Σ_g |A(f'_N, D_g) − A(f'_N, D)|
+//! ```
+//!
+//! A lower score is fairer. These primitives live in the data crate so the
+//! baseline trainers in `muffin-models` can use them without depending on
+//! the core crate; `muffin` re-exports them and adds the multi-dimension
+//! aggregate of Eq. 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one group, with its sample count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupAccuracy {
+    /// Group index within the attribute.
+    pub group: u16,
+    /// Number of samples in the group.
+    pub count: usize,
+    /// Accuracy over the group's samples (`0.0` for empty groups).
+    pub accuracy: f32,
+}
+
+/// Per-group accuracies for one attribute.
+///
+/// Groups with no samples report zero accuracy and zero count.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+///
+/// # Example
+///
+/// ```
+/// let accs = muffin_data::group_accuracies(&[0, 1, 1], &[0, 1, 0], &[0, 0, 1], 2);
+/// assert_eq!(accs[0].count, 2);
+/// assert!((accs[0].accuracy - 1.0).abs() < 1e-6);
+/// assert!((accs[1].accuracy - 0.0).abs() < 1e-6);
+/// ```
+pub fn group_accuracies(
+    predictions: &[usize],
+    labels: &[usize],
+    groups: &[u16],
+    num_groups: usize,
+) -> Vec<GroupAccuracy> {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels mismatch");
+    assert_eq!(predictions.len(), groups.len(), "predictions/groups mismatch");
+    let mut counts = vec![0usize; num_groups];
+    let mut correct = vec![0usize; num_groups];
+    for ((&p, &l), &g) in predictions.iter().zip(labels).zip(groups) {
+        let g = g as usize;
+        assert!(g < num_groups, "group {g} out of range {num_groups}");
+        counts[g] += 1;
+        if p == l {
+            correct[g] += 1;
+        }
+    }
+    (0..num_groups)
+        .map(|g| GroupAccuracy {
+            group: g as u16,
+            count: counts[g],
+            accuracy: if counts[g] == 0 { 0.0 } else { correct[g] as f32 / counts[g] as f32 },
+        })
+        .collect()
+}
+
+/// The paper's unfairness score `U` for one attribute.
+///
+/// Empty groups are skipped (they carry no evidence about fairness).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or a group id is out of range.
+///
+/// # Example
+///
+/// ```
+/// // Perfectly even accuracy across groups → zero unfairness.
+/// let u = muffin_data::unfairness_score(&[0, 0], &[0, 1], &[0, 1], 2);
+/// assert!((u - 1.0).abs() < 1e-6); // |1−0.5| + |0−0.5| = 1
+/// ```
+pub fn unfairness_score(
+    predictions: &[usize],
+    labels: &[usize],
+    groups: &[u16],
+    num_groups: usize,
+) -> f32 {
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let overall = muffin_overall_accuracy(predictions, labels);
+    group_accuracies(predictions, labels, groups, num_groups)
+        .iter()
+        .filter(|g| g.count > 0)
+        .map(|g| (g.accuracy - overall).abs())
+        .sum()
+}
+
+/// Maximum minus minimum group accuracy (the paper quotes these gaps, e.g.
+/// 45.04% for site).
+///
+/// Empty groups are skipped; returns `0.0` if fewer than two groups have
+/// samples.
+pub fn group_accuracy_gap(
+    predictions: &[usize],
+    labels: &[usize],
+    groups: &[u16],
+    num_groups: usize,
+) -> f32 {
+    let accs = group_accuracies(predictions, labels, groups, num_groups);
+    let present: Vec<f32> =
+        accs.iter().filter(|g| g.count > 0).map(|g| g.accuracy).collect();
+    if present.len() < 2 {
+        return 0.0;
+    }
+    let max = present.iter().copied().fold(f32::MIN, f32::max);
+    let min = present.iter().copied().fold(f32::MAX, f32::min);
+    max - min
+}
+
+/// **Intersectional** unfairness: the paper's U computed over the *joint*
+/// groups of two attributes (`(a, b)` pairs). Eq. 1 sums per-attribute
+/// scores, which can miss subgroups that are unprivileged only in the
+/// intersection (e.g. elderly patients with oral lesions); this extension
+/// measures exactly that.
+///
+/// Empty joint groups are skipped.
+///
+/// # Panics
+///
+/// Panics if lengths disagree or group ids exceed their counts.
+///
+/// # Example
+///
+/// ```
+/// // Two binary attributes → four joint groups.
+/// let u = muffin_data::intersectional_unfairness(
+///     &[0, 0, 0, 1],
+///     &[0, 0, 0, 0],
+///     &[0, 0, 1, 1],
+///     2,
+///     &[0, 1, 0, 1],
+///     2,
+/// );
+/// assert!(u > 0.0);
+/// ```
+pub fn intersectional_unfairness(
+    predictions: &[usize],
+    labels: &[usize],
+    groups_a: &[u16],
+    num_groups_a: usize,
+    groups_b: &[u16],
+    num_groups_b: usize,
+) -> f32 {
+    assert_eq!(predictions.len(), groups_b.len(), "predictions/groups_b mismatch");
+    let joint: Vec<u16> = groups_a
+        .iter()
+        .zip(groups_b)
+        .map(|(&a, &b)| {
+            assert!((a as usize) < num_groups_a, "group_a {a} out of range");
+            assert!((b as usize) < num_groups_b, "group_b {b} out of range");
+            a * num_groups_b as u16 + b
+        })
+        .collect();
+    unfairness_score(predictions, labels, &joint, num_groups_a * num_groups_b)
+}
+
+fn muffin_overall_accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / predictions.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_accuracy_has_zero_unfairness() {
+        // Both groups 50% accurate, overall 50%.
+        let preds = [0, 1, 0, 1];
+        let labels = [0, 0, 0, 0];
+        let groups = [0u16, 0, 1, 1];
+        let u = unfairness_score(&preds, &labels, &groups, 2);
+        assert!(u.abs() < 1e-6);
+    }
+
+    #[test]
+    fn skewed_accuracy_has_positive_unfairness() {
+        // Group 0 perfect, group 1 all wrong → overall 0.5, U = 1.0.
+        let preds = [0, 0, 1, 1];
+        let labels = [0, 0, 0, 0];
+        let groups = [0u16, 0, 1, 1];
+        let u = unfairness_score(&preds, &labels, &groups, 2);
+        assert!((u - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unfairness_grows_with_number_of_deviant_groups() {
+        // Three groups: two perfect, one all wrong.
+        let preds = [0, 0, 1];
+        let labels = [0, 0, 0];
+        let groups = [0u16, 1, 2];
+        let u3 = unfairness_score(&preds, &labels, &groups, 3);
+        // overall = 2/3; deviations = 1/3 + 1/3 + 2/3 = 4/3.
+        assert!((u3 - 4.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_groups_are_ignored() {
+        let preds = [0, 0];
+        let labels = [0, 0];
+        let groups = [0u16, 0];
+        // Group 1 exists in the schema but has no samples.
+        let u = unfairness_score(&preds, &labels, &groups, 2);
+        assert!(u.abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_has_zero_unfairness() {
+        assert_eq!(unfairness_score(&[], &[], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn gap_is_max_minus_min() {
+        let preds = [0, 1, 0, 0];
+        let labels = [0, 0, 0, 0];
+        let groups = [0u16, 0, 1, 1];
+        // group0 50%, group1 100%.
+        let gap = group_accuracy_gap(&preds, &labels, &groups, 2);
+        assert!((gap - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gap_of_single_group_is_zero() {
+        let gap = group_accuracy_gap(&[0], &[0], &[0], 2);
+        assert_eq!(gap, 0.0);
+    }
+
+    #[test]
+    fn group_accuracies_report_counts() {
+        let accs = group_accuracies(&[0, 0, 1], &[0, 1, 1], &[0, 1, 1], 2);
+        assert_eq!(accs[0].count, 1);
+        assert_eq!(accs[1].count, 2);
+        assert!((accs[1].accuracy - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_out_of_range_panics() {
+        group_accuracies(&[0], &[0], &[5], 2);
+    }
+
+    #[test]
+    fn intersectional_zero_when_joint_groups_are_even() {
+        // Four joint groups, each with one sample, all correct.
+        let u = intersectional_unfairness(
+            &[0, 0, 0, 0],
+            &[0, 0, 0, 0],
+            &[0, 0, 1, 1],
+            2,
+            &[0, 1, 0, 1],
+            2,
+        );
+        assert!(u.abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersectional_detects_hidden_joint_disadvantage() {
+        // Per-attribute accuracies are even (each marginal group is 50%
+        // accurate), but the (1,1) intersection is always wrong.
+        let preds = [0, 1, 1, 0];
+        let labels = [0, 0, 0, 0];
+        let groups_a = [0u16, 0, 1, 1];
+        let groups_b = [0u16, 1, 0, 1];
+        let u_a = unfairness_score(&preds, &labels, &groups_a, 2);
+        let u_b = unfairness_score(&preds, &labels, &groups_b, 2);
+        assert!(u_a.abs() < 1e-6 && u_b.abs() < 1e-6, "marginals look fair");
+        let u_joint =
+            intersectional_unfairness(&preds, &labels, &groups_a, 2, &groups_b, 2);
+        assert!(u_joint > 0.5, "intersection must expose the disadvantage, got {u_joint}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn intersectional_validates_group_ranges() {
+        intersectional_unfairness(&[0], &[0], &[2], 2, &[0], 2);
+    }
+}

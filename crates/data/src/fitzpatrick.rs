@@ -1,0 +1,142 @@
+use crate::{AttributeSpec, DataGenerator, Dataset, GeneratorConfig, GroupSpec};
+use muffin_tensor::Rng64;
+
+/// Builder for the Fitzpatrick17K-like synthetic dataset.
+///
+/// Mirrors the paper's validation dataset: a 9-class dermatology problem
+/// with two sensitive attributes — **skin tone** on the six-point
+/// Fitzpatrick scale (darker tones under-represented and distorted, as in
+/// the real dataset) and a three-way lesion **type**. The two attributes'
+/// rotation planes overlap, so the multi-dimensional entanglement the
+/// paper validates in Section 4.5 is present here too.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::FitzpatrickLike;
+/// use muffin_tensor::Rng64;
+///
+/// let ds = FitzpatrickLike::small().generate(&mut Rng64::seed(4));
+/// assert_eq!(ds.num_classes(), 9);
+/// assert_eq!(ds.schema().attribute_names(), vec!["skin_tone", "type"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FitzpatrickLike {
+    num_samples: usize,
+}
+
+impl FitzpatrickLike {
+    /// Default configuration: 7 000 samples.
+    pub fn new() -> Self {
+        Self { num_samples: 7_000 }
+    }
+
+    /// A small variant (1 200 samples) for tests and quick runs.
+    pub fn small() -> Self {
+        Self { num_samples: 1_200 }
+    }
+
+    /// Overrides the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples == 0`.
+    pub fn with_num_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// The underlying generator configuration.
+    pub fn config(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            num_samples: self.num_samples,
+            feature_dim: 24,
+            num_classes: 9,
+            class_sep: 2.0,
+            base_noise: 1.35,
+            spectral_decay: 0.82,
+            attributes: vec![
+                // Fitzpatrick skin-tone scale: light tones dominate the
+                // dataset; types V and VI are rare and distorted.
+                AttributeSpec::new(
+                    "skin_tone",
+                    vec![
+                        GroupSpec::new("type I", 0.22),
+                        GroupSpec::new("type II", 0.26),
+                        GroupSpec::new("type III", 0.21),
+                        GroupSpec::new("type IV", 0.14),
+                        GroupSpec::new("type V", 0.10).with_angle(60.0).with_noise_mult(1.8),
+                        GroupSpec::new("type VI", 0.07).with_angle(85.0).with_noise_mult(2.1),
+                    ],
+                    vec![(0, 1), (4, 5)],
+                ),
+                // Three-way lesion partition; malignant lesions are the
+                // disadvantaged group (hardest to photograph consistently).
+                // Rotated against skin tone in the shared planes — the same
+                // entanglement mechanism as the ISIC-like age↔site pair.
+                AttributeSpec::new(
+                    "type",
+                    vec![
+                        GroupSpec::new("benign", 0.45),
+                        GroupSpec::new("non-neoplastic", 0.33),
+                        GroupSpec::new("malignant", 0.22).with_angle(-65.0).with_noise_mult(1.8),
+                    ],
+                    vec![(1, 2), (5, 6)],
+                ),
+            ],
+            correlation: 0.30,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self, rng: &mut Rng64) -> Dataset {
+        DataGenerator::new(self.config())
+            .expect("builtin Fitzpatrick-like config is valid")
+            .generate(rng)
+    }
+}
+
+impl Default for FitzpatrickLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttributeId;
+
+    #[test]
+    fn schema_matches_paper_structure() {
+        let ds = FitzpatrickLike::small().generate(&mut Rng64::seed(1));
+        assert_eq!(ds.schema().get(AttributeId::new(0)).unwrap().num_groups(), 6);
+        assert_eq!(ds.schema().get(AttributeId::new(1)).unwrap().num_groups(), 3);
+        assert_eq!(ds.num_classes(), 9);
+    }
+
+    #[test]
+    fn dark_skin_tones_are_designed_unprivileged() {
+        let cfg = FitzpatrickLike::new().config();
+        assert_eq!(cfg.attributes[0].designed_unprivileged(), vec![4, 5]);
+        assert_eq!(cfg.attributes[1].designed_unprivileged(), vec![2]);
+    }
+
+    #[test]
+    fn attributes_are_entangled_via_shared_coordinates() {
+        let cfg = FitzpatrickLike::new().config();
+        let tone: Vec<usize> =
+            cfg.attributes[0].planes().iter().flat_map(|&(i, j)| [i, j]).collect();
+        let lesion: Vec<usize> =
+            cfg.attributes[1].planes().iter().flat_map(|&(i, j)| [i, j]).collect();
+        assert!(tone.iter().any(|c| lesion.contains(c)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FitzpatrickLike::small().generate(&mut Rng64::seed(5));
+        let b = FitzpatrickLike::small().generate(&mut Rng64::seed(5));
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,179 @@
+use crate::{AttributeSpec, DataGenerator, Dataset, GeneratorConfig, GroupSpec};
+use muffin_tensor::Rng64;
+
+/// Builder for the ISIC2019-like synthetic dataset.
+///
+/// Mirrors the structure of the paper's primary evaluation dataset: an
+/// 8-class dermatology classification problem carrying three sensitive
+/// attributes — **age** (6 groups), **disease site** (9 groups) and
+/// **gender** (2 groups). Age and site have strongly disadvantaged groups
+/// whose rotation planes overlap (entanglement); gender groups are nearly
+/// identical, reproducing the paper's Figure 1 finding that gender
+/// unfairness is small (< 0.12) while age/site unfairness exceeds 0.4.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::IsicLike;
+/// use muffin_tensor::Rng64;
+///
+/// let ds = IsicLike::new().with_num_samples(500).generate(&mut Rng64::seed(3));
+/// assert_eq!(ds.num_classes(), 8);
+/// assert_eq!(ds.schema().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsicLike {
+    num_samples: usize,
+}
+
+impl IsicLike {
+    /// Default configuration: 8 000 samples.
+    pub fn new() -> Self {
+        Self { num_samples: 8_000 }
+    }
+
+    /// A small variant (1 200 samples) for tests and quick runs.
+    pub fn small() -> Self {
+        Self { num_samples: 1_200 }
+    }
+
+    /// Overrides the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples == 0`.
+    pub fn with_num_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// The underlying generator configuration.
+    pub fn config(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            num_samples: self.num_samples,
+            feature_dim: 24,
+            num_classes: 8,
+            class_sep: 2.0,
+            base_noise: 1.35,
+            spectral_decay: 0.82,
+            attributes: vec![
+                // Age: six groups; the two oldest are rare, rotated and noisy.
+                AttributeSpec::new(
+                    "age",
+                    vec![
+                        GroupSpec::new("0-20", 0.10),
+                        GroupSpec::new("21-35", 0.22),
+                        GroupSpec::new("36-50", 0.26),
+                        GroupSpec::new("51-65", 0.20),
+                        GroupSpec::new("66-80", 0.13).with_angle(60.0).with_noise_mult(1.8),
+                        GroupSpec::new("81+", 0.09).with_angle(85.0).with_noise_mult(2.1),
+                    ],
+                    vec![(0, 1), (4, 5)],
+                ),
+                // Site: nine groups; four disadvantaged. Planes share
+                // coordinates 1 and 5 with age, and the site rotations run
+                // *against* the age rotations (negative angles) — fitting
+                // one attribute's distortion actively un-fits the other,
+                // which is the source of the age↔site seesaw.
+                AttributeSpec::new(
+                    "site",
+                    vec![
+                        GroupSpec::new("anterior torso", 0.17),
+                        GroupSpec::new("upper extremity", 0.15),
+                        GroupSpec::new("lower extremity", 0.15),
+                        GroupSpec::new("head/neck", 0.13),
+                        GroupSpec::new("posterior torso", 0.13),
+                        GroupSpec::new("palms/soles", 0.08).with_angle(-55.0).with_noise_mult(1.7),
+                        GroupSpec::new("lateral torso", 0.07).with_angle(-70.0).with_noise_mult(1.9),
+                        GroupSpec::new("oral/genital", 0.06).with_angle(-90.0).with_noise_mult(2.2),
+                        GroupSpec::new("unknown", 0.06).with_angle(-40.0).with_noise_mult(1.5),
+                    ],
+                    vec![(1, 2), (5, 6)],
+                ),
+                // Gender: balanced and essentially undistorted (Fig. 1a-b).
+                GenderSpec::build(),
+            ],
+            correlation: 0.35,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self, rng: &mut Rng64) -> Dataset {
+        DataGenerator::new(self.config()).expect("builtin ISIC-like config is valid").generate(rng)
+    }
+}
+
+impl Default for IsicLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Internal helper so the gender attribute is specified exactly once.
+struct GenderSpec;
+
+impl GenderSpec {
+    fn build() -> AttributeSpec {
+        AttributeSpec::new(
+            "gender",
+            vec![
+                GroupSpec::new("male", 0.52),
+                GroupSpec::new("female", 0.48).with_noise_mult(1.05),
+            ],
+            vec![(9, 10)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttributeId;
+
+    #[test]
+    fn schema_matches_paper_structure() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(1));
+        let schema = ds.schema();
+        assert_eq!(schema.attribute_names(), vec!["age", "site", "gender"]);
+        assert_eq!(schema.get(AttributeId::new(0)).unwrap().num_groups(), 6);
+        assert_eq!(schema.get(AttributeId::new(1)).unwrap().num_groups(), 9);
+        assert_eq!(schema.get(AttributeId::new(2)).unwrap().num_groups(), 2);
+    }
+
+    #[test]
+    fn age_and_site_have_designed_unprivileged_groups() {
+        let cfg = IsicLike::new().config();
+        assert_eq!(cfg.attributes[0].designed_unprivileged(), vec![4, 5]);
+        assert_eq!(cfg.attributes[1].designed_unprivileged(), vec![5, 6, 7, 8]);
+        assert!(cfg.attributes[2].designed_unprivileged().is_empty());
+    }
+
+    #[test]
+    fn age_and_site_planes_overlap() {
+        let cfg = IsicLike::new().config();
+        let age_coords: Vec<usize> =
+            cfg.attributes[0].planes().iter().flat_map(|&(i, j)| [i, j]).collect();
+        let site_coords: Vec<usize> =
+            cfg.attributes[1].planes().iter().flat_map(|&(i, j)| [i, j]).collect();
+        assert!(age_coords.iter().any(|c| site_coords.contains(c)), "entanglement requires overlap");
+    }
+
+    #[test]
+    fn default_and_small_differ_only_in_size() {
+        let a = IsicLike::new().config();
+        let b = IsicLike::small().config();
+        assert_eq!(a.num_classes, b.num_classes);
+        assert!(a.num_samples > b.num_samples);
+    }
+
+    #[test]
+    fn every_class_appears() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(2));
+        let mut seen = vec![false; ds.num_classes()];
+        for &l in ds.labels() {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

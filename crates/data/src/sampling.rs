@@ -1,0 +1,129 @@
+//! Stratified sampling utilities.
+//!
+//! The paper's random 64/16/20 split can leave rare unprivileged groups
+//! badly represented in the validation or test portions of a small
+//! dataset. [`Dataset::split_stratified`] preserves the joint
+//! (class × target-attribute group) composition in every portion.
+
+use crate::{AttributeId, Dataset, DatasetSplit};
+use muffin_tensor::Rng64;
+
+impl Dataset {
+    /// Splits into train/validation/test preserving, per stratum, the
+    /// requested fractions. A stratum is one `(class, group)` pair of the
+    /// given attribute (or just the class when `stratify_by` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are out of range (same contract as
+    /// [`Dataset::split`]) or the attribute is out of range.
+    pub fn split_stratified(
+        &self,
+        train_frac: f32,
+        val_frac: f32,
+        stratify_by: Option<AttributeId>,
+        rng: &mut Rng64,
+    ) -> DatasetSplit {
+        assert!(train_frac > 0.0 && val_frac >= 0.0, "fractions must be positive");
+        assert!(train_frac + val_frac < 1.0, "train+val must leave room for test");
+
+        // Bucket samples by stratum key.
+        let key = |i: usize| -> usize {
+            let class = self.labels()[i];
+            match stratify_by {
+                Some(attr) => {
+                    let num_groups =
+                        self.schema().get(attr).expect("attribute in range").num_groups();
+                    class * num_groups + self.groups(attr)[i] as usize
+                }
+                None => class,
+            }
+        };
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for i in 0..self.len() {
+            buckets.entry(key(i)).or_default().push(i);
+        }
+
+        let mut train_idx = Vec::new();
+        let mut val_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for (_, mut members) in buckets {
+            rng.shuffle(&mut members);
+            let n = members.len();
+            let n_train = (n as f32 * train_frac).round() as usize;
+            let n_val = (n as f32 * val_frac).round() as usize;
+            let n_train = n_train.min(n);
+            let n_val = n_val.min(n - n_train);
+            train_idx.extend_from_slice(&members[..n_train]);
+            val_idx.extend_from_slice(&members[n_train..n_train + n_val]);
+            test_idx.extend_from_slice(&members[n_train + n_val..]);
+        }
+        // Shuffle across strata so downstream mini-batching is unbiased.
+        rng.shuffle(&mut train_idx);
+        rng.shuffle(&mut val_idx);
+        rng.shuffle(&mut test_idx);
+
+        DatasetSplit {
+            train: self.subset(&train_idx),
+            val: self.subset(&val_idx),
+            test: self.subset(&test_idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IsicLike;
+
+    #[test]
+    fn stratified_split_partitions_everything() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(1));
+        let split = ds.split_stratified(0.64, 0.16, None, &mut Rng64::seed(2));
+        assert_eq!(split.train.len() + split.val.len() + split.test.len(), ds.len());
+    }
+
+    #[test]
+    fn class_shares_are_preserved() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(3));
+        let split = ds.split_stratified(0.64, 0.16, None, &mut Rng64::seed(4));
+        let share = |d: &Dataset, class: usize| {
+            d.labels().iter().filter(|&&l| l == class).count() as f32 / d.len() as f32
+        };
+        for class in 0..ds.num_classes() {
+            let full = share(&ds, class);
+            let train = share(&split.train, class);
+            let test = share(&split.test, class);
+            assert!((full - train).abs() < 0.03, "class {class}: {full} vs train {train}");
+            assert!((full - test).abs() < 0.05, "class {class}: {full} vs test {test}");
+        }
+    }
+
+    #[test]
+    fn rare_groups_reach_every_portion() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(5));
+        let site = ds.schema().by_name("site").expect("site");
+        let split = ds.split_stratified(0.64, 0.16, Some(site), &mut Rng64::seed(6));
+        // The rarest site group (oral/genital, ~6%) must appear in train
+        // and test after attribute-stratified splitting.
+        let count = |d: &Dataset| d.groups(site).iter().filter(|&&g| g == 7).count();
+        assert!(count(&split.train) > 0, "rare group absent from train");
+        assert!(count(&split.test) > 0, "rare group absent from test");
+    }
+
+    #[test]
+    fn stratified_split_is_deterministic() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let a = ds.split_stratified(0.6, 0.2, None, &mut Rng64::seed(8));
+        let b = ds.split_stratified(0.6, 0.2, None, &mut Rng64::seed(8));
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "room for test")]
+    fn degenerate_fractions_are_rejected() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(9));
+        ds.split_stratified(0.95, 0.05, None, &mut Rng64::seed(10));
+    }
+}

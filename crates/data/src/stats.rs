@@ -1,0 +1,150 @@
+use crate::{AttributeId, Dataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sample count of one group under one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCount {
+    /// Group index within its attribute.
+    pub group: u16,
+    /// Number of samples.
+    pub count: usize,
+}
+
+/// Descriptive statistics of a [`Dataset`]: per-attribute group counts and
+/// the class distribution.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::{DatasetStats, IsicLike};
+/// use muffin_tensor::Rng64;
+///
+/// let ds = IsicLike::small().generate(&mut Rng64::seed(1));
+/// let stats = DatasetStats::of(&ds);
+/// assert_eq!(stats.class_counts().len(), 8);
+/// assert_eq!(stats.group_counts(muffin_data::AttributeId::new(1)).len(), 9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    class_counts: Vec<usize>,
+    group_counts: Vec<Vec<GroupCount>>,
+    num_samples: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `dataset`.
+    pub fn of(dataset: &Dataset) -> Self {
+        let mut class_counts = vec![0usize; dataset.num_classes()];
+        for &label in dataset.labels() {
+            class_counts[label] += 1;
+        }
+        let group_counts = dataset
+            .schema()
+            .iter()
+            .map(|(id, attr)| {
+                let mut counts = vec![0usize; attr.num_groups()];
+                for &g in dataset.groups(id) {
+                    counts[g as usize] += 1;
+                }
+                counts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(g, count)| GroupCount { group: g as u16, count })
+                    .collect()
+            })
+            .collect();
+        Self { class_counts, group_counts, num_samples: dataset.len() }
+    }
+
+    /// Samples per class.
+    pub fn class_counts(&self) -> &[usize] {
+        &self.class_counts
+    }
+
+    /// Samples per group of one attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range.
+    pub fn group_counts(&self, attr: AttributeId) -> &[GroupCount] {
+        &self.group_counts[attr.index()]
+    }
+
+    /// Total number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// The share (0–1) of samples in a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn group_share(&self, attr: AttributeId, group: u16) -> f32 {
+        let count = self.group_counts[attr.index()]
+            .iter()
+            .find(|c| c.group == group)
+            .map_or(0, |c| c.count);
+        if self.num_samples == 0 {
+            0.0
+        } else {
+            count as f32 / self.num_samples as f32
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} samples, {} classes", self.num_samples, self.class_counts.len())?;
+        for (a, groups) in self.group_counts.iter().enumerate() {
+            write!(f, "  attr#{a}:")?;
+            for g in groups {
+                write!(f, " {}:{}", g.group, g.count)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IsicLike;
+    use muffin_tensor::Rng64;
+
+    #[test]
+    fn counts_sum_to_dataset_size() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.class_counts().iter().sum::<usize>(), ds.len());
+        for (id, _) in ds.schema().iter() {
+            let total: usize = stats.group_counts(id).iter().map(|g| g.count).sum();
+            assert_eq!(total, ds.len());
+        }
+    }
+
+    #[test]
+    fn group_share_is_a_fraction() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let stats = DatasetStats::of(&ds);
+        let share = stats.group_share(AttributeId::new(0), 0);
+        assert!((0.0..=1.0).contains(&share));
+    }
+
+    #[test]
+    fn missing_group_has_zero_share() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.group_share(AttributeId::new(2), 99), 0.0);
+    }
+
+    #[test]
+    fn display_lists_every_attribute() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let text = DatasetStats::of(&ds).to_string();
+        assert!(text.contains("attr#0"));
+        assert!(text.contains("attr#2"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the dataset substrate.
+
+use muffin_data::{
+    group_accuracies, unfairness_score, AttributeSpec, DataGenerator, GeneratorConfig, GroupSpec,
+    IsicLike,
+};
+use muffin_tensor::Rng64;
+use proptest::prelude::*;
+
+fn config(groups: u16, correlation: f32) -> GeneratorConfig {
+    let mut gs = vec![GroupSpec::new("g0", 0.5)];
+    for g in 1..groups {
+        gs.push(GroupSpec::new(format!("g{g}"), 0.5 / (groups - 1) as f32).with_angle(40.0));
+    }
+    GeneratorConfig {
+        num_samples: 400,
+        feature_dim: 8,
+        num_classes: 3,
+        class_sep: 2.0,
+        base_noise: 1.0,
+        spectral_decay: 0.85,
+        attributes: vec![
+            AttributeSpec::new("a", gs.clone(), vec![(0, 1)]),
+            AttributeSpec::new("b", gs, vec![(1, 2)]),
+        ],
+        correlation,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_same_dataset(groups in 2u16..5, corr in 0.0f32..1.0, seed in 0u64..300) {
+        let gen = DataGenerator::new(config(groups, corr)).expect("valid");
+        let a = gen.generate(&mut Rng64::seed(seed));
+        let b = gen.generate(&mut Rng64::seed(seed));
+        prop_assert_eq!(a.features(), b.features());
+        prop_assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ(groups in 2u16..5, seed in 0u64..300) {
+        let gen = DataGenerator::new(config(groups, 0.3)).expect("valid");
+        let a = gen.generate(&mut Rng64::seed(seed));
+        let b = gen.generate(&mut Rng64::seed(seed + 1));
+        prop_assert_ne!(a.features(), b.features());
+    }
+
+    #[test]
+    fn subset_of_subset_composes(seed in 0u64..300) {
+        let ds = IsicLike::small().with_num_samples(100).generate(&mut Rng64::seed(seed));
+        let outer: Vec<usize> = (0..50).collect();
+        let inner: Vec<usize> = (0..25).map(|i| i * 2).collect();
+        let two_step = ds.subset(&outer).subset(&inner);
+        let direct: Vec<usize> = inner.iter().map(|&i| outer[i]).collect();
+        let one_step = ds.subset(&direct);
+        prop_assert_eq!(two_step.labels(), one_step.labels());
+        prop_assert_eq!(two_step.features(), one_step.features());
+    }
+
+    #[test]
+    fn group_accuracy_counts_partition_the_dataset(seed in 0u64..300, num_groups in 2usize..6) {
+        let mut rng = Rng64::seed(seed);
+        let n = 120;
+        let preds: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
+        let groups: Vec<u16> = (0..n).map(|_| rng.below(num_groups) as u16).collect();
+        let accs = group_accuracies(&preds, &labels, &groups, num_groups);
+        let total: usize = accs.iter().map(|g| g.count).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn unfairness_is_zero_iff_groups_match_overall(seed in 0u64..300) {
+        let mut rng = Rng64::seed(seed);
+        // Construct two groups with identical accuracy by mirroring.
+        let n = 40;
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(2)).collect();
+        let mut preds = labels.clone();
+        // Flip exactly the first 5 of each group.
+        let groups: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let mut flipped = [0usize; 2];
+        for i in 0..n {
+            let g = groups[i] as usize;
+            if flipped[g] < 5 {
+                preds[i] = 1 - labels[i];
+                flipped[g] += 1;
+            }
+        }
+        let u = unfairness_score(&preds, &labels, &groups, 2);
+        prop_assert!(u.abs() < 1e-6, "equal group accuracies must give U = 0, got {u}");
+    }
+
+    #[test]
+    fn stratified_and_random_splits_partition_identically_sized(seed in 0u64..200) {
+        let ds = IsicLike::small().with_num_samples(200).generate(&mut Rng64::seed(seed));
+        let random = ds.split_default(&mut Rng64::seed(seed));
+        let strat = ds.split_stratified(0.64, 0.16, None, &mut Rng64::seed(seed));
+        prop_assert_eq!(
+            random.train.len() + random.val.len() + random.test.len(),
+            strat.train.len() + strat.val.len() + strat.test.len()
+        );
+    }
+
+    #[test]
+    fn label_noise_monotonically_increases_flips(seed in 0u64..200) {
+        let ds = IsicLike::small().with_num_samples(300).generate(&mut Rng64::seed(seed));
+        let flips = |rate: f32| {
+            let noisy = ds.with_label_noise(rate, &mut Rng64::seed(seed ^ 0x55));
+            noisy.labels().iter().zip(ds.labels()).filter(|(a, b)| a != b).count()
+        };
+        let low = flips(0.1);
+        let high = flips(0.5);
+        prop_assert!(high > low, "50% noise ({high}) must flip more than 10% ({low})");
+    }
+}

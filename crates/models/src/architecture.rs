@@ -1,0 +1,241 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Family of a simulated off-the-shelf architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// ResNet-style residual networks.
+    ResNet,
+    /// DenseNet-style densely connected networks.
+    DenseNet,
+    /// MobileNet-style efficient networks.
+    MobileNet,
+    /// ShuffleNet-style efficient networks.
+    ShuffleNet,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelFamily::ResNet => "ResNet",
+            ModelFamily::DenseNet => "DenseNet",
+            ModelFamily::MobileNet => "MobileNet",
+            ModelFamily::ShuffleNet => "ShuffleNet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Descriptor of one simulated off-the-shelf model.
+///
+/// Carries the *real* CNN's name and parameter count (reported in the
+/// paper's Table I, e.g. `ShuffleNet_V2_X1_0` = 1 261 804 parameters) plus
+/// the simulation knobs: the width of the architecture-specific random
+/// feature projection and the trained MLP's hidden widths. Capacity and
+/// projection width grow with the real model's size, so larger
+/// architectures are more accurate, exactly as in Figure 1.
+///
+/// # Example
+///
+/// ```
+/// use muffin_models::Architecture;
+///
+/// let arch = Architecture::shufflenet_v2_x1_0();
+/// assert_eq!(arch.reported_params(), 1_261_804);
+/// assert_eq!(arch.name(), "ShuffleNet_V2_X1_0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    family: ModelFamily,
+    projection_dim: usize,
+    hidden: Vec<usize>,
+    reported_params: u64,
+    seed_offset: u64,
+}
+
+impl Architecture {
+    /// Creates a custom architecture descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `projection_dim` is zero or any hidden width is zero.
+    pub fn custom(
+        name: impl Into<String>,
+        family: ModelFamily,
+        projection_dim: usize,
+        hidden: &[usize],
+        reported_params: u64,
+        seed_offset: u64,
+    ) -> Self {
+        assert!(projection_dim > 0, "projection_dim must be positive");
+        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        Self {
+            name: name.into(),
+            family,
+            projection_dim,
+            hidden: hidden.to_vec(),
+            reported_params,
+            seed_offset,
+        }
+    }
+
+    /// `ShuffleNet_V2_X0_5` — the smallest zoo member.
+    pub fn shufflenet_v2_x0_5() -> Self {
+        Self::custom("ShuffleNet_V2_X0_5", ModelFamily::ShuffleNet, 10, &[24], 1_366_792, 101)
+    }
+
+    /// `ShuffleNet_V2_X1_0` (paper Table I: 1 261 804 parameters).
+    pub fn shufflenet_v2_x1_0() -> Self {
+        Self::custom("ShuffleNet_V2_X1_0", ModelFamily::ShuffleNet, 12, &[32], 1_261_804, 102)
+    }
+
+    /// `MobileNet_V3_Small` (paper Table I: 1 526 056 parameters).
+    pub fn mobilenet_v3_small() -> Self {
+        Self::custom("MobileNet_V3_Small", ModelFamily::MobileNet, 12, &[36], 1_526_056, 103)
+    }
+
+    /// `MobileNet_V2`.
+    pub fn mobilenet_v2() -> Self {
+        Self::custom("MobileNet_V2", ModelFamily::MobileNet, 14, &[48], 3_504_872, 104)
+    }
+
+    /// `MobileNet_V3_Large`.
+    pub fn mobilenet_v3_large() -> Self {
+        Self::custom("MobileNet_V3_Large", ModelFamily::MobileNet, 16, &[64], 5_483_032, 105)
+    }
+
+    /// `DenseNet121`.
+    pub fn densenet121() -> Self {
+        Self::custom("DenseNet121", ModelFamily::DenseNet, 16, &[72, 32], 7_978_856, 106)
+    }
+
+    /// `DenseNet201`.
+    pub fn densenet201() -> Self {
+        Self::custom("DenseNet201", ModelFamily::DenseNet, 18, &[88, 40], 20_013_928, 107)
+    }
+
+    /// `ResNet-18`.
+    pub fn resnet18() -> Self {
+        Self::custom("ResNet-18", ModelFamily::ResNet, 16, &[64, 32], 11_689_512, 108)
+    }
+
+    /// `ResNet-34`.
+    pub fn resnet34() -> Self {
+        Self::custom("ResNet-34", ModelFamily::ResNet, 18, &[80, 40], 21_797_672, 109)
+    }
+
+    /// `ResNet-50`.
+    pub fn resnet50() -> Self {
+        Self::custom("ResNet-50", ModelFamily::ResNet, 20, &[96, 48], 25_557_032, 110)
+    }
+
+    /// The full zoo used by the paper's Figure 1, ordered by size.
+    pub fn zoo() -> Vec<Architecture> {
+        vec![
+            Self::shufflenet_v2_x1_0(),
+            Self::shufflenet_v2_x0_5(),
+            Self::mobilenet_v3_small(),
+            Self::mobilenet_v2(),
+            Self::mobilenet_v3_large(),
+            Self::densenet121(),
+            Self::resnet18(),
+            Self::densenet201(),
+            Self::resnet34(),
+            Self::resnet50(),
+        ]
+    }
+
+    /// Looks an architecture up by its paper name.
+    pub fn by_name(name: &str) -> Option<Architecture> {
+        Self::zoo().into_iter().find(|a| a.name == name)
+    }
+
+    /// The real CNN's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The architecture family.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// Width of the architecture-specific random feature projection.
+    pub fn projection_dim(&self) -> usize {
+        self.projection_dim
+    }
+
+    /// Hidden widths of the trained MLP.
+    pub fn hidden(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Parameter count of the real CNN this descriptor stands in for.
+    pub fn reported_params(&self) -> u64 {
+        self.reported_params
+    }
+
+    /// Seed offset making this architecture's projection unique.
+    pub fn seed_offset(&self) -> u64 {
+        self.seed_offset
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} params)", self.name, self.reported_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zoo_has_ten_distinct_models() {
+        let zoo = Architecture::zoo();
+        assert_eq!(zoo.len(), 10);
+        let names: HashSet<&str> = zoo.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 10);
+        let seeds: HashSet<u64> = zoo.iter().map(|a| a.seed_offset()).collect();
+        assert_eq!(seeds.len(), 10, "every architecture needs a unique projection seed");
+    }
+
+    #[test]
+    fn paper_parameter_counts_are_exact() {
+        assert_eq!(Architecture::shufflenet_v2_x1_0().reported_params(), 1_261_804);
+        assert_eq!(Architecture::mobilenet_v3_small().reported_params(), 1_526_056);
+    }
+
+    #[test]
+    fn capacity_grows_with_reported_size_within_family() {
+        let r18 = Architecture::resnet18();
+        let r50 = Architecture::resnet50();
+        assert!(r50.reported_params() > r18.reported_params());
+        assert!(r50.projection_dim() > r18.projection_dim());
+        assert!(r50.hidden()[0] > r18.hidden()[0]);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for arch in Architecture::zoo() {
+            assert_eq!(Architecture::by_name(arch.name()), Some(arch.clone()));
+        }
+        assert!(Architecture::by_name("VGG-16").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "projection_dim")]
+    fn custom_rejects_zero_projection() {
+        Architecture::custom("bad", ModelFamily::ResNet, 0, &[8], 1, 0);
+    }
+
+    #[test]
+    fn display_includes_params() {
+        let text = Architecture::resnet18().to_string();
+        assert!(text.contains("ResNet-18"));
+        assert!(text.contains("11689512"));
+    }
+}

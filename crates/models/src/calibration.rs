@@ -1,0 +1,220 @@
+//! Post-hoc confidence calibration of frozen models.
+//!
+//! The muffin head arbitrates disagreements *from the bodies' output
+//! probabilities alone*, so how well those probabilities reflect true
+//! correctness likelihood directly bounds what the head can learn.
+//! Temperature scaling (Guo et al.'s classic recipe) is the standard
+//! post-hoc fix: divide the logits by a scalar `T` fitted on held-out
+//! data. `T > 1` softens over-confident models.
+
+use crate::FrozenModel;
+use muffin_data::Dataset;
+use muffin_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted temperature for one frozen model.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::IsicLike;
+/// use muffin_models::{Architecture, BackboneConfig, ModelPool, TemperatureScale};
+/// use muffin_tensor::Rng64;
+///
+/// let mut rng = Rng64::seed(1);
+/// let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+/// let pool = ModelPool::train(
+///     &split.train,
+///     &[Architecture::resnet18()],
+///     &BackboneConfig::fast(),
+///     &mut rng,
+/// );
+/// let scale = TemperatureScale::fit(pool.get(0).unwrap(), &split.val);
+/// assert!(scale.temperature() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureScale {
+    temperature: f32,
+}
+
+impl TemperatureScale {
+    /// The identity calibration (`T = 1`).
+    pub fn identity() -> Self {
+        Self { temperature: 1.0 }
+    }
+
+    /// Fits the temperature minimising negative log-likelihood of `model`
+    /// on `holdout` by golden-section search over `T ∈ [0.25, 8]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holdout` is empty.
+    pub fn fit(model: &FrozenModel, holdout: &Dataset) -> Self {
+        assert!(!holdout.is_empty(), "cannot calibrate on an empty dataset");
+        let probs = model.predict_proba(holdout.features());
+        // Recover logits up to an additive constant: log p works because
+        // softmax is shift-invariant.
+        let logits = probs.map(|p| p.max(1e-12).ln());
+        let nll = |t: f32| -> f32 {
+            let scaled = logits.scaled(1.0 / t).log_softmax_rows();
+            -holdout
+                .labels()
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| scaled.get(i, label))
+                .sum::<f32>()
+                / holdout.len() as f32
+        };
+        // Golden-section search on the unimodal NLL(T).
+        let (mut lo, mut hi) = (0.25f32, 8.0f32);
+        let phi = 0.618_034f32;
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let (mut f1, mut f2) = (nll(x1), nll(x2));
+        for _ in 0..40 {
+            if f1 < f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = nll(x1);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = nll(x2);
+            }
+        }
+        Self { temperature: 0.5 * (lo + hi) }
+    }
+
+    /// The fitted temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Applies the calibration to a probability matrix.
+    pub fn apply(&self, probs: &Matrix) -> Matrix {
+        if (self.temperature - 1.0).abs() < 1e-6 {
+            return probs.clone();
+        }
+        probs.map(|p| p.max(1e-12).ln() / self.temperature).softmax_rows()
+    }
+}
+
+/// Expected calibration error with `bins` equal-width confidence bins —
+/// the standard measure of how trustworthy a model's confidence is.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or lengths disagree.
+pub fn expected_calibration_error(probs: &Matrix, labels: &[usize], bins: usize) -> f32 {
+    assert!(bins > 0, "need at least one bin");
+    assert_eq!(probs.rows(), labels.len(), "probs/labels mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut bin_conf = vec![0.0f32; bins];
+    let mut bin_acc = vec![0.0f32; bins];
+    let mut bin_count = vec![0usize; bins];
+    for (i, &label) in labels.iter().enumerate() {
+        let row = probs.row(i);
+        let pred = muffin_tensor::argmax(row);
+        let conf = row[pred];
+        let b = ((conf * bins as f32) as usize).min(bins - 1);
+        bin_conf[b] += conf;
+        bin_acc[b] += f32::from(pred == label);
+        bin_count[b] += 1;
+    }
+    let n = labels.len() as f32;
+    (0..bins)
+        .filter(|&b| bin_count[b] > 0)
+        .map(|b| {
+            let count = bin_count[b] as f32;
+            (bin_count[b] as f32 / n) * ((bin_acc[b] / count) - (bin_conf[b] / count)).abs()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, BackboneConfig, ModelPool};
+    use muffin_data::IsicLike;
+    use muffin_tensor::Rng64;
+
+    fn fixture() -> (FrozenModel, muffin_data::DatasetSplit) {
+        let mut rng = Rng64::seed(60);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::resnet18()],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        (pool.get(0).unwrap().clone(), split)
+    }
+
+    #[test]
+    fn identity_is_a_noop() {
+        let (model, split) = fixture();
+        let probs = model.predict_proba(split.test.features());
+        assert_eq!(TemperatureScale::identity().apply(&probs), probs);
+    }
+
+    #[test]
+    fn calibration_preserves_predictions() {
+        let (model, split) = fixture();
+        let scale = TemperatureScale::fit(&model, &split.val);
+        let probs = model.predict_proba(split.test.features());
+        let calibrated = scale.apply(&probs);
+        // Temperature scaling is rank-preserving.
+        assert_eq!(probs.argmax_rows(), calibrated.argmax_rows());
+        for row in calibrated.iter_rows() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fitted_temperature_does_not_hurt_nll() {
+        let (model, split) = fixture();
+        let scale = TemperatureScale::fit(&model, &split.val);
+        let probs = model.predict_proba(split.val.features());
+        let nll = |p: &Matrix| -> f32 {
+            -split
+                .val
+                .labels()
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| p.get(i, l).max(1e-12).ln())
+                .sum::<f32>()
+                / split.val.len() as f32
+        };
+        let before = nll(&probs);
+        let after = nll(&scale.apply(&probs));
+        assert!(after <= before + 1e-4, "calibration worsened NLL: {before} -> {after}");
+    }
+
+    #[test]
+    fn ece_of_perfect_confident_model_is_zero() {
+        // One-hot correct probabilities → confidence 1.0, accuracy 1.0.
+        let probs = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let ece = expected_calibration_error(&probs, &[0, 1], 10);
+        assert!(ece.abs() < 1e-6);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Always 99% confident but only 50% accurate.
+        let probs = Matrix::from_rows(&[&[0.99, 0.01], &[0.99, 0.01]]).unwrap();
+        let ece = expected_calibration_error(&probs, &[0, 1], 10);
+        assert!((ece - 0.49).abs() < 0.01, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_of_empty_input_is_zero() {
+        let probs = Matrix::zeros(0, 2);
+        assert_eq!(expected_calibration_error(&probs, &[], 5), 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Naive multi-model baselines.
+//!
+//! Muffin's claim is that a *learned*, fairness-aware head beats the
+//! obvious ways of combining models. These combiners are the obvious ways:
+//! majority voting, probability averaging, and oracle selection (an upper
+//! bound). The ablation benches compare Muffin against them.
+
+use crate::{FrozenModel, ModelEvaluation};
+use muffin_data::Dataset;
+use muffin_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How a naive ensemble combines its members' outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnsembleRule {
+    /// Plurality vote over hard predictions; ties resolve to the first
+    /// member's prediction.
+    MajorityVote,
+    /// Argmax of the mean probability vector.
+    MeanProbability,
+    /// Argmax of the element-wise maximum probability (a confident member
+    /// wins).
+    MaxProbability,
+}
+
+/// A fixed (non-learned) ensemble over frozen models.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::IsicLike;
+/// use muffin_models::{Architecture, BackboneConfig, Ensemble, EnsembleRule, ModelPool};
+/// use muffin_tensor::Rng64;
+///
+/// let mut rng = Rng64::seed(2);
+/// let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+/// let pool = ModelPool::train(
+///     &split.train,
+///     &[Architecture::resnet18(), Architecture::densenet121()],
+///     &BackboneConfig::fast(),
+///     &mut rng,
+/// );
+/// let ensemble = Ensemble::new(
+///     vec![pool.get(0).unwrap().clone(), pool.get(1).unwrap().clone()],
+///     EnsembleRule::MeanProbability,
+/// );
+/// let eval = ensemble.evaluate(&split.test);
+/// assert!(eval.accuracy > 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    members: Vec<FrozenModel>,
+    rule: EnsembleRule,
+}
+
+impl Ensemble {
+    /// Creates an ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<FrozenModel>, rule: EnsembleRule) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members, rule }
+    }
+
+    /// Member models.
+    pub fn members(&self) -> &[FrozenModel] {
+        &self.members
+    }
+
+    /// The combination rule.
+    pub fn rule(&self) -> EnsembleRule {
+        self.rule
+    }
+
+    /// Hard predictions for `features`.
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        match self.rule {
+            EnsembleRule::MajorityVote => {
+                let all: Vec<Vec<usize>> =
+                    self.members.iter().map(|m| m.predict(features)).collect();
+                let num_classes = self.members[0].num_classes();
+                (0..features.rows())
+                    .map(|s| {
+                        let mut votes = vec![0usize; num_classes];
+                        for preds in &all {
+                            votes[preds[s]] += 1;
+                        }
+                        let best = votes.iter().copied().max().unwrap_or(0);
+                        if votes.iter().filter(|&&v| v == best).count() > 1 {
+                            all[0][s] // tie → trust the first member
+                        } else {
+                            votes.iter().position(|&v| v == best).unwrap_or(0)
+                        }
+                    })
+                    .collect()
+            }
+            EnsembleRule::MeanProbability => {
+                let mut sum = self.members[0].predict_proba(features);
+                for m in &self.members[1..] {
+                    sum.axpy(1.0, &m.predict_proba(features));
+                }
+                sum.argmax_rows()
+            }
+            EnsembleRule::MaxProbability => {
+                let mut max = self.members[0].predict_proba(features);
+                for m in &self.members[1..] {
+                    max = max.zip_map(&m.predict_proba(features), f32::max);
+                }
+                max.argmax_rows()
+            }
+        }
+    }
+
+    /// Evaluates accuracy and per-attribute fairness on `dataset`.
+    pub fn evaluate(&self, dataset: &Dataset) -> ModelEvaluation {
+        let names: Vec<&str> = self.members.iter().map(FrozenModel::name).collect();
+        let label = format!("{:?}({})", self.rule, names.join("+"));
+        ModelEvaluation::of(&self.predict(dataset.features()), dataset, label)
+    }
+}
+
+/// Accuracy of the oracle that picks whichever member is correct — the
+/// ceiling any combiner (including Muffin) can reach on `dataset`.
+pub fn oracle_accuracy(members: &[&FrozenModel], dataset: &Dataset) -> f32 {
+    if members.is_empty() || dataset.is_empty() {
+        return 0.0;
+    }
+    let all: Vec<Vec<usize>> = members.iter().map(|m| m.predict(dataset.features())).collect();
+    let correct = (0..dataset.len())
+        .filter(|&i| all.iter().any(|preds| preds[i] == dataset.labels()[i]))
+        .count();
+    correct as f32 / dataset.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, BackboneConfig, ModelPool};
+    use muffin_data::IsicLike;
+    use muffin_nn::accuracy;
+    use muffin_tensor::Rng64;
+
+    fn fixture() -> (ModelPool, muffin_data::DatasetSplit) {
+        let mut rng = Rng64::seed(61);
+        let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[
+                Architecture::resnet18(),
+                Architecture::densenet121(),
+                Architecture::mobilenet_v2(),
+            ],
+            &BackboneConfig::fast(),
+            &mut rng,
+        );
+        (pool, split)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_is_rejected() {
+        Ensemble::new(vec![], EnsembleRule::MajorityVote);
+    }
+
+    #[test]
+    fn single_member_ensembles_equal_the_member() {
+        let (pool, split) = fixture();
+        let member = pool.get(0).unwrap().clone();
+        for rule in
+            [EnsembleRule::MajorityVote, EnsembleRule::MeanProbability, EnsembleRule::MaxProbability]
+        {
+            let ensemble = Ensemble::new(vec![member.clone()], rule);
+            assert_eq!(
+                ensemble.predict(split.test.features()),
+                member.predict(split.test.features()),
+                "{rule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_probability_ensemble_is_competitive() {
+        let (pool, split) = fixture();
+        let members: Vec<FrozenModel> = pool.iter().cloned().collect();
+        let ensemble = Ensemble::new(members, EnsembleRule::MeanProbability);
+        let ens_acc = accuracy(&ensemble.predict(split.test.features()), split.test.labels());
+        let best_single = pool
+            .iter()
+            .map(|m| accuracy(&m.predict(split.test.features()), split.test.labels()))
+            .fold(f32::MIN, f32::max);
+        assert!(
+            ens_acc > best_single - 0.03,
+            "mean-prob ensemble {ens_acc} should be near best single {best_single}"
+        );
+    }
+
+    #[test]
+    fn majority_vote_tie_prefers_first_member() {
+        let (pool, split) = fixture();
+        // Two members: every disagreement is a tie → output equals member 0.
+        let ensemble = Ensemble::new(
+            vec![pool.get(0).unwrap().clone(), pool.get(1).unwrap().clone()],
+            EnsembleRule::MajorityVote,
+        );
+        assert_eq!(
+            ensemble.predict(split.test.features()),
+            pool.get(0).unwrap().predict(split.test.features())
+        );
+    }
+
+    #[test]
+    fn oracle_bounds_every_rule() {
+        let (pool, split) = fixture();
+        let members: Vec<&FrozenModel> = pool.iter().collect();
+        let oracle = oracle_accuracy(&members, &split.test);
+        for rule in
+            [EnsembleRule::MajorityVote, EnsembleRule::MeanProbability, EnsembleRule::MaxProbability]
+        {
+            let ensemble = Ensemble::new(pool.iter().cloned().collect(), rule);
+            let acc = accuracy(&ensemble.predict(split.test.features()), split.test.labels());
+            assert!(acc <= oracle + 1e-6, "{rule:?}: {acc} exceeds oracle {oracle}");
+        }
+    }
+
+    #[test]
+    fn oracle_of_empty_inputs_is_zero() {
+        let (pool, split) = fixture();
+        assert_eq!(oracle_accuracy(&[], &split.test), 0.0);
+        let members: Vec<&FrozenModel> = pool.iter().collect();
+        let empty = split.test.subset(&[]);
+        assert_eq!(oracle_accuracy(&members, &empty), 0.0);
+    }
+
+    #[test]
+    fn evaluation_reports_rule_and_members() {
+        let (pool, split) = fixture();
+        let ensemble = Ensemble::new(
+            vec![pool.get(0).unwrap().clone(), pool.get(1).unwrap().clone()],
+            EnsembleRule::MeanProbability,
+        );
+        let eval = ensemble.evaluate(&split.test);
+        assert!(eval.model.contains("MeanProbability"));
+        assert!(eval.model.contains("ResNet-18"));
+    }
+}

@@ -1,0 +1,211 @@
+use muffin_data::{
+    group_accuracies, group_accuracy_gap, unfairness_score, AttributeId, Dataset, GroupAccuracy,
+};
+use muffin_nn::accuracy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fairness evaluation of one model for one sensitive attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeEvaluation {
+    /// The attribute's index in the dataset schema.
+    pub attribute: usize,
+    /// The attribute's name.
+    pub name: String,
+    /// The paper's L1 unfairness score `U`.
+    pub unfairness: f32,
+    /// Max-minus-min group accuracy.
+    pub accuracy_gap: f32,
+    /// Per-group accuracies.
+    pub groups: Vec<GroupAccuracy>,
+}
+
+/// Full evaluation of one model on one dataset: overall accuracy plus one
+/// [`AttributeEvaluation`] per sensitive attribute.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::IsicLike;
+/// use muffin_models::{Architecture, BackboneConfig, ModelPool};
+/// use muffin_tensor::Rng64;
+///
+/// let mut rng = Rng64::seed(3);
+/// let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+/// let pool = ModelPool::train(
+///     &split.train,
+///     &[Architecture::mobilenet_v3_small()],
+///     &BackboneConfig::fast(),
+///     &mut rng,
+/// );
+/// let eval = pool.get(0).expect("model").evaluate(&split.test);
+/// println!("{eval}");
+/// assert_eq!(eval.attributes.len(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEvaluation {
+    /// Name of the evaluated model.
+    pub model: String,
+    /// Overall accuracy `A(f', D)`.
+    pub accuracy: f32,
+    /// Per-attribute fairness results, in schema order.
+    pub attributes: Vec<AttributeEvaluation>,
+}
+
+impl ModelEvaluation {
+    /// Evaluates `predictions` against `dataset`'s labels and groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != dataset.len()`.
+    pub fn of(predictions: &[usize], dataset: &Dataset, model: String) -> Self {
+        assert_eq!(predictions.len(), dataset.len(), "predictions/dataset mismatch");
+        let overall = accuracy(predictions, dataset.labels());
+        let attributes = dataset
+            .schema()
+            .iter()
+            .map(|(id, attr)| {
+                let groups = dataset.groups(id);
+                AttributeEvaluation {
+                    attribute: id.index(),
+                    name: attr.name().to_string(),
+                    unfairness: unfairness_score(
+                        predictions,
+                        dataset.labels(),
+                        groups,
+                        attr.num_groups(),
+                    ),
+                    accuracy_gap: group_accuracy_gap(
+                        predictions,
+                        dataset.labels(),
+                        groups,
+                        attr.num_groups(),
+                    ),
+                    groups: group_accuracies(
+                        predictions,
+                        dataset.labels(),
+                        groups,
+                        attr.num_groups(),
+                    ),
+                }
+            })
+            .collect();
+        Self { model, accuracy: overall, attributes }
+    }
+
+    /// The evaluation for the named attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeEvaluation> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// The paper's Eq. 1 multi-dimension unfairness: the sum of the listed
+    /// attributes' scores (all attributes when `names` is empty).
+    pub fn multi_unfairness(&self, names: &[&str]) -> f32 {
+        self.attributes
+            .iter()
+            .filter(|a| names.is_empty() || names.contains(&a.name.as_str()))
+            .map(|a| a.unfairness)
+            .sum()
+    }
+}
+
+impl fmt::Display for ModelEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: accuracy {:.2}%", self.model, self.accuracy * 100.0)?;
+        for attr in &self.attributes {
+            writeln!(
+                f,
+                "  {}: U = {:.4}, gap = {:.2}%",
+                attr.name,
+                attr.unfairness,
+                attr.accuracy_gap * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Determines the unprivileged groups of `attr` from model behaviour: the
+/// groups whose accuracy falls below the overall accuracy.
+///
+/// This is the data-driven counterpart of the paper's unprivileged-group
+/// notion — it needs no knowledge of how the synthetic dataset was
+/// designed.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != dataset.len()` or `attr` is out of
+/// range.
+pub fn unprivileged_by_accuracy(
+    predictions: &[usize],
+    dataset: &Dataset,
+    attr: AttributeId,
+) -> Vec<u16> {
+    assert_eq!(predictions.len(), dataset.len(), "predictions/dataset mismatch");
+    let overall = accuracy(predictions, dataset.labels());
+    let num_groups = dataset.schema().get(attr).expect("attribute in range").num_groups();
+    group_accuracies(predictions, dataset.labels(), dataset.groups(attr), num_groups)
+        .iter()
+        .filter(|g| g.count > 0 && g.accuracy < overall)
+        .map(|g| g.group)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_data::{AttributeSchema, SensitiveAttribute};
+    use muffin_tensor::Matrix;
+
+    fn toy_dataset() -> Dataset {
+        // 6 samples; group 1 of attribute "a" is systematically hard.
+        let features = Matrix::zeros(6, 2);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let schema = AttributeSchema::new(vec![SensitiveAttribute::new("a", &["g0", "g1"])]);
+        let groups = vec![vec![0, 0, 0, 1, 1, 1]];
+        Dataset::new(features, labels, 2, schema, groups)
+    }
+
+    #[test]
+    fn evaluation_separates_attributes_and_overall() {
+        let ds = toy_dataset();
+        // Predict class 0 always: group 0 perfect, group 1 all wrong.
+        let eval = ModelEvaluation::of(&[0; 6], &ds, "const".into());
+        assert!((eval.accuracy - 0.5).abs() < 1e-6);
+        let a = eval.attribute("a").expect("attribute a");
+        assert!((a.unfairness - 1.0).abs() < 1e-6);
+        assert!((a.accuracy_gap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_unfairness_sums_selected_attributes() {
+        let ds = toy_dataset();
+        let eval = ModelEvaluation::of(&[0; 6], &ds, "const".into());
+        assert!((eval.multi_unfairness(&["a"]) - 1.0).abs() < 1e-6);
+        assert!((eval.multi_unfairness(&[]) - 1.0).abs() < 1e-6);
+        assert_eq!(eval.multi_unfairness(&["missing"]), 0.0);
+    }
+
+    #[test]
+    fn unprivileged_by_accuracy_flags_low_groups() {
+        let ds = toy_dataset();
+        let unpriv = unprivileged_by_accuracy(&[0; 6], &ds, AttributeId::new(0));
+        assert_eq!(unpriv, vec![1]);
+    }
+
+    #[test]
+    fn unprivileged_is_empty_for_uniform_accuracy() {
+        let ds = toy_dataset();
+        // Perfect predictions: no group below overall.
+        let unpriv = unprivileged_by_accuracy(&[0, 0, 0, 1, 1, 1], &ds, AttributeId::new(0));
+        assert!(unpriv.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_every_attribute() {
+        let ds = toy_dataset();
+        let text = ModelEvaluation::of(&[0; 6], &ds, "const".into()).to_string();
+        assert!(text.contains("const"));
+        assert!(text.contains("a: U ="));
+    }
+}

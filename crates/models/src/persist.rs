@@ -1,0 +1,116 @@
+//! Model-pool persistence.
+//!
+//! Training a full pool is the most expensive step of every experiment, so
+//! pools can be serialised to JSON and reloaded — the frozen models carry
+//! their projections and trained MLP weights verbatim.
+
+use crate::ModelPool;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error raised when saving or loading a model pool.
+#[derive(Debug)]
+pub enum PoolIoError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file contents are not a valid serialised pool.
+    Parse(String),
+}
+
+impl fmt::Display for PoolIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolIoError::Io(e) => write!(f, "pool io failed: {e}"),
+            PoolIoError::Parse(msg) => write!(f, "pool parse failed: {msg}"),
+        }
+    }
+}
+
+impl Error for PoolIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PoolIoError::Io(e) => Some(e),
+            PoolIoError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PoolIoError {
+    fn from(e: std::io::Error) -> Self {
+        PoolIoError::Io(e)
+    }
+}
+
+impl ModelPool {
+    /// Serialises the pool (architectures, projections, trained weights)
+    /// to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolIoError::Io`] if the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PoolIoError> {
+        let json = serde_json::to_string(self).map_err(|e| PoolIoError::Parse(e.to_string()))?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a pool previously written by [`ModelPool::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolIoError::Io`] if the file cannot be read and
+    /// [`PoolIoError::Parse`] if it is not a valid pool.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<ModelPool, PoolIoError> {
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| PoolIoError::Parse(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, BackboneConfig, ModelPool};
+    use muffin_data::IsicLike;
+    use muffin_tensor::Rng64;
+
+    #[test]
+    fn pool_round_trips_with_identical_predictions() {
+        let mut rng = Rng64::seed(70);
+        let split = IsicLike::small().with_num_samples(300).generate(&mut rng).split_default(&mut rng);
+        let pool = ModelPool::train(
+            &split.train,
+            &[Architecture::shufflenet_v2_x1_0()],
+            &BackboneConfig::fast().with_epochs(3),
+            &mut rng,
+        );
+        let dir = std::env::temp_dir().join("muffin_pool_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("pool.json");
+        pool.save_json(&path).expect("save");
+        let loaded = ModelPool::load_json(&path).expect("load");
+        assert_eq!(loaded.len(), pool.len());
+        let a = pool.get(0).unwrap().predict(split.test.features());
+        let b = loaded.get(0).unwrap().predict(split.test.features());
+        assert_eq!(a, b, "reloaded pool must predict identically");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ModelPool::load_json("/nonexistent/pool.json").unwrap_err();
+        assert!(matches!(err, PoolIoError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_is_parse_error() {
+        let dir = std::env::temp_dir().join("muffin_pool_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "[not a pool]").expect("write");
+        let err = ModelPool::load_json(&path).unwrap_err();
+        assert!(matches!(err, PoolIoError::Parse(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! Loss functions.
+//!
+//! Besides the standard classification losses, this module implements the
+//! paper's fairness-aware training loss (Eq. 2):
+//!
+//! ```text
+//! L = w[g] × Σᵢ (f'(xᵢ) − yᵢ)² / N
+//! ```
+//!
+//! where `w[g]` is the Algorithm-1 weight of the unprivileged group the
+//! sample belongs to. [`weighted_mse_loss`] takes the weight *per sample*
+//! (the caller resolves each sample's group weight), which generalises the
+//! per-group formulation.
+
+use muffin_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which loss a training run uses.
+///
+/// # Example
+///
+/// ```
+/// use muffin_nn::LossKind;
+///
+/// assert_ne!(LossKind::CrossEntropy, LossKind::WeightedMse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Softmax cross-entropy (backbone training).
+    CrossEntropy,
+    /// The paper's Eq. 2: per-sample-weighted mean squared error against
+    /// one-hot targets (muffin-head training on the proxy dataset).
+    WeightedMse,
+    /// Per-sample-weighted softmax cross-entropy (ablation alternative to
+    /// Eq. 2 and the loss used by the `L` fairness baseline).
+    WeightedCrossEntropy,
+}
+
+/// Builds a one-hot target matrix from class labels.
+///
+/// # Panics
+///
+/// Panics if any label is `>= num_classes`.
+///
+/// # Example
+///
+/// ```
+/// let t = muffin_nn::one_hot(&[2, 0], 3);
+/// assert_eq!(t.row(0), &[0.0, 0.0, 1.0]);
+/// assert_eq!(t.row(1), &[1.0, 0.0, 0.0]);
+/// ```
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Matrix {
+    let mut out = Matrix::zeros(labels.len(), num_classes);
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < num_classes, "label {label} >= num_classes {num_classes}");
+        out.set(r, label, 1.0);
+    }
+    out
+}
+
+/// Softmax cross-entropy loss over a batch of logits.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient is already divided
+/// by the batch size.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn cross_entropy_loss(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    weighted_cross_entropy_loss(logits, labels, None)
+}
+
+/// Per-sample-weighted softmax cross-entropy.
+///
+/// With `weights = None` every sample weighs `1.0`, reducing to plain
+/// cross-entropy. The mean is taken over the *sum of weights* so that
+/// re-weighting does not change the loss scale.
+///
+/// # Panics
+///
+/// Panics if lengths disagree, a label is out of range, or the total weight
+/// is not positive.
+pub fn weighted_cross_entropy_loss(
+    logits: &Matrix,
+    labels: &[usize],
+    weights: Option<&[f32]>,
+) -> (f32, Matrix) {
+    let n = logits.rows();
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "weights/batch mismatch");
+    }
+    let total_weight: f32 = match weights {
+        Some(w) => w.iter().sum(),
+        None => n as f32,
+    };
+    assert!(total_weight > 0.0, "total sample weight must be positive");
+
+    let log_probs = logits.log_softmax_rows();
+    let mut grad = log_probs.map(f32::exp); // softmax probabilities
+    let mut loss = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let w = weights.map_or(1.0, |w| w[r]);
+        loss -= w * log_probs.get(r, label);
+        let row = grad.row_mut(r);
+        row[label] -= 1.0;
+        for g in row.iter_mut() {
+            *g *= w / total_weight;
+        }
+    }
+    (loss / total_weight, grad)
+}
+
+/// Plain mean squared error between predictions and targets.
+///
+/// Returns `(mean_loss, grad_pred)`; the mean is over all elements.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse_loss(pred: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    let weights = vec![1.0; pred.rows()];
+    weighted_mse_loss(pred, targets, &weights)
+}
+
+/// The paper's Eq. 2: per-sample-weighted mean squared error.
+///
+/// Each sample's squared error is scaled by its weight; the loss is
+/// normalised by `Σ weights × num_classes` so the magnitude is comparable
+/// across different weightings.
+///
+/// Returns `(loss, grad_pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes or lengths disagree, or the total weight is not
+/// positive.
+pub fn weighted_mse_loss(pred: &Matrix, targets: &Matrix, weights: &[f32]) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), targets.shape(), "pred/target shape mismatch");
+    assert_eq!(weights.len(), pred.rows(), "weights/batch mismatch");
+    let total_weight: f32 = weights.iter().sum();
+    assert!(total_weight > 0.0, "total sample weight must be positive");
+    let denom = total_weight * pred.cols() as f32;
+
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for (r, &w) in weights.iter().enumerate() {
+        let p = pred.row(r);
+        let t = targets.row(r);
+        let g = grad.row_mut(r);
+        for c in 0..p.len() {
+            let diff = p[c] - t[c];
+            loss += w * diff * diff;
+            g[c] = 2.0 * w * diff / denom;
+        }
+    }
+    (loss / denom, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_tensor::{Init, Rng64};
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let t = one_hot(&[0, 1, 2, 1], 3);
+        for row in t.iter_rows() {
+            assert_eq!(row.iter().sum::<f32>(), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_classes")]
+    fn one_hot_rejects_out_of_range() {
+        one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]).unwrap();
+        let (loss, _) = cross_entropy_loss(&logits, &[0, 1]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let logits = Matrix::zeros(4, 5);
+        let (loss, _) = cross_entropy_loss(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed(7);
+        let logits = Matrix::random(3, 4, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let labels = [1usize, 3, 0];
+        let (_, grad) = cross_entropy_loss(&logits, &labels);
+        let h = 1e-2f32;
+        for r in 0..3 {
+            for c in 0..4 {
+                let mut bumped = logits.clone();
+                bumped.set(r, c, logits.get(r, c) + h);
+                let (lp, _) = cross_entropy_loss(&bumped, &labels);
+                let mut dipped = logits.clone();
+                dipped.set(r, c, logits.get(r, c) - h);
+                let (lm, _) = cross_entropy_loss(&dipped, &labels);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (numeric - grad.get(r, c)).abs() < 1e-3,
+                    "({r},{c}): numeric {numeric} vs {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cross_entropy_zero_weight_samples_do_not_contribute() {
+        let logits = Matrix::from_rows(&[&[5.0, -5.0], &[-5.0, 5.0]]).unwrap();
+        // Second sample mislabeled but weight 0 — loss stays tiny.
+        let (loss, grad) = weighted_cross_entropy_loss(&logits, &[0, 0], Some(&[1.0, 0.0]));
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.row(1).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn weighted_mse_matches_plain_mse_with_unit_weights() {
+        let pred = Matrix::from_rows(&[&[0.2, 0.8], &[0.6, 0.4]]).unwrap();
+        let targets = one_hot(&[1, 0], 2);
+        let (l1, g1) = mse_loss(&pred, &targets);
+        let (l2, g2) = weighted_mse_loss(&pred, &targets, &[1.0, 1.0]);
+        assert!((l1 - l2).abs() < 1e-7);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn weighted_mse_scales_per_sample_gradient() {
+        let pred = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let targets = one_hot(&[0, 0], 2);
+        let (_, grad) = weighted_mse_loss(&pred, &targets, &[3.0, 1.0]);
+        // Heavier sample's gradient is 3x the lighter one's.
+        let ratio = grad.get(0, 0) / grad.get(1, 0);
+        assert!((ratio - 3.0).abs() < 1e-5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_mse_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed(8);
+        let pred = Matrix::random(2, 3, Init::ScaledNormal { std_dev: 0.5 }, &mut rng);
+        let targets = one_hot(&[2, 0], 3);
+        let weights = [2.0f32, 0.5];
+        let (_, grad) = weighted_mse_loss(&pred, &targets, &weights);
+        let h = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut up = pred.clone();
+                up.set(r, c, pred.get(r, c) + h);
+                let (lp, _) = weighted_mse_loss(&up, &targets, &weights);
+                let mut down = pred.clone();
+                down.set(r, c, pred.get(r, c) - h);
+                let (lm, _) = weighted_mse_loss(&down, &targets, &weights);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!((numeric - grad.get(r, c)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_mse_rejects_zero_total_weight() {
+        let pred = Matrix::zeros(1, 2);
+        let targets = Matrix::zeros(1, 2);
+        weighted_mse_loss(&pred, &targets, &[0.0]);
+    }
+
+    #[test]
+    fn loss_kind_is_copy_and_comparable() {
+        let k = LossKind::WeightedMse;
+        let k2 = k;
+        assert_eq!(k, k2);
+    }
+}

@@ -1,0 +1,357 @@
+use crate::{Activation, Linear, Parameterized};
+use muffin_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Architecture description for an [`Mlp`].
+///
+/// In Muffin terms this describes both the synthetic *backbones* standing in
+/// for the off-the-shelf CNNs and the *muffin head* whose shape the RNN
+/// controller searches (e.g. the paper's `[16, 18, 12, 8]` heads).
+///
+/// # Example
+///
+/// ```
+/// use muffin_nn::{Activation, MlpSpec};
+///
+/// let spec = MlpSpec::new(16, &[18, 12], 8).with_activation(Activation::Relu);
+/// assert_eq!(spec.layer_dims(), vec![16, 18, 12, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    input_dim: usize,
+    hidden: Vec<usize>,
+    output_dim: usize,
+    activation: Activation,
+}
+
+impl MlpSpec {
+    /// Creates a spec with the given input width, hidden widths and output
+    /// width, defaulting to ReLU hidden activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(input_dim: usize, hidden: &[usize], output_dim: usize) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        Self { input_dim, hidden: hidden.to_vec(), output_dim, activation: Activation::Relu }
+    }
+
+    /// Sets the hidden activation function.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden layer widths.
+    pub fn hidden(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Hidden activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Full layer-width chain `[input, hidden…, output]`.
+    pub fn layer_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.input_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.output_dim);
+        dims
+    }
+
+    /// Number of trainable parameters an [`Mlp`] built from this spec has.
+    pub fn param_count(&self) -> usize {
+        self.layer_dims().windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+}
+
+/// Per-layer forward caches needed for backpropagation.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input to each linear layer (first entry is the network input).
+    inputs: Vec<Matrix>,
+    /// Pre-activation output of each linear layer.
+    pre_activations: Vec<Matrix>,
+}
+
+/// A feed-forward multi-layer perceptron with manual backpropagation.
+///
+/// The final layer is linear (no activation); classification uses softmax
+/// externally via [`Mlp::predict_proba`].
+///
+/// # Example
+///
+/// ```
+/// use muffin_nn::{Mlp, MlpSpec};
+/// use muffin_tensor::{Matrix, Rng64};
+///
+/// let mut rng = Rng64::seed(5);
+/// let mlp = Mlp::new(&MlpSpec::new(4, &[8, 8], 3), &mut rng);
+/// let probs = mlp.predict_proba(&Matrix::zeros(2, 4));
+/// assert_eq!(probs.shape(), (2, 3));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    spec: MlpSpec,
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds a randomly initialised network from `spec`.
+    pub fn new(spec: &MlpSpec, rng: &mut Rng64) -> Self {
+        let dims = spec.layer_dims();
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Self { spec: spec.clone(), layers }
+    }
+
+    /// The architecture this network was built from.
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Forward pass returning raw logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != spec.input_dim()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i < last {
+                let act = self.spec.activation;
+                h.map_in_place(|v| act.apply(v));
+            }
+        }
+        h
+    }
+
+    /// Forward pass that also returns the caches needed by [`Mlp::backward`].
+    pub fn forward_train(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            let z = layer.forward(&h);
+            pre_activations.push(z.clone());
+            h = if i < last {
+                let act = self.spec.activation;
+                let mut a = z;
+                a.map_in_place(|v| act.apply(v));
+                a
+            } else {
+                z
+            };
+        }
+        (h, MlpCache { inputs, pre_activations })
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` does not correspond to the most recent
+    /// [`Mlp::forward_train`] batch shape.
+    pub fn backward(&mut self, cache: &MlpCache, grad_logits: &Matrix) -> Matrix {
+        let mut grad = grad_logits.clone();
+        let act = self.spec.activation;
+        let last = self.layers.len() - 1;
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                // Chain through the activation of layer i.
+                let z = &cache.pre_activations[i];
+                grad = grad.zip_map(z, |g, zv| g * act.derivative(zv));
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    /// Softmax class probabilities for each row of `x`.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.forward(x).softmax_rows()
+    }
+
+    /// Hard class predictions (argmax of the logits).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.forward(x).argmax_rows()
+    }
+}
+
+impl Parameterized for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy_loss;
+    use crate::{Optimizer, SgdConfig};
+    use muffin_tensor::Init;
+
+    #[test]
+    fn spec_param_count_matches_network() {
+        let spec = MlpSpec::new(10, &[16, 8], 4);
+        let mut rng = Rng64::seed(0);
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        assert_eq!(spec.param_count(), mlp.param_count());
+        assert_eq!(spec.param_count(), mlp.num_params());
+        assert_eq!(spec.param_count(), 10 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn spec_rejects_zero_dims() {
+        MlpSpec::new(0, &[4], 2);
+    }
+
+    #[test]
+    fn forward_without_hidden_layers_is_linear() {
+        let mut rng = Rng64::seed(1);
+        let mlp = Mlp::new(&MlpSpec::new(3, &[], 2), &mut rng);
+        let x = Matrix::zeros(1, 3);
+        // Zero input through a linear layer gives exactly the bias (zeros).
+        assert_eq!(mlp.forward(&x).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut rng = Rng64::seed(2);
+        let mlp = Mlp::new(&MlpSpec::new(5, &[7, 6], 3), &mut rng);
+        let x = Matrix::random(4, 5, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let a = mlp.forward(&x);
+        let (b, _) = mlp.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = Rng64::seed(3);
+        let spec = MlpSpec::new(3, &[4], 2).with_activation(Activation::Tanh);
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        let x = Matrix::random(5, 3, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let labels = [0usize, 1, 0, 1, 0];
+
+        let (logits, cache) = mlp.forward_train(&x);
+        let (_, grad_logits) = cross_entropy_loss(&logits, &labels);
+        mlp.zero_grad();
+        mlp.backward(&cache, &grad_logits);
+
+        // Collect analytic gradients.
+        let mut analytic = Vec::new();
+        mlp.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+
+        // Finite differences over a few parameters of each buffer.
+        let h = 1e-2f32;
+        let mut buffer_idx = 0;
+        let mut base_mlp = mlp.clone();
+        base_mlp.visit_params(&mut |_, _| {});
+        for probe in 0..analytic.len() {
+            for k in [0usize] {
+                let mut up = mlp.clone();
+                let mut i = 0;
+                up.visit_params(&mut |p, _| {
+                    if i == probe && k < p.len() {
+                        p[k] += h;
+                    }
+                    i += 1;
+                });
+                let (lu, _) = cross_entropy_loss(&up.forward(&x), &labels);
+                let mut down = mlp.clone();
+                let mut i = 0;
+                down.visit_params(&mut |p, _| {
+                    if i == probe && k < p.len() {
+                        p[k] -= h;
+                    }
+                    i += 1;
+                });
+                let (ld, _) = cross_entropy_loss(&down.forward(&x), &labels);
+                let numeric = (lu - ld) / (2.0 * h);
+                let got = analytic[probe][k];
+                assert!(
+                    (numeric - got).abs() < 2e-2,
+                    "buffer {probe}[{k}]: numeric {numeric} vs analytic {got}"
+                );
+            }
+            buffer_idx += 1;
+        }
+        assert!(buffer_idx > 0);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_data() {
+        let mut rng = Rng64::seed(4);
+        let spec = MlpSpec::new(2, &[8], 2);
+        let mut mlp = Mlp::new(&spec, &mut rng);
+        // Linearly separable blobs.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let center = if class == 0 { -1.5 } else { 1.5 };
+            rows.push(vec![center + rng.normal() * 0.3, center + rng.normal() * 0.3]);
+            labels.push(class);
+        }
+        let x = Matrix::from_rows(&rows.iter().map(Vec::as_slice).collect::<Vec<_>>()).unwrap();
+        let mut opt = Optimizer::sgd(SgdConfig::default());
+        let (logits, _) = mlp.forward_train(&x);
+        let (initial_loss, _) = cross_entropy_loss(&logits, &labels);
+        for _ in 0..100 {
+            let (logits, cache) = mlp.forward_train(&x);
+            let (_, grad) = cross_entropy_loss(&logits, &labels);
+            mlp.zero_grad();
+            mlp.backward(&cache, &grad);
+            opt.step(&mut mlp, 0.1);
+        }
+        let (logits, _) = mlp.forward_train(&x);
+        let (final_loss, _) = cross_entropy_loss(&logits, &labels);
+        assert!(final_loss < initial_loss * 0.2, "{initial_loss} -> {final_loss}");
+        assert_eq!(mlp.predict(&x), labels);
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let mut rng = Rng64::seed(5);
+        let mlp = Mlp::new(&MlpSpec::new(3, &[5], 4), &mut rng);
+        let x = Matrix::random(6, 3, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let p = mlp.predict_proba(&x);
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn network_is_deterministic_given_seed() {
+        let spec = MlpSpec::new(4, &[6], 2);
+        let a = Mlp::new(&spec, &mut Rng64::seed(9));
+        let b = Mlp::new(&spec, &mut Rng64::seed(9));
+        let x = Matrix::filled(1, 4, 0.5);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+}

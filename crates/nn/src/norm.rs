@@ -1,0 +1,241 @@
+use crate::Parameterized;
+use muffin_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Layer normalisation with learnable gain and bias:
+///
+/// ```text
+/// y = γ ⊙ (x − mean(x)) / sqrt(var(x) + ε) + β
+/// ```
+///
+/// applied per row (per sample). Deeper backbone variants use it between
+/// linear layers to keep activations well-scaled regardless of the
+/// group-conditional noise levels in the synthetic data.
+///
+/// # Example
+///
+/// ```
+/// use muffin_nn::LayerNorm;
+/// use muffin_tensor::Matrix;
+///
+/// let ln = LayerNorm::new(4);
+/// let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+/// let (y, _) = ln.forward(&x);
+/// let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+/// assert!(mean.abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gain: Vec<f32>,
+    bias: Vec<f32>,
+    grad_gain: Vec<f32>,
+    grad_bias: Vec<f32>,
+    eps: f32,
+}
+
+/// Forward cache for [`LayerNorm::backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    normalized: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer normalising rows of width `dim` (γ = 1, β = 0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gain: vec![1.0; dim],
+            bias: vec![0.0; dim],
+            grad_gain: vec![0.0; dim],
+            grad_bias: vec![0.0; dim],
+            eps: 1e-5,
+        }
+    }
+
+    /// Width this layer normalises.
+    pub fn dim(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Forward pass, returning the output and the backward cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        assert_eq!(x.cols(), self.dim(), "layernorm width mismatch");
+        let d = x.cols() as f32;
+        let mut normalized = Matrix::zeros(x.rows(), x.cols());
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            let n_row = normalized.row_mut(r);
+            for (c, &v) in row.iter().enumerate() {
+                n_row[c] = (v - mean) * istd;
+            }
+            let o_row = out.row_mut(r);
+            for (c, o) in o_row.iter_mut().enumerate() {
+                *o = self.gain[c] * normalized.get(r, c) + self.bias[c];
+            }
+        }
+        (out, LayerNormCache { normalized, inv_std })
+    }
+
+    /// Backward pass: accumulates γ/β gradients and returns `∂L/∂x`.
+    pub fn backward(&mut self, cache: &LayerNormCache, grad_out: &Matrix) -> Matrix {
+        let d = grad_out.cols() as f32;
+        let mut grad_in = Matrix::zeros(grad_out.rows(), grad_out.cols());
+        for r in 0..grad_out.rows() {
+            let g_row = grad_out.row(r);
+            let n_row = cache.normalized.row(r);
+            for c in 0..g_row.len() {
+                self.grad_gain[c] += g_row[c] * n_row[c];
+                self.grad_bias[c] += g_row[c];
+            }
+            // dL/dxhat
+            let dxhat: Vec<f32> =
+                g_row.iter().enumerate().map(|(c, &g)| g * self.gain[c]).collect();
+            let sum_dxhat: f32 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(n_row).map(|(a, b)| a * b).sum();
+            let istd = cache.inv_std[r];
+            let gi_row = grad_in.row_mut(r);
+            for c in 0..dxhat.len() {
+                gi_row[c] =
+                    istd / d * (d * dxhat[c] - sum_dxhat - n_row[c] * sum_dxhat_xhat);
+            }
+        }
+        grad_in
+    }
+}
+
+impl Parameterized for LayerNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.gain, &mut self.grad_gain);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_tensor::{Init, Rng64};
+
+    #[test]
+    fn output_rows_are_standardised_with_default_params() {
+        let ln = LayerNorm::new(8);
+        let mut rng = Rng64::seed(1);
+        let x = Matrix::random(5, 8, Init::ScaledNormal { std_dev: 3.0 }, &mut rng);
+        let (y, _) = ln.forward(&x);
+        for row in y.iter_rows() {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gain_and_bias_shift_the_output() {
+        let mut ln = LayerNorm::new(2);
+        ln.visit_params(&mut |p, _| {
+            if p[0] == 1.0 {
+                p.copy_from_slice(&[2.0, 2.0]); // gain
+            } else {
+                p.copy_from_slice(&[5.0, 5.0]); // bias
+            }
+        });
+        let x = Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap();
+        let (y, _) = ln.forward(&x);
+        // normalised row is [-1, 1] (σ = 1): y = 2·(±1) + 5.
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-3);
+        assert!((y.get(0, 1) - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut ln = LayerNorm::new(4);
+        let mut rng = Rng64::seed(2);
+        ln.visit_params(&mut |p, _| {
+            for v in p.iter_mut() {
+                *v += rng.uniform(-0.2, 0.2);
+            }
+        });
+        let x = Matrix::random(3, 4, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let (_, cache) = ln.forward(&x);
+        ln.zero_grad();
+        // Loss = sum(output).
+        let grad_in = ln.backward(&cache, &Matrix::filled(3, 4, 1.0));
+        let h = 1e-2f32;
+        for r in 0..3 {
+            for c in 0..4 {
+                let mut up = x.clone();
+                up.set(r, c, x.get(r, c) + h);
+                let (yu, _) = ln.forward(&up);
+                let mut down = x.clone();
+                down.set(r, c, x.get(r, c) - h);
+                let (yd, _) = ln.forward(&down);
+                let numeric = (yu.sum() - yd.sum()) / (2.0 * h);
+                assert!(
+                    (numeric - grad_in.get(r, c)).abs() < 2e-2,
+                    "({r},{c}): numeric {numeric} vs {}",
+                    grad_in.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        let mut ln = LayerNorm::new(3);
+        let mut rng = Rng64::seed(3);
+        let x = Matrix::random(2, 3, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+        let (_, cache) = ln.forward(&x);
+        ln.zero_grad();
+        ln.backward(&cache, &Matrix::filled(2, 3, 1.0));
+        let mut grads = Vec::new();
+        ln.visit_params(&mut |_, g| grads.push(g[0]));
+
+        let h = 1e-3f32;
+        for probe in 0..2 {
+            let mut up = ln.clone();
+            let mut i = 0;
+            up.visit_params(&mut |p, _| {
+                if i == probe {
+                    p[0] += h;
+                }
+                i += 1;
+            });
+            let (yu, _) = up.forward(&x);
+            let mut down = ln.clone();
+            let mut i = 0;
+            down.visit_params(&mut |p, _| {
+                if i == probe {
+                    p[0] -= h;
+                }
+                i += 1;
+            });
+            let (yd, _) = down.forward(&x);
+            let numeric = (yu.sum() - yd.sum()) / (2.0 * h);
+            assert!((numeric - grads[probe]).abs() < 1e-2, "param {probe}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let ln = LayerNorm::new(4);
+        let _ = ln.forward(&Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    fn constant_rows_stay_finite() {
+        let ln = LayerNorm::new(3);
+        let (y, _) = ln.forward(&Matrix::filled(2, 3, 7.0));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

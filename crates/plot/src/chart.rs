@@ -1,0 +1,434 @@
+use crate::{nice_ticks, LinearScale, SvgCanvas};
+
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+const MARGIN_LEFT: f32 = 64.0;
+const MARGIN_RIGHT: f32 = 150.0;
+const MARGIN_TOP: f32 = 40.0;
+const MARGIN_BOTTOM: f32 = 48.0;
+
+/// Marker style for scatter series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// A filled circle (used for the "existing networks" series).
+    Circle,
+    /// A filled triangle (used for the "Muffin-Nets" series, matching the
+    /// paper's red triangles).
+    Triangle,
+    /// A filled square.
+    Square,
+}
+
+struct ScatterSeries {
+    label: String,
+    marker: Marker,
+    points: Vec<(f32, f32)>,
+    frontier: Option<Vec<(f32, f32)>>,
+}
+
+/// A scatter plot with optional per-series frontier polylines — the shape
+/// of the paper's Figures 5 and 7.
+///
+/// # Example
+///
+/// ```
+/// use muffin_plot::{Marker, ScatterChart};
+///
+/// let svg = ScatterChart::new("Fig 5a", "U_age", "U_site")
+///     .series("existing", Marker::Circle, &[(1.0, 1.5), (0.9, 1.6)])
+///     .render();
+/// assert!(svg.contains("Fig 5a"));
+/// ```
+pub struct ScatterChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<ScatterSeries>,
+    size: (f32, f32),
+}
+
+impl ScatterChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            size: (640.0, 420.0),
+        }
+    }
+
+    /// Adds a point series.
+    pub fn series(mut self, label: &str, marker: Marker, points: &[(f32, f32)]) -> Self {
+        self.series.push(ScatterSeries {
+            label: label.into(),
+            marker,
+            points: points.to_vec(),
+            frontier: None,
+        });
+        self
+    }
+
+    /// Adds a frontier polyline to the most recently added series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has been added yet.
+    pub fn frontier(mut self, points: &[(f32, f32)]) -> Self {
+        let last = self.series.last_mut().expect("add a series before its frontier");
+        let mut sorted = points.to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        last.frontier = Some(sorted);
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let mut canvas = SvgCanvas::new(w, h);
+        let all: Vec<(f32, f32)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if all.is_empty() {
+            canvas.text(MARGIN_LEFT, h / 2.0, 12.0, "(no data)");
+            return canvas.render();
+        }
+        let xs = LinearScale::covering(all.iter().map(|p| p.0), (MARGIN_LEFT, w - MARGIN_RIGHT));
+        let ys = LinearScale::covering(all.iter().map(|p| p.1), (h - MARGIN_BOTTOM, MARGIN_TOP));
+        draw_frame(&mut canvas, &self.title, &self.x_label, &self.y_label, &xs, &ys, (w, h));
+
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            if let Some(frontier) = &series.frontier {
+                let pts: Vec<(f32, f32)> =
+                    frontier.iter().map(|&(x, y)| (xs.map(x), ys.map(y))).collect();
+                canvas.polyline(&pts, color, 1.5);
+            }
+            for &(x, y) in &series.points {
+                let (px, py) = (xs.map(x), ys.map(y));
+                match series.marker {
+                    Marker::Circle => canvas.circle(px, py, 4.0, color),
+                    Marker::Triangle => canvas.triangle(px, py, 5.0, color),
+                    Marker::Square => canvas.rect(px - 3.5, py - 3.5, 7.0, 7.0, color),
+                }
+            }
+            let ly = MARGIN_TOP + 16.0 * i as f32;
+            match series.marker {
+                Marker::Circle => canvas.circle(w - MARGIN_RIGHT + 16.0, ly, 4.0, color),
+                Marker::Triangle => canvas.triangle(w - MARGIN_RIGHT + 16.0, ly, 5.0, color),
+                Marker::Square => {
+                    canvas.rect(w - MARGIN_RIGHT + 12.5, ly - 3.5, 7.0, 7.0, color)
+                }
+            }
+            canvas.text(w - MARGIN_RIGHT + 26.0, ly + 4.0, 11.0, &series.label);
+        }
+        canvas.render()
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// A grouped bar chart — the shape of the paper's Figures 1, 6 and 8.
+///
+/// # Example
+///
+/// ```
+/// use muffin_plot::BarChart;
+///
+/// let svg = BarChart::new("per-group accuracy", "accuracy")
+///     .category("group A", &[0.8, 0.9])
+///     .category("group B", &[0.5, 0.7])
+///     .series_labels(&["ResNet-18", "Muffin"])
+///     .render();
+/// assert!(svg.contains("group B"));
+/// ```
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<(String, Vec<f32>)>,
+    series_labels: Vec<String>,
+    size: (f32, f32),
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series_labels: Vec::new(),
+            size: (720.0, 420.0),
+        }
+    }
+
+    /// Adds one category (x position) with one bar value per series.
+    pub fn category(mut self, label: &str, values: &[f32]) -> Self {
+        self.categories.push((label.into(), values.to_vec()));
+        self
+    }
+
+    /// Names the series (legend entries).
+    pub fn series_labels(mut self, labels: &[&str]) -> Self {
+        self.series_labels = labels.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let mut canvas = SvgCanvas::new(w, h);
+        let values: Vec<f32> =
+            self.categories.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        if values.is_empty() {
+            canvas.text(MARGIN_LEFT, h / 2.0, 12.0, "(no data)");
+            return canvas.render();
+        }
+        let max = values.iter().copied().fold(f32::MIN, f32::max).max(1e-6);
+        let ys = LinearScale::new((0.0, max * 1.05), (h - MARGIN_BOTTOM, MARGIN_TOP));
+        let xs = LinearScale::new(
+            (0.0, self.categories.len() as f32),
+            (MARGIN_LEFT, w - MARGIN_RIGHT),
+        );
+        draw_frame(&mut canvas, &self.title, "", &self.y_label, &xs, &ys, (w, h));
+
+        let num_series = self.categories.iter().map(|(_, v)| v.len()).max().unwrap_or(1);
+        let slot = xs.map(1.0) - xs.map(0.0);
+        let bar_w = (slot * 0.8) / num_series as f32;
+        for (c, (label, bars)) in self.categories.iter().enumerate() {
+            let x0 = xs.map(c as f32) + slot * 0.1;
+            for (s, &v) in bars.iter().enumerate() {
+                let color = PALETTE[s % PALETTE.len()];
+                let top = ys.map(v);
+                let base = ys.map(0.0);
+                canvas.rect(x0 + s as f32 * bar_w, top, bar_w * 0.92, base - top, color);
+            }
+            canvas.text_centered(
+                xs.map(c as f32 + 0.5),
+                h - MARGIN_BOTTOM + 16.0,
+                10.0,
+                label,
+            );
+        }
+        for (s, label) in self.series_labels.iter().enumerate() {
+            let color = PALETTE[s % PALETTE.len()];
+            let ly = MARGIN_TOP + 16.0 * s as f32;
+            canvas.rect(w - MARGIN_RIGHT + 10.0, ly - 7.0, 10.0, 10.0, color);
+            canvas.text(w - MARGIN_RIGHT + 26.0, ly + 2.0, 11.0, label);
+        }
+        canvas.render()
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// A multi-series line chart — search curves and the paper's Figure 9(b).
+///
+/// # Example
+///
+/// ```
+/// use muffin_plot::LineChart;
+///
+/// let svg = LineChart::new("best-so-far", "episode", "reward")
+///     .series("RL", &[(0.0, 1.0), (1.0, 1.4)])
+///     .render();
+/// assert!(svg.contains("polyline"));
+/// ```
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f32, f32)>)>,
+    size: (f32, f32),
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            size: (640.0, 400.0),
+        }
+    }
+
+    /// Adds a line series.
+    pub fn series(mut self, label: &str, points: &[(f32, f32)]) -> Self {
+        self.series.push((label.into(), points.to_vec()));
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let mut canvas = SvgCanvas::new(w, h);
+        let all: Vec<(f32, f32)> =
+            self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        if all.is_empty() {
+            canvas.text(MARGIN_LEFT, h / 2.0, 12.0, "(no data)");
+            return canvas.render();
+        }
+        let xs = LinearScale::covering(all.iter().map(|p| p.0), (MARGIN_LEFT, w - MARGIN_RIGHT));
+        let ys = LinearScale::covering(all.iter().map(|p| p.1), (h - MARGIN_BOTTOM, MARGIN_TOP));
+        draw_frame(&mut canvas, &self.title, &self.x_label, &self.y_label, &xs, &ys, (w, h));
+        for (i, (label, points)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f32, f32)> =
+                points.iter().map(|&(x, y)| (xs.map(x), ys.map(y))).collect();
+            canvas.polyline(&pts, color, 2.0);
+            let ly = MARGIN_TOP + 16.0 * i as f32;
+            canvas.line(w - MARGIN_RIGHT + 8.0, ly, w - MARGIN_RIGHT + 22.0, ly, color, 2.0);
+            canvas.text(w - MARGIN_RIGHT + 26.0, ly + 4.0, 11.0, label);
+        }
+        canvas.render()
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Shared axes/frame/title drawing.
+fn draw_frame(
+    canvas: &mut SvgCanvas,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    xs: &LinearScale,
+    ys: &LinearScale,
+    (w, h): (f32, f32),
+) {
+    canvas.text_centered((MARGIN_LEFT + w - MARGIN_RIGHT) / 2.0, 20.0, 14.0, title);
+    // Axis lines.
+    canvas.line(MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, h - MARGIN_BOTTOM, "#444", 1.0);
+    canvas.line(
+        MARGIN_LEFT,
+        h - MARGIN_BOTTOM,
+        w - MARGIN_RIGHT,
+        h - MARGIN_BOTTOM,
+        "#444",
+        1.0,
+    );
+    // Ticks.
+    for t in nice_ticks(xs.domain(), 6) {
+        let px = xs.map(t);
+        canvas.line(px, h - MARGIN_BOTTOM, px, h - MARGIN_BOTTOM + 4.0, "#444", 1.0);
+        canvas.text_centered(px, h - MARGIN_BOTTOM + 16.0, 10.0, &format_tick(t));
+    }
+    for t in nice_ticks(ys.domain(), 6) {
+        let py = ys.map(t);
+        canvas.line(MARGIN_LEFT - 4.0, py, MARGIN_LEFT, py, "#444", 1.0);
+        canvas.text(6.0, py + 3.0, 10.0, &format_tick(t));
+    }
+    if !x_label.is_empty() {
+        canvas.text_centered((MARGIN_LEFT + w - MARGIN_RIGHT) / 2.0, h - 10.0, 12.0, x_label);
+    }
+    if !y_label.is_empty() {
+        canvas.text_vertical(16.0, (MARGIN_TOP + h - MARGIN_BOTTOM) / 2.0, 12.0, y_label);
+    }
+}
+
+fn format_tick(t: f32) -> String {
+    if t == 0.0 {
+        "0".to_string()
+    } else if t.abs() >= 100.0 {
+        format!("{t:.0}")
+    } else if t.abs() >= 1.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_points_and_legend() {
+        let svg = ScatterChart::new("t", "x", "y")
+            .series("a", Marker::Circle, &[(1.0, 2.0)])
+            .series("b", Marker::Triangle, &[(2.0, 1.0)])
+            .render();
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains(">a<"));
+        assert!(svg.contains(">b<"));
+    }
+
+    #[test]
+    fn scatter_frontier_is_a_polyline() {
+        let svg = ScatterChart::new("t", "x", "y")
+            .series("a", Marker::Circle, &[(1.0, 2.0), (2.0, 1.0)])
+            .frontier(&[(2.0, 1.0), (1.0, 2.0)])
+            .render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "add a series")]
+    fn frontier_without_series_panics() {
+        let _ = ScatterChart::new("t", "x", "y").frontier(&[(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn empty_charts_render_placeholders() {
+        assert!(ScatterChart::new("t", "x", "y").render().contains("no data"));
+        assert!(BarChart::new("t", "y").render().contains("no data"));
+        assert!(LineChart::new("t", "x", "y").render().contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value() {
+        let svg = BarChart::new("t", "y")
+            .category("c1", &[0.5, 0.7])
+            .category("c2", &[0.3, 0.9])
+            .series_labels(&["s1", "s2"])
+            .render();
+        // 4 bars + white background + 2 legend swatches.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 4 + 2);
+        assert!(svg.contains("c2"));
+        assert!(svg.contains("s1"));
+    }
+
+    #[test]
+    fn line_chart_draws_each_series() {
+        let svg = LineChart::new("t", "x", "y")
+            .series("a", &[(0.0, 0.0), (1.0, 1.0)])
+            .series("b", &[(0.0, 1.0), (1.0, 0.0)])
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn charts_save_to_disk() {
+        let path = std::env::temp_dir().join("muffin_chart_test.svg");
+        LineChart::new("t", "x", "y")
+            .series("a", &[(0.0, 0.0), (1.0, 1.0)])
+            .save(&path)
+            .expect("save");
+        assert!(std::fs::read_to_string(&path).expect("read").contains("<svg"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! Dependency-free SVG charts for the Muffin experiment figures.
+//!
+//! The benchmark harness prints every table and figure as text; this crate
+//! additionally renders the figure-shaped ones — scatter plots with Pareto
+//! frontiers (papers' Fig. 5/7), grouped bars (Fig. 1/6/8) and line charts
+//! (Fig. 9b, search curves) — as standalone SVG files. No plotting
+//! dependency is pulled in: SVG is generated directly.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_plot::{Marker, ScatterChart};
+//!
+//! let svg = ScatterChart::new("accuracy vs unfairness", "U", "accuracy")
+//!     .series("existing", Marker::Circle, &[(0.9, 0.74), (1.1, 0.78)])
+//!     .series("muffin", Marker::Triangle, &[(0.8, 0.80)])
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("muffin"));
+//! ```
+
+mod chart;
+mod scale;
+mod svg;
+
+pub use chart::{BarChart, LineChart, Marker, ScatterChart};
+pub use scale::{nice_ticks, LinearScale};
+pub use svg::SvgCanvas;

@@ -1,0 +1,156 @@
+/// A linear mapping from a data domain to a pixel range.
+///
+/// The range may be inverted (`range.0 > range.1`), which is the usual
+/// case for y axes in screen coordinates.
+///
+/// # Example
+///
+/// ```
+/// use muffin_plot::LinearScale;
+///
+/// let scale = LinearScale::new((0.0, 10.0), (0.0, 100.0));
+/// assert_eq!(scale.map(5.0), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    domain: (f32, f32),
+    range: (f32, f32),
+}
+
+impl LinearScale {
+    /// Creates a scale. A degenerate domain (`min == max`) is widened by
+    /// ±0.5 so mapping stays defined.
+    pub fn new(domain: (f32, f32), range: (f32, f32)) -> Self {
+        let domain = if (domain.1 - domain.0).abs() < f32::EPSILON {
+            (domain.0 - 0.5, domain.1 + 0.5)
+        } else {
+            domain
+        };
+        Self { domain, range }
+    }
+
+    /// Builds a scale covering `values` with 5% padding on both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn covering(values: impl IntoIterator<Item = f32>, range: (f32, f32)) -> Self {
+        let mut min = f32::MAX;
+        let mut max = f32::MIN;
+        let mut any = false;
+        for v in values {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+                any = true;
+            }
+        }
+        assert!(any, "cannot build a scale over no finite values");
+        let pad = ((max - min) * 0.05).max(1e-6);
+        Self::new((min - pad, max + pad), range)
+    }
+
+    /// The data domain.
+    pub fn domain(&self) -> (f32, f32) {
+        self.domain
+    }
+
+    /// Maps a data value into the pixel range (unclamped).
+    pub fn map(&self, value: f32) -> f32 {
+        let t = (value - self.domain.0) / (self.domain.1 - self.domain.0);
+        self.range.0 + t * (self.range.1 - self.range.0)
+    }
+}
+
+/// Computes up to `max_ticks` human-friendly tick positions covering the
+/// domain (multiples of 1, 2 or 5 times a power of ten).
+///
+/// # Example
+///
+/// ```
+/// let ticks = muffin_plot::nice_ticks((0.0, 1.0), 6);
+/// assert!(ticks.contains(&0.0));
+/// assert!(ticks.len() <= 7);
+/// ```
+pub fn nice_ticks(domain: (f32, f32), max_ticks: usize) -> Vec<f32> {
+    let (lo, hi) = if domain.0 <= domain.1 { domain } else { (domain.1, domain.0) };
+    let span = (hi - lo).max(1e-9);
+    let raw_step = span / max_ticks.max(1) as f32;
+    let magnitude = 10f32.powf(raw_step.log10().floor());
+    let residual = raw_step / magnitude;
+    let step = magnitude
+        * if residual <= 1.0 {
+            1.0
+        } else if residual <= 2.0 {
+            2.0
+        } else if residual <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-3 {
+        // Snap tiny float error to zero.
+        ticks.push(if t.abs() < step * 1e-6 { 0.0 } else { t });
+        t += step;
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_linear_and_inverts() {
+        let s = LinearScale::new((0.0, 2.0), (100.0, 0.0)); // inverted range
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(2.0), 0.0);
+        assert_eq!(s.map(1.0), 50.0);
+    }
+
+    #[test]
+    fn degenerate_domain_is_widened() {
+        let s = LinearScale::new((3.0, 3.0), (0.0, 10.0));
+        let y = s.map(3.0);
+        assert!(y.is_finite());
+        assert!((y - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn covering_pads_the_extent() {
+        let s = LinearScale::covering([1.0, 2.0, 3.0], (0.0, 1.0));
+        assert!(s.domain().0 < 1.0);
+        assert!(s.domain().1 > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite values")]
+    fn covering_rejects_empty() {
+        LinearScale::covering(std::iter::empty(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn ticks_are_sorted_and_within_domain() {
+        let ticks = nice_ticks((0.13, 0.87), 5);
+        assert!(!ticks.is_empty());
+        assert!(ticks.windows(2).all(|w| w[0] < w[1]));
+        assert!(ticks.iter().all(|&t| t >= 0.13 - 1e-6 && t <= 0.87 + 1e-3));
+    }
+
+    #[test]
+    fn ticks_use_round_steps() {
+        let ticks = nice_ticks((0.0, 10.0), 5);
+        // Step should be 2.0 → ticks 0, 2, 4, 6, 8, 10.
+        assert_eq!(ticks.len(), 6);
+        assert!((ticks[1] - ticks[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reversed_domain_still_produces_ticks() {
+        let ticks = nice_ticks((1.0, 0.0), 4);
+        assert!(!ticks.is_empty());
+    }
+}

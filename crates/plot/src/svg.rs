@@ -1,0 +1,191 @@
+use std::fmt::Write as _;
+
+/// A minimal SVG document builder.
+///
+/// Elements are appended in draw order; [`SvgCanvas::render`] wraps them in
+/// an `<svg>` root with a white background.
+///
+/// # Example
+///
+/// ```
+/// use muffin_plot::SvgCanvas;
+///
+/// let mut canvas = SvgCanvas::new(100.0, 50.0);
+/// canvas.circle(10.0, 10.0, 3.0, "#d62728");
+/// let svg = canvas.render();
+/// assert!(svg.contains("<circle"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f32,
+    height: f32,
+    body: String,
+}
+
+fn esc(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl SvgCanvas {
+    /// Creates an empty canvas of the given pixel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive and finite.
+    pub fn new(width: f32, height: f32) -> Self {
+        assert!(width > 0.0 && height > 0.0, "canvas dimensions must be positive");
+        assert!(width.is_finite() && height.is_finite(), "canvas dimensions must be finite");
+        Self { width, height, body: String::new() }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> f32 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> f32 {
+        self.height
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, x1: f32, y1: f32, x2: f32, y2: f32, stroke: &str, stroke_width: f32) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{stroke_width}"/>"#
+        );
+    }
+
+    /// Draws a polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f32, f32)], stroke: &str, stroke_width: f32) {
+        if points.is_empty() {
+            return;
+        }
+        let coords: Vec<String> =
+            points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{stroke_width}"/>"#,
+            coords.join(" ")
+        );
+    }
+
+    /// Draws a filled circle.
+    pub fn circle(&mut self, cx: f32, cy: f32, r: f32, fill: &str) {
+        let _ = writeln!(self.body, r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#);
+    }
+
+    /// Draws a filled rectangle.
+    pub fn rect(&mut self, x: f32, y: f32, w: f32, h: f32, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Draws a filled triangle centred at `(cx, cy)`.
+    pub fn triangle(&mut self, cx: f32, cy: f32, r: f32, fill: &str) {
+        let pts = [
+            (cx, cy - r),
+            (cx - 0.866 * r, cy + 0.5 * r),
+            (cx + 0.866 * r, cy + 0.5 * r),
+        ];
+        let coords: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = writeln!(self.body, r#"<polygon points="{}" fill="{fill}"/>"#, coords.join(" "));
+    }
+
+    /// Draws text anchored at its start.
+    pub fn text(&mut self, x: f32, y: f32, size: f32, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif">{}</text>"#,
+            esc(content)
+        );
+    }
+
+    /// Draws text centred on `x`.
+    pub fn text_centered(&mut self, x: f32, y: f32, size: f32, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            esc(content)
+        );
+    }
+
+    /// Draws text rotated 90° counter-clockwise around its anchor (for
+    /// y-axis labels).
+    pub fn text_vertical(&mut self, x: f32, y: f32, size: f32, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x:.2} {y:.2})">{}</text>"#,
+            esc(content)
+        );
+    }
+
+    /// Renders the complete SVG document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+
+    /// Writes the rendered document to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_wraps_elements_in_svg_root() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.line(0.0, 0.0, 5.0, 5.0, "black", 1.0);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<line"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.text(0.0, 0.0, 10.0, "a<b & c>d");
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_polyline_draws_nothing() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.polyline(&[], "red", 1.0);
+        assert!(!c.render().contains("polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_canvas_is_rejected() {
+        SvgCanvas::new(0.0, 5.0);
+    }
+
+    #[test]
+    fn save_writes_a_file() {
+        let mut c = SvgCanvas::new(20.0, 20.0);
+        c.circle(5.0, 5.0, 2.0, "blue");
+        let path = std::env::temp_dir().join("muffin_plot_test.svg");
+        c.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("<circle"));
+        std::fs::remove_file(path).ok();
+    }
+}

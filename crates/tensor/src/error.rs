@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when matrix shapes are incompatible for an operation.
+///
+/// Fallible constructors and checked operations return this error instead of
+/// panicking so callers can surface a useful message.
+///
+/// # Example
+///
+/// ```
+/// use muffin_tensor::Matrix;
+///
+/// let err = Matrix::from_vec(2, 3, vec![1.0; 5]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    expected: (usize, usize),
+    actual: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the mismatching shapes.
+    pub fn new(op: &'static str, expected: (usize, usize), actual: (usize, usize)) -> Self {
+        Self { op, expected, actual }
+    }
+
+    /// The operation that failed.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The shape the operation required.
+    pub fn expected(&self) -> (usize, usize) {
+        self.expected
+    }
+
+    /// The shape that was supplied.
+    pub fn actual(&self) -> (usize, usize) {
+        self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}x{}, got {}x{}",
+            self.op, self.expected.0, self.expected.1, self.actual.0, self.actual.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_shapes() {
+        let err = ShapeError::new("matmul", (2, 3), (4, 5));
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ShapeError::new("add", (1, 2), (3, 4));
+        assert_eq!(err.op(), "add");
+        assert_eq!(err.expected(), (1, 2));
+        assert_eq!(err.actual(), (3, 4));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,271 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random number generator used across the whole workspace.
+///
+/// Every stochastic component in the Muffin reproduction (dataset
+/// generation, weight initialisation, controller sampling) is seeded through
+/// this type so experiments are exactly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use muffin_tensor::Rng64;
+///
+/// let mut a = Rng64::seed(42);
+/// let mut b = Rng64::seed(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform bounds out of order: {lo} > {hi}");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples a standard normal value via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller gives exact normals from two uniforms without needing a
+        // distributions dependency.
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Samples a normal value with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Samples an integer uniformly from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Samples `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f32) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_range(0.0..1.0f32) < p
+    }
+
+    /// Samples an index from the categorical distribution given by `weights`.
+    ///
+    /// Weights need not be normalised; negative weights are treated as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn categorical(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "categorical weights must be non-empty");
+        let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "categorical weights must have positive mass");
+        let mut target = self.inner.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffles `slice` in place with the Fisher–Yates algorithm.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives a child generator, advancing this generator once.
+    ///
+    /// Useful for splitting one experiment seed into independent component
+    /// seeds without manual bookkeeping.
+    pub fn fork(&mut self) -> Self {
+        Self::seed(self.inner.gen())
+    }
+}
+
+/// Weight-initialisation schemes for neural-network parameters.
+///
+/// # Example
+///
+/// ```
+/// use muffin_tensor::{Init, Matrix, Rng64};
+///
+/// let mut rng = Rng64::seed(7);
+/// let w = Matrix::random(4, 8, Init::XavierUniform, &mut rng);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        limit: f32,
+    },
+    /// Glorot/Xavier uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)`, suited to ReLU nets.
+    HeNormal,
+    /// Standard normal scaled by the given factor.
+    ScaledNormal {
+        /// Standard deviation of each entry.
+        std_dev: f32,
+    },
+}
+
+impl Init {
+    /// Samples one value for a parameter tensor with the given fan-in/out.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut Rng64) -> f32 {
+        match self {
+            Init::Zeros => 0.0,
+            Init::Uniform { limit } => rng.uniform(-limit, limit),
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                rng.uniform(-limit, limit)
+            }
+            Init::HeNormal => {
+                let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+                rng.normal_with(0.0, std_dev)
+            }
+            Init::ScaledNormal { std_dev } => rng.normal_with(0.0, std_dev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = Rng64::seed(123);
+        let mut b = Rng64::seed(123);
+        for _ in 0..32 {
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed(1);
+        let mut b = Rng64::seed(2);
+        let same = (0..16).all(|_| a.normal().to_bits() == b.normal().to_bits());
+        assert!(!same);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng64::seed(9);
+        for _ in 0..1000 {
+            let x = rng.uniform(-0.5, 2.0);
+            assert!((-0.5..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_interval() {
+        let mut rng = Rng64::seed(9);
+        assert_eq!(rng.uniform(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_var() {
+        let mut rng = Rng64::seed(77);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn categorical_follows_weights() {
+        let mut rng = Rng64::seed(4);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[rng.categorical(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f32 / counts[0] as f32;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn categorical_rejects_zero_mass() {
+        let mut rng = Rng64::seed(4);
+        rng.categorical(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng64::seed(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.normal().to_bits(), c2.normal().to_bits());
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = Rng64::seed(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let mut rng = Rng64::seed(21);
+        for _ in 0..100 {
+            let x = Init::XavierUniform.sample(100, 100, &mut rng);
+            assert!(x.abs() <= (6.0f32 / 200.0).sqrt() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zeros_init_is_zero() {
+        let mut rng = Rng64::seed(21);
+        assert_eq!(Init::Zeros.sample(3, 3, &mut rng), 0.0);
+    }
+}

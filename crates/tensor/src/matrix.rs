@@ -1,0 +1,674 @@
+use crate::{Init, Rng64, ShapeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the single tensor type used throughout the Muffin workspace.
+/// Row-major layout means `data[r * cols + c]` addresses element `(r, c)`;
+/// rows usually index samples and columns index features or logits.
+///
+/// Hot-path operations (`matmul`, element-wise arithmetic) panic on shape
+/// mismatch — they sit inside training loops where a mismatch is a
+/// programming error, and the panic message names the offending shapes.
+/// Construction from external data is fallible ([`Matrix::from_vec`]).
+///
+/// # Example
+///
+/// ```
+/// use muffin_tensor::Matrix;
+///
+/// # fn main() -> Result<(), muffin_tensor::ShapeError> {
+/// let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.])?;
+/// let y = x.transpose();
+/// assert_eq!(y.shape(), (3, 2));
+/// assert_eq!(y.get(2, 1), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(ShapeError::new("from_rows", (n_rows, n_cols), (n_rows, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { rows: n_rows, cols: n_cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a randomly initialised matrix using scheme `init`.
+    ///
+    /// Fan-in is taken as the row count and fan-out as the column count,
+    /// matching the `x · W` convention used by [`muffin-nn`]'s linear layer.
+    ///
+    /// [`muffin-nn`]: crate
+    pub fn random(rows: usize, cols: usize, init: Init, rng: &mut Rng64) -> Self {
+        Self::from_fn(rows, cols, |_, _| init.sample(rows, cols, rng))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        let start = r * self.cols;
+        let end = start + self.cols;
+        &mut self.data[start..end]
+    }
+
+    /// View of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop streams over contiguous
+    /// memory in both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} . ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let dot: f32 = a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
+                out.data[i * other.rows + j] = dot;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shape matrices element-wise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`, returning a new matrix.
+    pub fn scaled(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s * other` into `self` in place (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, s: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Adds `bias` to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_in_place(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length {} != cols {}", bias.len(), self.cols);
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &b) in row.iter_mut().zip(bias.iter()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element, or `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sums (length `cols`).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (s, &x) in sums.iter_mut().zip(row.iter()) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Index of the maximum element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows().map(crate::ops::argmax).collect()
+    }
+
+    /// Applies a numerically stable softmax to each row, returning a new matrix.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(out.cols.max(1)) {
+            crate::ops::softmax_in_place(row);
+        }
+        out
+    }
+
+    /// Row-wise log-softmax, numerically stable.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(out.cols.max(1)) {
+            let lse = crate::ops::logsumexp(row);
+            for x in row.iter_mut() {
+                *x -= lse;
+            }
+        }
+        out
+    }
+
+    /// Returns a matrix consisting of the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the row counts differ or `parts` is empty.
+    pub fn hcat(parts: &[&Matrix]) -> Result<Matrix, ShapeError> {
+        let first = parts.first().ok_or_else(|| ShapeError::new("hcat", (1, 1), (0, 0)))?;
+        let rows = first.rows;
+        let total_cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut data = Vec::with_capacity(rows * total_cols);
+        for r in 0..rows {
+            for m in parts {
+                if m.rows != rows {
+                    return Err(ShapeError::new("hcat", (rows, m.cols), m.shape()));
+                }
+                data.extend_from_slice(m.row(r));
+            }
+        }
+        Ok(Matrix { rows, cols: total_cols, data })
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for row in self.iter_rows().take(8) {
+            write!(f, "  [")?;
+            for (i, x) in row.iter().take(10).enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x:.4}")?;
+            }
+            if row.len() > 10 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f32) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec()).expect("valid shape")
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert_eq!(err.op(), "from_rows");
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[5., 6., 7., 8.]);
+        let sum = &a + &b;
+        assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[4., 5., 6.]);
+        assert_eq!(a.hadamard(&b), m(1, 3, &[4., 10., 18.]));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1., 1.]);
+        let b = m(1, 2, &[2., 4.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, m(1, 2, &[2., 3.]));
+    }
+
+    #[test]
+    fn add_row_in_place_broadcasts_bias() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_in_place(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = m(2, 3, &[1., 2., 3., -1., 0., 1.]);
+        let s = a.softmax_rows();
+        for row in s.iter_rows() {
+            let total: f32 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = m(1, 3, &[1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        for &x in s.row(0) {
+            assert!((x - 1.0 / 3.0).abs() < 1e-5);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = m(1, 4, &[0.1, -0.3, 2.0, 0.7]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for (l, p) in ls.row(0).iter().zip(s.row(0)) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_finds_maxima() {
+        let a = m(2, 3, &[0.1, 0.9, 0.0, 0.5, 0.2, 0.8]);
+        assert_eq!(a.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let sel = a.select_rows(&[2, 0]);
+        assert_eq!(sel, m(2, 2, &[5., 6., 1., 2.]));
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = m(2, 1, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        let c = Matrix::hcat(&[&a, &b]).expect("same rows");
+        assert_eq!(c, m(2, 3, &[1., 3., 4., 2., 5., 6.]));
+    }
+
+    #[test]
+    fn hcat_rejects_row_mismatch() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        assert!(Matrix::hcat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn col_sums_accumulate_columns() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.col_sums(), vec![5., 7., 9.]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::zeros(1, 1);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn random_respects_shape_and_determinism() {
+        let mut rng1 = Rng64::seed(5);
+        let mut rng2 = Rng64::seed(5);
+        let a = Matrix::random(3, 4, Init::HeNormal, &mut rng1);
+        let b = Matrix::random(3, 4, Init::HeNormal, &mut rng2);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), (3, 4));
+    }
+}

@@ -1,0 +1,124 @@
+//! Free-standing numeric kernels shared by the matrix type and the
+//! neural-network layer.
+
+/// Index of the maximum element of `row`.
+///
+/// Ties resolve to the earliest index, and an empty slice returns `0`; NaN
+/// entries are never selected unless every entry is NaN.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(muffin_tensor::argmax(&[0.2, 0.9, 0.1]), 1);
+/// ```
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_val = f32::NEG_INFINITY;
+    for (i, &x) in row.iter().enumerate() {
+        if x > best_val {
+            best_val = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable `log(sum(exp(row)))`.
+///
+/// # Example
+///
+/// ```
+/// let lse = muffin_tensor::logsumexp(&[0.0, 0.0]);
+/// assert!((lse - 2.0f32.ln()).abs() < 1e-6);
+/// ```
+pub fn logsumexp(row: &[f32]) -> f32 {
+    if row.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Applies a numerically stable softmax to `row` in place.
+///
+/// An empty slice is left untouched.
+///
+/// # Example
+///
+/// ```
+/// let mut row = [1.0f32, 1.0, 1.0];
+/// muffin_tensor::softmax_in_place(&mut row);
+/// assert!((row[0] - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn argmax_of_empty_is_zero() {
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f32::NAN, 0.5, 0.1]), 1);
+    }
+
+    #[test]
+    fn logsumexp_handles_large_values() {
+        let lse = logsumexp(&[1000.0, 1000.0]);
+        assert!((lse - (1000.0 + 2.0f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn logsumexp_of_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut row = [3.0f32, -1.0, 0.5, 2.0];
+        softmax_in_place(&mut row);
+        let total: f32 = row.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_preserves_ordering() {
+        let mut row = [0.1f32, 2.0, -3.0];
+        softmax_in_place(&mut row);
+        assert!(row[1] > row[0] && row[0] > row[2]);
+    }
+
+    #[test]
+    fn softmax_on_empty_is_noop() {
+        let mut row: [f32; 0] = [];
+        softmax_in_place(&mut row);
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the Muffin examples.
+//!
+//! Each example is a standalone binary:
+//!
+//! * `quickstart` — the smallest end-to-end Muffin run,
+//! * `dermatology_isic` — the full ISIC-like workflow the paper's
+//!   introduction motivates (multi-attribute dermatology diagnosis),
+//! * `fitzpatrick_validation` — skin-tone fairness on the
+//!   Fitzpatrick17K-like dataset,
+//! * `custom_pool` — bringing your own dataset schema and architectures,
+//! * `pareto_explore` — exploring the accuracy/fairness trade-off space.
+//!
+//! Run one with `cargo run --release -p muffin-examples --bin quickstart`.
+
+use muffin::ModelEvaluation;
+
+/// Renders one evaluation as a compact single line for example output.
+pub fn one_line(eval: &ModelEvaluation) -> String {
+    let attrs: Vec<String> = eval
+        .attributes
+        .iter()
+        .map(|a| format!("U_{} {:.3}", a.name, a.unfairness))
+        .collect();
+    format!("{:40} acc {:5.2}%  {}", eval.model, eval.accuracy * 100.0, attrs.join("  "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_data::{AttributeSchema, Dataset, SensitiveAttribute};
+    use muffin_tensor::Matrix;
+
+    #[test]
+    fn one_line_mentions_model_accuracy_and_attributes() {
+        let ds = Dataset::new(
+            Matrix::zeros(2, 1),
+            vec![0, 1],
+            2,
+            AttributeSchema::new(vec![SensitiveAttribute::new("age", &["young", "old"])]),
+            vec![vec![0, 1]],
+        );
+        let eval = ModelEvaluation::of(&[0, 1], &ds, "TestNet".into());
+        let line = one_line(&eval);
+        assert!(line.contains("TestNet"));
+        assert!(line.contains("100.00%"));
+        assert!(line.contains("U_age"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Exploring the accuracy/fairness trade-off space.
+//!
+//! Runs an unrestricted Muffin search, then walks the search history to
+//! extract three frontiers: (age vs site unfairness), (accuracy vs overall
+//! unfairness), and (reward vs total parameters) — the trade-off the
+//! paper's Figure 9(b) highlights. Also dumps the full history as JSON so
+//! the points can be plotted elsewhere.
+//!
+//! ```text
+//! cargo run --release -p muffin-examples --bin pareto_explore [episodes]
+//! ```
+
+use muffin::{pareto_max_min_indices, pareto_min_indices, MuffinSearch, SearchConfig, TextTable};
+use muffin_data::IsicLike;
+use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_tensor::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let episodes: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let mut rng = Rng64::seed(19);
+    let dataset = IsicLike::new().with_num_samples(4_000).generate(&mut rng);
+    let split = dataset.split_default(&mut rng);
+    let pool = ModelPool::train(
+        &split.train,
+        &[
+            Architecture::shufflenet_v2_x1_0(),
+            Architecture::mobilenet_v3_small(),
+            Architecture::densenet121(),
+            Architecture::resnet18(),
+            Architecture::resnet50(),
+        ],
+        &BackboneConfig::default().with_epochs(30),
+        &mut rng,
+    );
+
+    let config = SearchConfig::paper(&["age", "site"]).with_episodes(episodes);
+    let search = MuffinSearch::new(pool, split, config)?;
+    let outcome = search.run(&mut rng)?;
+    let distinct: Vec<_> = outcome.distinct().into_iter().cloned().collect();
+    println!("{} episodes, {} distinct candidates\n", episodes, distinct.len());
+
+    // Frontier 1: age vs site unfairness (validation metrics).
+    let f1 = pareto_min_indices(&distinct, |r| (r.unfairness[0], r.unfairness[1]));
+    let mut t1 = TextTable::new(&["U_age", "U_site", "acc", "body", "head"]);
+    for &i in &f1 {
+        let r = &distinct[i];
+        t1.row_owned(vec![
+            format!("{:.4}", r.unfairness[0]),
+            format!("{:.4}", r.unfairness[1]),
+            format!("{:.2}%", r.accuracy * 100.0),
+            r.model_names.join("+"),
+            r.head_desc.clone(),
+        ]);
+    }
+    println!("frontier: age vs site unfairness\n{t1}");
+
+    // Frontier 2: accuracy (max) vs overall unfairness (min).
+    let f2 = pareto_max_min_indices(&distinct, |r| {
+        (r.accuracy, r.unfairness.iter().sum::<f32>())
+    });
+    let mut t2 = TextTable::new(&["acc", "U_total", "body"]);
+    for &i in &f2 {
+        let r = &distinct[i];
+        t2.row_owned(vec![
+            format!("{:.2}%", r.accuracy * 100.0),
+            format!("{:.4}", r.unfairness.iter().sum::<f32>()),
+            r.model_names.join("+"),
+        ]);
+    }
+    println!("frontier: accuracy vs overall unfairness\n{t2}");
+
+    // Frontier 3: reward (max) vs total parameters (min) — Fig. 9(b)'s
+    // trade-off between quality and deployment cost.
+    let f3 = pareto_max_min_indices(&distinct, |r| (r.reward, r.total_params as f32));
+    let mut t3 = TextTable::new(&["reward", "total params", "body"]);
+    for &i in &f3 {
+        let r = &distinct[i];
+        t3.row_owned(vec![
+            format!("{:.3}", r.reward),
+            r.total_params.to_string(),
+            r.model_names.join("+"),
+        ]);
+    }
+    println!("frontier: reward vs parameters\n{t3}");
+
+    // Machine-readable dump for plotting.
+    let json = serde_json::to_string(&distinct)?;
+    let path = std::env::temp_dir().join("muffin_pareto_history.json");
+    std::fs::write(&path, json)?;
+    println!("full history written to {}", path.display());
+    Ok(())
+}

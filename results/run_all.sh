@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper at full scale.
+set -x
+for b in fig1 fig2 fig3 table1 fig5 fig6 fig7 fig8 fig9a fig9b ablation_controller ablation_gating ablation_ensembles ext_three_attrs ext_label_noise ext_distill ablation_reward seeds; do
+  cargo run --release -p muffin-bench --bin $b > /root/repo/results/$b.txt 2>&1
+done
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration tests of the Muffin
+//! workspace. The tests themselves live in this package's `tests/`
+//! directory.
+
+use muffin_data::{DatasetSplit, IsicLike};
+use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_tensor::Rng64;
+
+/// Builds a small, deterministic ISIC-like split plus a three-model pool —
+/// the shared fixture most integration tests start from.
+pub fn small_fixture(seed: u64) -> (DatasetSplit, ModelPool, Rng64) {
+    let mut rng = Rng64::seed(seed);
+    let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
+    let pool = ModelPool::train(
+        &split.train,
+        &[
+            Architecture::resnet18(),
+            Architecture::densenet121(),
+            Architecture::shufflenet_v2_x1_0(),
+        ],
+        &BackboneConfig::fast(),
+        &mut rng,
+    );
+    (split, pool, rng)
+}

@@ -1,0 +1,89 @@
+//! Cross-crate consistency of the fairness metrics: the paper's Section
+//! 3.1 definitions must agree whether computed directly or through
+//! `ModelEvaluation`, and the Eq. 3 reward must rank models sensibly.
+
+use muffin::{multi_fairness_reward, unfairness_score, ModelEvaluation, RewardConfig};
+use muffin_integration_tests::small_fixture;
+
+#[test]
+fn model_evaluation_matches_direct_unfairness_computation() {
+    let (split, pool, _) = small_fixture(2000);
+    let model = pool.get(0).expect("model");
+    let preds = model.predict(split.test.features());
+    let eval = model.evaluate(&split.test);
+
+    for (id, attr) in split.test.schema().iter() {
+        let direct = unfairness_score(
+            &preds,
+            split.test.labels(),
+            split.test.groups(id),
+            attr.num_groups(),
+        );
+        let via_eval = eval.attribute(attr.name()).expect("attribute").unfairness;
+        assert!((direct - via_eval).abs() < 1e-6, "{}: {direct} vs {via_eval}", attr.name());
+    }
+}
+
+#[test]
+fn unfairness_is_bounded_by_group_count() {
+    let (split, pool, _) = small_fixture(2100);
+    for model in pool.iter() {
+        let eval = model.evaluate(&split.test);
+        for attr_eval in &eval.attributes {
+            let num_groups = split
+                .test
+                .schema()
+                .by_name(&attr_eval.name)
+                .and_then(|id| split.test.schema().get(id))
+                .expect("attribute")
+                .num_groups();
+            assert!(attr_eval.unfairness >= 0.0);
+            assert!(
+                attr_eval.unfairness <= num_groups as f32,
+                "{}: U {} exceeds bound {num_groups}",
+                attr_eval.name,
+                attr_eval.unfairness
+            );
+        }
+    }
+}
+
+#[test]
+fn reward_ranks_pool_models_consistently_with_its_formula() {
+    let (split, pool, _) = small_fixture(2200);
+    let cfg = RewardConfig::default();
+    for model in pool.iter() {
+        let eval = model.evaluate(&split.test);
+        let reward = multi_fairness_reward(&eval, &["age", "site"], cfg);
+        let manual = eval.accuracy / eval.attribute("age").unwrap().unfairness.max(cfg.epsilon)
+            + eval.accuracy / eval.attribute("site").unwrap().unfairness.max(cfg.epsilon);
+        assert!((reward - manual).abs() < 1e-5);
+        assert!(reward > 0.0);
+    }
+}
+
+#[test]
+fn multi_unfairness_is_additive_over_attributes() {
+    let (split, pool, _) = small_fixture(2300);
+    let eval: ModelEvaluation = pool.get(0).expect("model").evaluate(&split.test);
+    let sum = eval.multi_unfairness(&["age"]) + eval.multi_unfairness(&["site"]);
+    assert!((eval.multi_unfairness(&["age", "site"]) - sum).abs() < 1e-6);
+}
+
+#[test]
+fn gender_attribute_is_designed_fair() {
+    // Figure 1(a-b): gender unfairness is small for every model while age
+    // and site are large.
+    let (split, pool, _) = small_fixture(2400);
+    for model in pool.iter() {
+        let eval = model.evaluate(&split.test);
+        let gender = eval.attribute("gender").unwrap().unfairness;
+        let age = eval.attribute("age").unwrap().unfairness;
+        let site = eval.attribute("site").unwrap().unfairness;
+        assert!(
+            gender < age && gender < site,
+            "{}: gender {gender} should be the fairest attribute (age {age}, site {site})",
+            eval.model
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based integration tests over the whole stack: random
+//! generator configurations, random search spaces, and random prediction
+//! vectors must all uphold the framework's invariants.
+
+use muffin::{pareto_min_indices, unfairness_score, SearchSpace};
+use muffin_data::{AttributeSpec, DataGenerator, GeneratorConfig, GroupSpec};
+use muffin_nn::Activation;
+use muffin_tensor::Rng64;
+use proptest::prelude::*;
+
+fn small_config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        50usize..300,
+        4usize..16,
+        2usize..6,
+        0.0f32..1.0,
+        1u16..4,
+        0u64..1000,
+    )
+        .prop_map(|(n, dim, classes, corr, extra_groups, _seed)| {
+            let mut groups = vec![GroupSpec::new("majority", 0.6)];
+            for g in 0..extra_groups {
+                groups.push(
+                    GroupSpec::new(format!("g{g}"), 0.4 / extra_groups as f32)
+                        .with_angle(30.0 + 15.0 * g as f32)
+                        .with_noise_mult(1.0 + 0.3 * g as f32),
+                );
+            }
+            GeneratorConfig {
+                num_samples: n,
+                feature_dim: dim,
+                num_classes: classes,
+                class_sep: 2.0,
+                base_noise: 1.0,
+                spectral_decay: 0.85,
+                attributes: vec![AttributeSpec::new("a", groups, vec![(0, 1)])],
+                correlation: corr,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_datasets_are_structurally_valid(config in small_config_strategy(), seed in 0u64..500) {
+        let gen = DataGenerator::new(config.clone()).expect("strategy builds valid configs");
+        let ds = gen.generate(&mut Rng64::seed(seed));
+        prop_assert_eq!(ds.len(), config.num_samples);
+        prop_assert_eq!(ds.feature_dim(), config.feature_dim);
+        prop_assert!(ds.labels().iter().all(|&l| l < config.num_classes));
+        prop_assert!(ds.features().as_slice().iter().all(|x| x.is_finite()));
+        let attr = ds.schema().by_name("a").expect("attribute a");
+        let num_groups = ds.schema().get(attr).expect("a").num_groups();
+        prop_assert!(ds.groups(attr).iter().all(|&g| (g as usize) < num_groups));
+    }
+
+    #[test]
+    fn splits_partition_any_generated_dataset(config in small_config_strategy(), seed in 0u64..500) {
+        let gen = DataGenerator::new(config).expect("valid");
+        let ds = gen.generate(&mut Rng64::seed(seed));
+        let split = ds.split_default(&mut Rng64::seed(seed ^ 0xABCD));
+        prop_assert_eq!(split.train.len() + split.val.len() + split.test.len(), ds.len());
+        prop_assert!(split.train.len() >= split.test.len());
+    }
+
+    #[test]
+    fn unfairness_score_is_bounded(
+        preds in proptest::collection::vec(0usize..4, 1..200),
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng64::seed(seed);
+        let labels: Vec<usize> = preds.iter().map(|_| rng.below(4)).collect();
+        let num_groups = 3usize;
+        let groups: Vec<u16> = preds.iter().map(|_| rng.below(num_groups) as u16).collect();
+        let u = unfairness_score(&preds, &labels, &groups, num_groups);
+        prop_assert!(u >= 0.0);
+        prop_assert!(u <= num_groups as f32);
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_unfairness(
+        labels in proptest::collection::vec(0usize..5, 1..100),
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng64::seed(seed);
+        let groups: Vec<u16> = labels.iter().map(|_| rng.below(4) as u16).collect();
+        let u = unfairness_score(&labels, &labels, &groups, 4);
+        prop_assert!(u.abs() < 1e-6);
+    }
+
+    #[test]
+    fn search_space_samples_always_decode(
+        pool_size in 1usize..12,
+        slots in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let space = SearchSpace::new(
+            pool_size,
+            slots,
+            vec![2, 3, 4],
+            vec![8, 10, 12, 16],
+            Activation::SEARCHABLE.to_vec(),
+        ).expect("valid space");
+        let mut rng = Rng64::seed(seed);
+        let sizes = space.step_sizes();
+        let actions: Vec<usize> = sizes.iter().map(|&n| rng.below(n)).collect();
+        let candidate = space.decode(&actions).expect("in-range actions decode");
+        prop_assert!(!candidate.model_indices.is_empty());
+        prop_assert!(candidate.model_indices.len() <= slots);
+        prop_assert!(candidate.model_indices.iter().all(|&m| m < pool_size));
+        prop_assert!((2..=4).contains(&candidate.head.hidden().len()));
+        // Distinctness: no duplicates in the body.
+        let mut sorted = candidate.model_indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), candidate.model_indices.len());
+    }
+
+    #[test]
+    fn pareto_frontier_members_are_mutually_nondominating(
+        points in proptest::collection::vec((0.0f32..10.0, 0.0f32..10.0), 1..40),
+    ) {
+        let front = pareto_min_indices(&points, |&p| p);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    let (a, b) = (points[i], points[j]);
+                    let dominates = a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
+                    prop_assert!(!dominates, "frontier member {i} dominates {j}");
+                }
+            }
+        }
+        // Every non-member is dominated by some member (or tied duplicate).
+        for (k, &p) in points.iter().enumerate() {
+            if !front.contains(&k) {
+                let covered = front.iter().any(|&i| {
+                    points[i].0 <= p.0 && points[i].1 <= p.1
+                });
+                prop_assert!(covered, "point {k} excluded but not dominated");
+            }
+        }
+    }
+}

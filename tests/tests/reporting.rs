@@ -1,0 +1,57 @@
+//! Integration tests for the reporting surface: text tables, JSON
+//! round-trips and SVG rendering built from a real (small) search.
+
+use muffin::{fmt_improvement, fmt_percent, MuffinSearch, SearchConfig, TextTable};
+use muffin_integration_tests::small_fixture;
+use muffin_plot::{Marker, ScatterChart};
+
+#[test]
+fn search_results_render_into_every_reporting_surface() {
+    let (split, pool, mut rng) = small_fixture(4000);
+    let config = SearchConfig::fast(&["age", "site"]).with_episodes(6);
+    let search = MuffinSearch::new(pool, split, config).expect("setup");
+    let outcome = search.run(&mut rng).expect("run");
+
+    // Text table.
+    let mut table = TextTable::new(&["body", "reward", "acc"]);
+    for r in outcome.distinct() {
+        table.row_owned(vec![
+            r.model_names.join("+"),
+            format!("{:.3}", r.reward),
+            fmt_percent(r.accuracy),
+        ]);
+    }
+    let text = table.to_string();
+    assert!(text.contains("reward"));
+    assert!(text.lines().count() >= 3);
+
+    // JSON round-trip.
+    let path = std::env::temp_dir().join("muffin_reporting_test.json");
+    outcome.save_json(&path).expect("save");
+    let loaded = muffin::SearchOutcome::load_json(&path).expect("load");
+    assert_eq!(loaded.history.len(), outcome.history.len());
+    std::fs::remove_file(&path).ok();
+
+    // SVG scatter of the explored candidates.
+    let points: Vec<(f32, f32)> =
+        outcome.distinct().iter().map(|r| (r.unfairness[0], r.unfairness[1])).collect();
+    let svg = ScatterChart::new("explored candidates", "U_age", "U_site")
+        .series("candidates", Marker::Triangle, &points)
+        .render();
+    assert!(svg.contains("<polygon"));
+    assert!(!svg.contains("NaN"));
+}
+
+#[test]
+fn improvement_formatting_is_symmetric_around_zero() {
+    assert_eq!(fmt_improvement(1.0, 0.8), "+20.00%");
+    assert_eq!(fmt_improvement(1.0, 1.2), "-20.00%");
+    assert_eq!(fmt_improvement(1.0, 1.0), "+0.00%");
+}
+
+#[test]
+fn percent_formatting_round_trips_common_values() {
+    assert_eq!(fmt_percent(0.8055), "80.55%");
+    assert_eq!(fmt_percent(0.0), "0.00%");
+    assert_eq!(fmt_percent(1.0), "100.00%");
+}
