@@ -1,41 +1,37 @@
-//! Criterion benches for the RNN controller: sampling episodes and the
-//! Eq. 4 REINFORCE update, with the baseline ablation called out in
-//! `DESIGN.md` (EMA baseline vs no baseline, i.e. `baseline_decay = 0`).
+//! Benches for the RNN controller: sampling episodes and the Eq. 4
+//! REINFORCE update, with the baseline ablation called out in `DESIGN.md`
+//! (EMA baseline vs no baseline, i.e. `baseline_decay = 0`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use muffin::{ControllerConfig, RnnController, SearchSpace};
+use muffin_bench::timing::{black_box, Harness};
 use muffin_tensor::Rng64;
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling(h: &mut Harness) {
     let mut rng = Rng64::seed(20);
     let space = SearchSpace::paper_default(12);
     let controller = RnnController::new(space, ControllerConfig::default(), &mut rng);
-    c.bench_function("controller_sample", |bench| {
-        bench.iter(|| black_box(controller.sample(&mut rng)));
-    });
-    c.bench_function("controller_greedy", |bench| {
-        bench.iter(|| black_box(controller.greedy()));
-    });
+    h.bench("controller_sample", || black_box(controller.sample(&mut rng)));
+    h.bench("controller_greedy", || black_box(controller.greedy()));
 }
 
-fn bench_update(c: &mut Criterion) {
+fn bench_update(h: &mut Harness) {
     let space = SearchSpace::paper_default(12);
-    let mut group = c.benchmark_group("controller_update");
     for (label, config) in [
         ("ema_baseline", ControllerConfig::default()),
         ("no_baseline", ControllerConfig { baseline_decay: 0.0, ..ControllerConfig::default() }),
     ] {
-        group.bench_function(label, |bench| {
-            let mut rng = Rng64::seed(21);
-            let mut controller = RnnController::new(space.clone(), config, &mut rng);
-            bench.iter(|| {
-                let episode = controller.sample(&mut rng);
-                black_box(controller.update(&episode, 1.5));
-            });
+        let mut rng = Rng64::seed(21);
+        let mut controller = RnnController::new(space.clone(), config, &mut rng);
+        h.bench(&format!("controller_update/{label}"), || {
+            let episode = controller.sample(&mut rng);
+            black_box(controller.update(&episode, 1.5));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_update);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("controller");
+    bench_sampling(&mut h);
+    bench_update(&mut h);
+    h.finish();
+}

@@ -1,10 +1,9 @@
-//! Criterion benches for the model-fusing structure, including the
-//! consensus-gating ablation called out in `DESIGN.md`: gated prediction
-//! vs head-always prediction, and Algorithm-1-weighted vs uniform head
-//! training.
+//! Benches for the model-fusing structure, including the consensus-gating
+//! ablation called out in `DESIGN.md`: gated prediction vs head-always
+//! prediction, and Algorithm-1-weighted vs uniform head training.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use muffin::{FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset};
+use muffin_bench::timing::{black_box, Harness};
 use muffin_data::{DatasetSplit, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
 use muffin_nn::Activation;
@@ -26,31 +25,27 @@ fn fixture() -> (ModelPool, DatasetSplit, ProxyDataset) {
     (pool, split, proxy)
 }
 
-fn bench_head_training(c: &mut Criterion) {
+fn bench_head_training(h: &mut Harness) {
     let (pool, split, proxy) = fixture();
     let uniform = proxy.with_uniform_weights();
-    let mut group = c.benchmark_group("head_training");
-    group.sample_size(10);
+    h.sample_size(5);
     for (label, data) in [("weighted", &proxy), ("uniform", &uniform)] {
-        group.bench_function(label, |bench| {
-            bench.iter(|| {
-                let mut rng = Rng64::seed(99);
-                let mut fusing = FusingStructure::new(
-                    vec![0, 1],
-                    HeadSpec::new(vec![16, 12], Activation::Relu),
-                    &pool,
-                    &mut rng,
-                )
-                .expect("valid");
-                fusing.train_head(&pool, &split.train, data, &HeadTrainConfig::fast(), &mut rng);
-                black_box(fusing);
-            });
+        h.bench(&format!("head_training/{label}"), || {
+            let mut rng = Rng64::seed(99);
+            let mut fusing = FusingStructure::new(
+                vec![0, 1],
+                HeadSpec::new(vec![16, 12], Activation::Relu),
+                &pool,
+                &mut rng,
+            )
+            .expect("valid");
+            fusing.train_head(&pool, &split.train, data, &HeadTrainConfig::fast(), &mut rng);
+            black_box(fusing);
         });
     }
-    group.finish();
 }
 
-fn bench_prediction_gating_ablation(c: &mut Criterion) {
+fn bench_prediction_gating_ablation(h: &mut Harness) {
     let (pool, split, proxy) = fixture();
     let mut rng = Rng64::seed(42);
     let mut fusing = FusingStructure::new(
@@ -62,19 +57,17 @@ fn bench_prediction_gating_ablation(c: &mut Criterion) {
     .expect("valid");
     fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::fast(), &mut rng);
 
-    let mut group = c.benchmark_group("fused_prediction");
-    group.sample_size(20);
-    group.bench_function("consensus_gated", |bench| {
-        bench.iter(|| black_box(fusing.predict(&pool, split.test.features())));
+    h.sample_size(10);
+    h.bench("fused_prediction/consensus_gated", || {
+        black_box(fusing.predict(&pool, split.test.features()))
     });
     fusing.set_consensus_gating(false);
-    group.bench_function("head_always", |bench| {
-        bench.iter(|| black_box(fusing.predict(&pool, split.test.features())));
+    h.bench("fused_prediction/head_always", || {
+        black_box(fusing.predict(&pool, split.test.features()))
     });
-    group.finish();
 }
 
-fn bench_proxy_build(c: &mut Criterion) {
+fn bench_proxy_build(h: &mut Harness) {
     let mut rng = Rng64::seed(11);
     let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
     let age = split.train.schema().by_name("age").expect("age");
@@ -82,10 +75,15 @@ fn bench_proxy_build(c: &mut Criterion) {
     let mut privilege = PrivilegeMap::new();
     privilege.set(age, vec![4, 5]);
     privilege.set(site, vec![5, 6, 7, 8]);
-    c.bench_function("algorithm1_proxy_build", |bench| {
-        bench.iter(|| black_box(ProxyDataset::build(&split.train, &privilege).expect("proxy")));
+    h.bench("algorithm1_proxy_build", || {
+        black_box(ProxyDataset::build(&split.train, &privilege).expect("proxy"))
     });
 }
 
-criterion_group!(benches, bench_head_training, bench_prediction_gating_ablation, bench_proxy_build);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("fusing");
+    bench_head_training(&mut h);
+    bench_prediction_gating_ablation(&mut h);
+    bench_proxy_build(&mut h);
+    h.finish();
+}

@@ -1,44 +1,41 @@
-//! Criterion benches for the neural-network substrate: forward/backward
-//! passes and the Eq. 2 weighted-MSE loss the muffin head trains with.
+//! Benches for the neural-network substrate: forward/backward passes and
+//! the Eq. 2 weighted-MSE loss the muffin head trains with.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use muffin_bench::timing::{black_box, Harness};
 use muffin_nn::{one_hot, weighted_cross_entropy_loss, weighted_mse_loss, Mlp, MlpSpec};
 use muffin_tensor::{Init, Matrix, Rng64};
 
-fn bench_mlp_passes(c: &mut Criterion) {
+fn bench_mlp_passes(h: &mut Harness) {
     let mut rng = Rng64::seed(4);
     // A muffin-head-sized network on a 64-sample batch.
     let spec = MlpSpec::new(16, &[16, 18, 12, 8], 8);
-    let mut mlp = Mlp::new(&spec, &mut rng);
+    let mlp = Mlp::new(&spec, &mut rng);
     let x = Matrix::random(64, 16, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
-    c.bench_function("head_forward/64x16", |bench| {
-        bench.iter(|| black_box(mlp.forward(&x)));
-    });
-    c.bench_function("head_forward_backward/64x16", |bench| {
-        bench.iter(|| {
-            let (logits, cache) = mlp.forward_train(&x);
-            let grad = logits.scaled(1.0 / 64.0);
-            muffin_nn::Parameterized::zero_grad(&mut mlp);
-            black_box(mlp.backward(&cache, &grad));
-        });
+    h.bench("head_forward/64x16", || black_box(mlp.forward(&x)));
+    let mut mlp_bw = mlp.clone();
+    h.bench("head_forward_backward/64x16", || {
+        let (logits, cache) = mlp_bw.forward_train(&x);
+        let grad = logits.scaled(1.0 / 64.0);
+        muffin_nn::Parameterized::zero_grad(&mut mlp_bw);
+        black_box(mlp_bw.backward(&cache, &grad));
     });
 }
 
-fn bench_losses(c: &mut Criterion) {
+fn bench_losses(h: &mut Harness) {
     let mut rng = Rng64::seed(5);
     let logits = Matrix::random(256, 8, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
     let labels: Vec<usize> = (0..256).map(|i| i % 8).collect();
     let targets = one_hot(&labels, 8);
     let weights: Vec<f32> = (0..256).map(|i| 1.0 + (i % 3) as f32).collect();
-    c.bench_function("weighted_mse/256x8", |bench| {
-        bench.iter(|| black_box(weighted_mse_loss(&logits, &targets, &weights)));
-    });
-    c.bench_function("weighted_cross_entropy/256x8", |bench| {
-        bench.iter(|| {
-            black_box(weighted_cross_entropy_loss(&logits, &labels, Some(&weights)))
-        });
+    h.bench("weighted_mse/256x8", || black_box(weighted_mse_loss(&logits, &targets, &weights)));
+    h.bench("weighted_cross_entropy/256x8", || {
+        black_box(weighted_cross_entropy_loss(&logits, &labels, Some(&weights)))
     });
 }
 
-criterion_group!(benches, bench_mlp_passes, bench_losses);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("nn_training");
+    bench_mlp_passes(&mut h);
+    bench_losses(&mut h);
+    h.finish();
+}

@@ -1,16 +1,16 @@
-//! Criterion bench for one full Muffin search episode — sample a
-//! candidate, train its head on the proxy dataset, evaluate, reward — the
-//! unit of cost the paper's 500-episode budget is made of.
+//! Bench for one full Muffin search episode — sample a candidate, train
+//! its head on the proxy dataset, evaluate, reward — the unit of cost the
+//! paper's 500-episode budget is made of.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use muffin::{
     multi_fairness_reward, MuffinSearch, RewardConfig, RnnController, SearchConfig,
 };
+use muffin_bench::timing::{black_box, Harness};
 use muffin_data::IsicLike;
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
 use muffin_tensor::Rng64;
 
-fn bench_full_episode(c: &mut Criterion) {
+fn bench_full_episode(h: &mut Harness) {
     let mut rng = Rng64::seed(30);
     let split = IsicLike::small().generate(&mut rng).split_default(&mut rng);
     let pool = ModelPool::train(
@@ -29,20 +29,19 @@ fn bench_full_episode(c: &mut Criterion) {
     let controller =
         RnnController::new(space.clone(), search.config().controller, &mut rng);
 
-    let mut group = c.benchmark_group("search");
-    group.sample_size(10);
-    group.bench_function("one_episode_train_and_reward", |bench| {
-        bench.iter(|| {
-            let sampled = controller.sample(&mut rng);
-            let candidate = space.decode(&sampled.actions).expect("in range");
-            let (_, eval) = search
-                .evaluate_candidate(&candidate, &search.split().val, 1234)
-                .expect("candidate evaluates");
-            black_box(multi_fairness_reward(&eval, &["age", "site"], RewardConfig::default()));
-        });
+    h.sample_size(5);
+    h.bench("search/one_episode_train_and_reward", || {
+        let sampled = controller.sample(&mut rng);
+        let candidate = space.decode(&sampled.actions).expect("in range");
+        let (_, eval) = search
+            .evaluate_candidate(&candidate, &search.split().val, 1234)
+            .expect("candidate evaluates");
+        black_box(multi_fairness_reward(&eval, &["age", "site"], RewardConfig::default()));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_full_episode);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("search_episode");
+    bench_full_episode(&mut h);
+    h.finish();
+}

@@ -1,45 +1,38 @@
-//! Criterion benches for the tensor substrate: the matmul and softmax
-//! kernels every training loop in the workspace sits on.
+//! Benches for the tensor substrate: the matmul and softmax kernels every
+//! training loop in the workspace sits on.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use muffin_bench::timing::{black_box, Harness};
 use muffin_tensor::{Init, Matrix, Rng64};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(h: &mut Harness) {
     for &n in &[16usize, 64, 128] {
         let mut rng = Rng64::seed(1);
         let a = Matrix::random(n, n, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
         let b = Matrix::random(n, n, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
-        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)));
-        });
+        h.bench(&format!("matmul/square/{n}"), || black_box(a.matmul(&b)));
     }
-    group.finish();
 }
 
-fn bench_matmul_transposed_variants(c: &mut Criterion) {
+fn bench_matmul_transposed_variants(h: &mut Harness) {
     let mut rng = Rng64::seed(2);
     let a = Matrix::random(256, 64, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
     let b = Matrix::random(256, 32, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
     let bt = Matrix::random(32, 64, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
-    c.bench_function("matmul_tn/256x64_256x32", |bench| {
-        bench.iter(|| black_box(a.matmul_tn(&b)));
-    });
-    c.bench_function("matmul_nt/256x64_32x64", |bench| {
-        bench.iter(|| black_box(a.matmul_nt(&bt)));
-    });
+    h.bench("matmul_tn/256x64_256x32", || black_box(a.matmul_tn(&b)));
+    h.bench("matmul_nt/256x64_32x64", || black_box(a.matmul_nt(&bt)));
 }
 
-fn bench_softmax(c: &mut Criterion) {
+fn bench_softmax(h: &mut Harness) {
     let mut rng = Rng64::seed(3);
     let logits = Matrix::random(512, 8, Init::ScaledNormal { std_dev: 2.0 }, &mut rng);
-    c.bench_function("softmax_rows/512x8", |bench| {
-        bench.iter(|| black_box(logits.softmax_rows()));
-    });
-    c.bench_function("argmax_rows/512x8", |bench| {
-        bench.iter(|| black_box(logits.argmax_rows()));
-    });
+    h.bench("softmax_rows/512x8", || black_box(logits.softmax_rows()));
+    h.bench("argmax_rows/512x8", || black_box(logits.argmax_rows()));
 }
 
-criterion_group!(benches, bench_matmul, bench_matmul_transposed_variants, bench_softmax);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("tensor_ops");
+    bench_matmul(&mut h);
+    bench_matmul_transposed_variants(&mut h);
+    bench_softmax(&mut h);
+    h.finish();
+}

@@ -14,6 +14,8 @@ use muffin_data::{Dataset, DatasetSplit, FitzpatrickLike, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, FairnessMethod, ModelPool};
 use muffin_tensor::Rng64;
 
+pub mod timing;
+
 /// The master seed every experiment derives from, printed in each header.
 pub const EXPERIMENT_SEED: u64 = 7;
 

@@ -1,0 +1,193 @@
+//! Minimal in-repo benchmark harness replacing the `criterion` dependency.
+//!
+//! Methodology, in criterion's spirit but a few hundred lines smaller:
+//!
+//! 1. **warmup** — run the closure for a fixed wall-clock budget to fault in
+//!    caches and estimate the per-iteration cost;
+//! 2. **auto-batching** — pick an iteration count per sample so one sample
+//!    takes roughly [`Harness::target_sample_ms`], keeping timer overhead
+//!    negligible for nanosecond-scale closures;
+//! 3. **median-of-N** — report the median over [`Harness::sample_size`]
+//!    samples, which is robust to scheduler noise where a mean is not.
+//!
+//! Results print as a table and are dumped as JSON (via `muffin-json`) to
+//! `target/muffin-bench/<suite>.json`, or `$MUFFIN_BENCH_OUT/<suite>.json`
+//! when that variable is set, so perf history can be tracked across
+//! commits without any external tooling.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's summarised timing, serialised into the suite JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, unique within the suite.
+    pub name: String,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+muffin_json::impl_json!(struct BenchRecord {
+    name, iters_per_sample, samples, median_ns, min_ns, max_ns,
+});
+
+/// Collects and reports timings for one benchmark suite (one bench binary).
+pub struct Harness {
+    suite: String,
+    sample_size: u32,
+    warmup_ms: u64,
+    target_sample_ms: u64,
+    records: Vec<BenchRecord>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite with default settings
+    /// (10 samples, 30 ms warmup, ~10 ms per sample).
+    ///
+    /// `MUFFIN_BENCH_SAMPLES` overrides the sample count globally — useful
+    /// to crank precision up locally or down in CI smoke runs.
+    pub fn new(suite: &str) -> Self {
+        let sample_size = std::env::var("MUFFIN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Self {
+            suite: suite.to_owned(),
+            sample_size,
+            warmup_ms: 30,
+            target_sample_ms: 10,
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples for subsequent [`Harness::bench`]
+    /// calls (the `criterion` `sample_size` knob; use small values for
+    /// expensive closures like whole search episodes).
+    pub fn sample_size(&mut self, samples: u32) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Times `f` and records the result under `name`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup doubles as the cost estimate for auto-batching.
+        let warmup = Duration::from_millis(self.warmup_ms);
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0 || warm_start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let target_ns = (self.target_sample_ms as f64) * 1e6;
+        let iters = ((target_ns / est_ns) as u64).clamp(1, 1_000_000);
+
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let record = BenchRecord {
+            name: name.to_owned(),
+            iters_per_sample: iters,
+            samples: self.sample_size,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{:<44} {:>12}/iter  (min {}, max {}, {} iters x {} samples)",
+            record.name,
+            format_ns(record.median_ns),
+            format_ns(record.min_ns),
+            format_ns(record.max_ns),
+            record.iters_per_sample,
+            record.samples,
+        );
+        self.records.push(record);
+    }
+
+    /// Prints the suite footer and writes the JSON dump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output directory or file cannot be written — a bench
+    /// run that silently loses its results is worse than a crash.
+    pub fn finish(self) {
+        // `cargo bench` runs with the package dir as CWD, so a relative
+        // default would land in a stray `crates/bench/target/`; anchor it
+        // to the workspace target dir instead.
+        let dir = std::env::var("MUFFIN_BENCH_OUT").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/muffin-bench").to_owned()
+        });
+        std::fs::create_dir_all(&dir).expect("create bench output dir");
+        let path = format!("{dir}/{}.json", self.suite);
+        let mut doc = muffin_json::Json::object();
+        doc.insert("suite", muffin_json::Json::Str(self.suite.clone()));
+        doc.insert("results", muffin_json::ToJson::to_json(&self.records));
+        std::fs::write(&path, doc.to_string_pretty()).expect("write bench results");
+        println!("{}: {} benchmarks, results -> {path}", self.suite, self.records.len());
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_record_and_json() {
+        std::env::set_var("MUFFIN_BENCH_OUT", std::env::temp_dir().join("mb-test").display().to_string());
+        let mut h = Harness::new("smoke");
+        h.sample_size(3);
+        h.warmup_ms = 1;
+        h.target_sample_ms = 1;
+        h.bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert_eq!(h.records.len(), 1);
+        let r = h.records[0].clone();
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        h.finish();
+        let path = std::env::temp_dir().join("mb-test").join("smoke.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let doc = muffin_json::parse(&text).unwrap();
+        let results: Vec<BenchRecord> =
+            doc.field("results").expect("results field decodes");
+        assert_eq!(results[0].name, "noop_sum");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 us");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(1.5e9), "1.500 s");
+    }
+}

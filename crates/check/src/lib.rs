@@ -1,0 +1,426 @@
+//! Seeded property-test harness for the Muffin workspace.
+//!
+//! `muffin-check` replaces the external `proptest` dependency with a small,
+//! fully deterministic engine built on the workspace's own
+//! [`Rng64`](muffin_tensor::Rng64):
+//!
+//! - every case is generated from a seed derived as `SplitMix64(run_seed,
+//!   case_index)`, so any failure is reproducible from the numbers in the
+//!   panic message alone;
+//! - failing inputs are greedily shrunk through the [`Shrink`] trait before
+//!   being reported;
+//! - properties return `Result<(), String>` and use the
+//!   [`prop_assert!`]/[`prop_assert_eq!`] macros, so a failure carries a
+//!   message instead of unwinding mid-generator.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_check::{check, prop_assert_eq, Config, Gen};
+//!
+//! check("reverse twice is identity", Config::default(), |g: &mut Gen| {
+//!     g.vec_f32(0..=16, -1.0, 1.0)
+//! }, |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert_eq!(&w, v);
+//!     Ok(())
+//! });
+//! ```
+
+use muffin_tensor::{Matrix, Rng64};
+
+mod shrink;
+
+pub use shrink::Shrink;
+
+/// Controls how many cases a property runs and how failures are minimised.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Seed of the whole run; each case derives its own sub-seed from it.
+    pub seed: u64,
+    /// Upper bound on shrinking steps once a counterexample is found.
+    pub max_shrinks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64, seed: 0x4D55_4646_494E, max_shrinks: 2048 }
+    }
+}
+
+impl Config {
+    /// Convenience constructor matching the old `proptest` `cases` knob.
+    pub fn cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+
+    /// Returns a copy with the given run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// SplitMix64 finalizer: mixes a run seed with a case index into an
+/// independent per-case seed.
+fn case_seed(run_seed: u64, case: u32) -> u64 {
+    let mut z = run_seed
+        .wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Source of random test inputs handed to generator closures.
+///
+/// Thin wrapper over [`Rng64`] with the ranged helpers that proptest-style
+/// strategies used to provide.
+pub struct Gen {
+    rng: Rng64,
+}
+
+impl Gen {
+    /// Creates a generator from an explicit seed (what `check` does per case).
+    pub fn from_seed(seed: u64) -> Self {
+        Self { rng: Rng64::seed(seed) }
+    }
+
+    /// Direct access to the underlying RNG for domain-specific sampling.
+    pub fn rng(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in the inclusive range.
+    pub fn usize_in(&mut self, range: std::ops::RangeInclusive<usize>) -> usize {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.rng.below(hi - lo + 1)
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u16` in the inclusive range.
+    pub fn u16_in(&mut self, range: std::ops::RangeInclusive<u16>) -> u16 {
+        self.usize_in(*range.start() as usize..=*range.end() as usize) as u16
+    }
+
+    /// Uniform finite `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// Standard normal `f32`.
+    pub fn normal(&mut self) -> f32 {
+        self.rng.normal()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn bool(&mut self, p: f32) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// Vector of uniform `f32` values with a length drawn from `len`.
+    pub fn vec_f32(
+        &mut self,
+        len: std::ops::RangeInclusive<usize>,
+        lo: f32,
+        hi: f32,
+    ) -> Vec<f32> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| self.f32_in(lo, hi)).collect()
+    }
+
+    /// Vector of `usize` values, each drawn from `each`.
+    pub fn vec_usize(
+        &mut self,
+        len: std::ops::RangeInclusive<usize>,
+        each: std::ops::RangeInclusive<usize>,
+    ) -> Vec<usize> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| self.usize_in(each.clone())).collect()
+    }
+
+    /// Matrix with uniformly drawn entries and shape drawn from the ranges.
+    pub fn matrix(
+        &mut self,
+        rows: std::ops::RangeInclusive<usize>,
+        cols: std::ops::RangeInclusive<usize>,
+        lo: f32,
+        hi: f32,
+    ) -> Matrix {
+        let (r, c) = (self.usize_in(rows), self.usize_in(cols));
+        let data: Vec<f32> = (0..r * c).map(|_| self.f32_in(lo, hi)).collect();
+        Matrix::from_vec(r, c, data).expect("generated shape is consistent")
+    }
+
+    /// Matrix with a fixed shape.
+    pub fn matrix_exact(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        self.matrix(rows..=rows, cols..=cols, lo, hi)
+    }
+}
+
+/// Runs `prop` against `config.cases` inputs drawn from `gen`.
+///
+/// On failure the input is shrunk via [`Shrink`] and the panic message
+/// reports the property name, case index, per-case seed and the minimal
+/// counterexample — everything needed to replay the failure with
+/// [`Gen::from_seed`].
+///
+/// # Panics
+///
+/// Panics if any case fails (after shrinking).
+pub fn check<T, G, P>(name: &str, config: Config, mut gen: G, mut prop: P)
+where
+    T: Shrink + std::fmt::Debug,
+    G: FnMut(&mut Gen) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    // A property that panics (index out of bounds, shape mismatch, ...) is
+    // as much a counterexample as one that returns Err — catch it so the
+    // report still carries the seed and the shrunk input.
+    let mut prop = move |input: &T| -> Result<(), String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(input)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_owned());
+                Err(format!("property panicked: {msg}"))
+            })
+    };
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let input = gen(&mut Gen::from_seed(seed));
+        if let Err(first_failure) = prop(&input) {
+            let (minimal, message, steps) =
+                shrink_failure(input, first_failure, config.max_shrinks, &mut prop);
+            panic!(
+                "property '{name}' failed\n  case: {case}/{total} (run seed {run_seed:#x}, \
+                 case seed {seed:#x})\n  after {steps} shrink steps\n  minimal input: \
+                 {minimal:?}\n  failure: {message}",
+                total = config.cases,
+                run_seed = config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly take the first candidate that still fails
+/// until no candidate fails or the step budget runs out.
+fn shrink_failure<T, P>(
+    mut input: T,
+    mut message: String,
+    max_shrinks: u32,
+    prop: &mut P,
+) -> (T, String, u32)
+where
+    T: Shrink + std::fmt::Debug,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_shrinks {
+        for candidate in input.shrink_candidates() {
+            steps += 1;
+            if let Err(m) = prop(&candidate) {
+                input = candidate;
+                message = m;
+                continue 'outer;
+            }
+            if steps >= max_shrinks {
+                break;
+            }
+        }
+        break;
+    }
+    (input, message, steps)
+}
+
+/// Asserts a condition inside a property, returning `Err` with the condition
+/// text (and optional formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} — {}\n  left: {l:?}\n  right: {r:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Asserts two floats agree within an absolute tolerance.
+#[macro_export]
+macro_rules! prop_assert_close {
+    ($left:expr, $right:expr, $tol:expr) => {{
+        let (l, r, t) = ($left as f64, $right as f64, $tol as f64);
+        if !((l - r).abs() <= t) {
+            return Err(format!(
+                "assertion failed: |{} - {}| <= {t}\n  left: {l}\n  right: {r}\n  delta: {}",
+                stringify!($left),
+                stringify!($right),
+                (l - r).abs()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        check("count", Config::cases(17), |g| g.usize_in(0..=100), |_| {
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn same_seed_generates_identical_inputs() {
+        let mut first: Vec<Vec<f32>> = Vec::new();
+        check("collect-a", Config::default(), |g| g.vec_f32(0..=8, -1.0, 1.0), |v| {
+            first.push(v.clone());
+            Ok(())
+        });
+        let mut second: Vec<Vec<f32>> = Vec::new();
+        check("collect-b", Config::default(), |g| g.vec_f32(0..=8, -1.0, 1.0), |v| {
+            second.push(v.clone());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "fails-over-100",
+                Config::cases(64),
+                |g| g.usize_in(0..=1000),
+                |&n| {
+                    prop_assert!(n <= 100, "n was {n}");
+                    Ok(())
+                },
+            );
+        });
+        let panic = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(panic.contains("fails-over-100"), "{panic}");
+        assert!(panic.contains("case seed"), "{panic}");
+        // Shrinking drives the counterexample down to the boundary.
+        assert!(panic.contains("minimal input: 101"), "{panic}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_minimal_length() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "no-negatives",
+                Config::default(),
+                |g| g.vec_f32(0..=32, -1.0, 1.0),
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x >= 0.0));
+                    Ok(())
+                },
+            );
+        });
+        let panic = *result.unwrap_err().downcast::<String>().unwrap();
+        // A single offending element survives shrinking.
+        assert!(panic.contains("minimal input: ["), "{panic}");
+        let open = panic.find("minimal input: [").unwrap();
+        let close = panic[open..].find(']').unwrap() + open;
+        let inner = &panic[open + "minimal input: [".len()..close];
+        assert!(!inner.contains(','), "expected 1-element vec, got [{inner}]");
+    }
+
+    #[test]
+    fn panicking_property_reports_seed_instead_of_escaping() {
+        let result = std::panic::catch_unwind(|| {
+            check("panics-on-big", Config::cases(32), |g| g.usize_in(0..=50), |&n| {
+                assert!(n < 40, "boom {n}");
+                Ok(())
+            });
+        });
+        let panic = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(panic.contains("property panicked"), "{panic}");
+        assert!(panic.contains("case seed"), "{panic}");
+        assert!(panic.contains("minimal input: 40"), "{panic}");
+    }
+
+    #[test]
+    fn matrix_generator_respects_shape_bounds() {
+        check("matrix-shape", Config::cases(32), |g| g.matrix(1..=5, 2..=7, -1.0, 1.0), |m| {
+            let (r, c) = m.shape();
+            prop_assert!((1..=5).contains(&r));
+            prop_assert!((2..=7).contains(&c));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..256).map(|i| case_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

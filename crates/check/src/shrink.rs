@@ -1,0 +1,272 @@
+//! Greedy input minimisation.
+//!
+//! [`Shrink::shrink_candidates`] proposes strictly "smaller" variants of a
+//! failing input; the harness keeps the first candidate that still fails and
+//! repeats until nothing smaller fails. Candidates are ordered
+//! most-aggressive-first (e.g. "drop half the vector" before "drop one
+//! element") so typical failures minimise in few steps.
+
+use muffin_tensor::Matrix;
+
+/// Types the harness knows how to minimise after a failure.
+///
+/// An implementation may return an empty list to opt out of shrinking —
+/// the original failing input is then reported as-is.
+pub trait Shrink: Clone {
+    /// Proposes smaller variants of `self`, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let n = *self;
+                let mut out = Vec::new();
+                if n == 0 {
+                    return out;
+                }
+                out.push(0);
+                if n / 2 > 0 {
+                    out.push(n / 2);
+                }
+                out.push(n - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let n = *self;
+                let mut out = Vec::new();
+                if n == 0 {
+                    return out;
+                }
+                out.push(0);
+                if n < 0 && n != <$ty>::MIN {
+                    out.push(-n);
+                }
+                if n / 2 != 0 {
+                    out.push(n / 2);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_float {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let x = *self;
+                if x == 0.0 || !x.is_finite() {
+                    return Vec::new();
+                }
+                let mut out = vec![0.0];
+                if x < 0.0 {
+                    out.push(-x);
+                }
+                let half = x / 2.0;
+                if half != 0.0 && half != x {
+                    out.push(half);
+                }
+                if x.fract() != 0.0 {
+                    out.push(x.trunc());
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        // Structural shrinks first: shorter vectors fail faster to minimise.
+        if n > 0 {
+            out.push(Vec::new());
+        }
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+            for i in 0..n {
+                let mut shorter = self.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Then element-wise shrinks at the current length.
+        for (i, item) in self.iter().enumerate() {
+            for candidate in item.shrink_candidates() {
+                let mut copy = self.clone();
+                copy[i] = candidate;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Shrink, B: Shrink> Shrink for (A, B) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink_candidates() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink_candidates() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Shrink, B: Shrink, C: Shrink> Shrink for (A, B, C) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink_candidates() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink_candidates() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink_candidates() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A: Shrink, B: Shrink, C: Shrink, D: Shrink> Shrink for (A, B, C, D) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink_candidates() {
+            out.push((a, self.1.clone(), self.2.clone(), self.3.clone()));
+        }
+        for b in self.1.shrink_candidates() {
+            out.push((self.0.clone(), b, self.2.clone(), self.3.clone()));
+        }
+        for c in self.2.shrink_candidates() {
+            out.push((self.0.clone(), self.1.clone(), c, self.3.clone()));
+        }
+        for d in self.3.shrink_candidates() {
+            out.push((self.0.clone(), self.1.clone(), self.2.clone(), d));
+        }
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let n = chars.len();
+        let mut out = Vec::new();
+        if n > 0 {
+            out.push(String::new());
+        }
+        if n > 1 {
+            out.push(chars[..n / 2].iter().collect());
+            out.push(chars[n / 2..].iter().collect());
+        }
+        out
+    }
+}
+
+fn submatrix(m: &Matrix, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| m.get(r, c))).collect();
+    Matrix::from_vec(rows, cols, data).expect("submatrix shape is consistent")
+}
+
+impl Shrink for Matrix {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let (rows, cols) = self.shape();
+        let mut out = Vec::new();
+        // Shape shrinks: top-left submatrices (most layers reject 0-sized
+        // matrices, so never propose an empty dimension).
+        if rows > 1 {
+            out.push(submatrix(self, rows / 2, cols));
+            out.push(submatrix(self, rows - 1, cols));
+        }
+        if cols > 1 {
+            out.push(submatrix(self, rows, cols / 2));
+            out.push(submatrix(self, rows, cols - 1));
+        }
+        // Value shrink: everything to zero (shape-dependent failures keep
+        // reproducing; value-dependent failures stop, keeping the values).
+        if (0..rows).any(|r| (0..cols).any(|c| self.get(r, c) != 0.0)) {
+            out.push(Matrix::zeros(rows, cols));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert_eq!(100usize.shrink_candidates(), vec![0, 50, 99]);
+        assert!(0usize.shrink_candidates().is_empty());
+        assert_eq!(1usize.shrink_candidates(), vec![0]);
+    }
+
+    #[test]
+    fn float_shrinks_toward_zero_and_integral() {
+        let c = 6.5f32.shrink_candidates();
+        assert!(c.contains(&0.0));
+        assert!(c.contains(&3.25));
+        assert!(c.contains(&6.0));
+        assert!(f32::NAN.shrink_candidates().is_empty());
+        assert!((-2.0f32).shrink_candidates().contains(&2.0));
+    }
+
+    #[test]
+    fn vec_shrinks_shorter_first() {
+        let v = vec![3usize, 7];
+        let c = v.shrink_candidates();
+        assert_eq!(c[0], Vec::<usize>::new());
+        assert!(c.contains(&vec![3]));
+        assert!(c.contains(&vec![7]));
+        assert!(c.contains(&vec![0, 7]));
+    }
+
+    #[test]
+    fn matrix_shrinks_shape_and_values() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = m.shrink_candidates();
+        assert!(c.iter().any(|x| x.shape() == (1, 3)));
+        assert!(c.iter().any(|x| x.shape() == (2, 1)));
+        assert!(c.iter().any(|x| x.shape() == (2, 2)));
+        assert!(c.iter().any(|x| {
+            x.shape() == (2, 3) && (0..2).all(|r| (0..3).all(|cc| x.get(r, cc) == 0.0))
+        }));
+        // Submatrices preserve the top-left entries.
+        let top = c.iter().find(|x| x.shape() == (1, 3)).unwrap();
+        assert_eq!((top.get(0, 0), top.get(0, 2)), (1.0, 3.0));
+    }
+}

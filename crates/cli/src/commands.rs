@@ -182,7 +182,7 @@ fn search(args: &Args) -> Result<(), String> {
             &mut Rng64::seed(seed ^ 0xD15),
         )
         .map_err(|e| e.to_string())?;
-        let json = serde_json::to_string(distilled.student()).map_err(|e| e.to_string())?;
+        let json = muffin_json::to_string(distilled.student());
         std::fs::write(student_path, json).map_err(|e| e.to_string())?;
         println!(
             "distilled student ({} params, {:.0}x smaller) written to {student_path}",

@@ -2,14 +2,13 @@
 //! Observation 3, Figure 3 and Figure 6).
 
 use muffin_data::{AttributeId, Dataset};
-use serde::{Deserialize, Serialize};
 
 /// Probabilities of the four correctness patterns of a model pair on a set
 /// of samples, following the paper's Figure 3 notation:
 ///
 /// * `00` — both wrong, `01` — only the first model right,
 /// * `10` — only the second model right, `11` — both right.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisagreementBreakdown {
     /// P(both models wrong).
     pub both_wrong: f32,
@@ -22,6 +21,8 @@ pub struct DisagreementBreakdown {
     /// Number of samples analysed.
     pub count: usize,
 }
+
+muffin_json::impl_json!(struct DisagreementBreakdown { both_wrong, first_only, second_only, both_right, count });
 
 impl DisagreementBreakdown {
     /// Computes the breakdown over the samples selected by `indices`
@@ -78,7 +79,7 @@ impl DisagreementBreakdown {
 
 /// Where a fused model's correct answers and errors come from, relative to
 /// its paired models (the paper's Figure 6(c) bar composition).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FusionComposition {
     /// Fused-correct where both paired models were right.
     pub correct_both: f32,
@@ -99,6 +100,11 @@ pub struct FusionComposition {
     /// Number of samples analysed.
     pub count: usize,
 }
+
+muffin_json::impl_json!(struct FusionComposition {
+    correct_both, correct_first_only, correct_second_only, correct_neither,
+    error_both, error_first_only, error_second_only, error_neither, count,
+});
 
 impl FusionComposition {
     /// Computes the composition over the samples selected by `indices`

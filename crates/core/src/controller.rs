@@ -1,7 +1,6 @@
 use crate::{HeadSpec, MuffinError};
 use muffin_nn::{Activation, Linear, Optimizer, Parameterized, RnnCache, RnnCell};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// The controller's discrete search space (paper component ①).
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let space = SearchSpace::paper_default(6);
 /// assert_eq!(space.num_steps(), 2 + 1 + 4 + 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchSpace {
     pool_size: usize,
     num_slots: usize,
@@ -30,6 +29,10 @@ pub struct SearchSpace {
     activation_choices: Vec<Activation>,
     required_models: Vec<usize>,
 }
+
+muffin_json::impl_json!(struct SearchSpace {
+    pool_size, num_slots, depth_choices, width_choices, activation_choices, required_models,
+});
 
 impl SearchSpace {
     /// Creates a search space.
@@ -191,7 +194,7 @@ impl SearchSpace {
 }
 
 /// A decoded candidate: the selected body models plus the head shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// Distinct pool indices forming the muffin body.
     pub model_indices: Vec<usize>,
@@ -199,8 +202,10 @@ pub struct Candidate {
     pub head: HeadSpec,
 }
 
+muffin_json::impl_json!(struct Candidate { model_indices, head });
+
 /// Hyper-parameters of the REINFORCE controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// RNN hidden width.
     pub hidden_dim: usize,
@@ -215,6 +220,10 @@ pub struct ControllerConfig {
     /// Entropy-bonus weight keeping exploration alive.
     pub entropy_weight: f32,
 }
+
+muffin_json::impl_json!(struct ControllerConfig {
+    hidden_dim, embed_dim, learning_rate, gamma, baseline_decay, entropy_weight,
+});
 
 impl Default for ControllerConfig {
     fn default() -> Self {

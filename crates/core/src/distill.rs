@@ -12,10 +12,9 @@ use muffin_data::Dataset;
 use muffin_models::ModelPool;
 use muffin_nn::{Activation, ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for distilling a fused model into a student MLP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DistillConfig {
     /// Hidden widths of the student network (on raw features).
     pub student_hidden: Vec<usize>,
@@ -28,6 +27,8 @@ pub struct DistillConfig {
     /// Learning-rate schedule.
     pub schedule: LrSchedule,
 }
+
+muffin_json::impl_json!(struct DistillConfig { student_hidden, activation, epochs, batch_size, schedule });
 
 impl Default for DistillConfig {
     fn default() -> Self {

@@ -12,10 +12,9 @@
 use crate::FusingStructure;
 use muffin_data::{AttributeId, Dataset};
 use muffin_models::ModelPool;
-use serde::{Deserialize, Serialize};
 
 /// Who the head sided with on the disagreement samples of one slice.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrustSlice {
     /// Group index (`u16::MAX` for the overall slice).
     pub group: u16,
@@ -30,14 +29,18 @@ pub struct TrustSlice {
     pub accuracy: f32,
 }
 
+muffin_json::impl_json!(struct TrustSlice { group, disagreements, sided_with, invented, accuracy });
+
 /// Trust analysis of a fusing structure on one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrustReport {
     /// Names of the body models, in body order.
     pub body: Vec<String>,
     /// The overall slice plus one slice per group of the chosen attribute.
     pub slices: Vec<TrustSlice>,
 }
+
+muffin_json::impl_json!(struct TrustReport { body, slices });
 
 impl TrustReport {
     /// Analyses `fusing` on `dataset`, slicing by `attr` when given.

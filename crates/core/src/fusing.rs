@@ -3,7 +3,6 @@ use muffin_data::Dataset;
 use muffin_models::ModelPool;
 use muffin_nn::{Activation, ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Architecture of the muffin head: the MLP the controller searches over
@@ -19,11 +18,13 @@ use std::fmt;
 /// let spec = HeadSpec::new(vec![16, 18, 12, 8], Activation::Relu);
 /// assert_eq!(spec.to_string(), "[16,18,12,8] relu");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeadSpec {
     hidden: Vec<usize>,
     activation: Activation,
 }
+
+muffin_json::impl_json!(struct HeadSpec { hidden, activation });
 
 impl HeadSpec {
     /// Creates a head spec from hidden widths and an activation.
@@ -66,7 +67,7 @@ impl fmt::Display for HeadSpec {
 }
 
 /// Training configuration for the muffin head.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HeadTrainConfig {
     /// Training epochs.
     pub epochs: u32,
@@ -77,6 +78,8 @@ pub struct HeadTrainConfig {
     /// Loss — the paper's Eq. 2 weighted MSE by default.
     pub loss: LossKind,
 }
+
+muffin_json::impl_json!(struct HeadTrainConfig { epochs, batch_size, schedule, loss });
 
 impl Default for HeadTrainConfig {
     fn default() -> Self {
@@ -138,7 +141,7 @@ impl HeadTrainConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FusingStructure {
     model_indices: Vec<usize>,
     head_spec: HeadSpec,
@@ -146,6 +149,8 @@ pub struct FusingStructure {
     num_classes: usize,
     consensus_gating: bool,
 }
+
+muffin_json::impl_json!(struct FusingStructure { model_indices, head_spec, head, num_classes, consensus_gating });
 
 impl FusingStructure {
     /// Creates an untrained fusing structure selecting `model_indices` from

@@ -1,6 +1,5 @@
 use muffin_data::{AttributeId, Dataset};
 use muffin_models::ModelPool;
-use serde::{Deserialize, Serialize};
 
 /// Which groups of which attributes are unprivileged.
 ///
@@ -21,10 +20,12 @@ use serde::{Deserialize, Serialize};
 /// assert!(map.is_unprivileged(AttributeId::new(0), 5));
 /// assert!(!map.is_unprivileged(AttributeId::new(0), 0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrivilegeMap {
     entries: Vec<(usize, Vec<u16>)>,
 }
+
+muffin_json::impl_json!(struct PrivilegeMap { entries });
 
 impl PrivilegeMap {
     /// Creates an empty map.

@@ -1,6 +1,5 @@
 use crate::{MuffinError, PrivilegeMap};
 use muffin_data::{AttributeId, Dataset};
-use serde::{Deserialize, Serialize};
 
 /// The fairness proxy dataset (paper component ② and Algorithm 1).
 ///
@@ -40,12 +39,14 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProxyDataset {
     indices: Vec<usize>,
     weights: Vec<f32>,
     group_weights: Vec<(usize, u16, f32)>,
 }
+
+muffin_json::impl_json!(struct ProxyDataset { indices, weights, group_weights });
 
 impl ProxyDataset {
     /// Runs Algorithm 1 over `dataset` and assembles the proxy dataset.

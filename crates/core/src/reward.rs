@@ -1,13 +1,14 @@
 use muffin_models::ModelEvaluation;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the multi-fairness reward (paper Eq. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RewardConfig {
     /// Floor applied to each unfairness score before dividing, so a
     /// perfectly fair attribute doesn't produce an infinite reward.
     pub epsilon: f32,
 }
+
+muffin_json::impl_json!(struct RewardConfig { epsilon });
 
 impl Default for RewardConfig {
     fn default() -> Self {

@@ -8,10 +8,9 @@
 
 use crate::RewardConfig;
 use muffin_models::ModelEvaluation;
-use serde::{Deserialize, Serialize};
 
 /// The shape of the multi-objective reward.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RewardKind {
     /// The paper's Eq. 3: `Σ_k accuracy / max(U_k, ε)`.
     PaperRatio,
@@ -24,6 +23,8 @@ pub enum RewardKind {
     /// the most unfair attribute first.
     WorstAttribute,
 }
+
+muffin_json::impl_json!(tagged RewardKind { PaperRatio {}, LinearPenalty { lambda }, WorstAttribute {} });
 
 impl RewardKind {
     /// Evaluates the reward for `evaluation` over the listed attributes.

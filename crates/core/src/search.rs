@@ -5,11 +5,10 @@ use crate::{
 use muffin_data::{Dataset, DatasetSplit};
 use muffin_models::ModelPool;
 use muffin_tensor::Rng64;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of a full Muffin search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Reinforcement-learning episodes (the paper uses 500).
     pub episodes: u32,
@@ -35,6 +34,11 @@ pub struct SearchConfig {
     /// many episodes before each policy update.
     pub reinforce_batch: usize,
 }
+
+muffin_json::impl_json!(struct SearchConfig {
+    episodes, num_slots, target_attributes, head, reward, reward_kind, controller,
+    privilege_margin, required_models, reinforce_batch,
+});
 
 impl SearchConfig {
     /// The paper's configuration for the given unfair attributes:
@@ -95,7 +99,7 @@ impl SearchConfig {
 }
 
 /// Metrics of one evaluated candidate during the search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpisodeRecord {
     /// Episode number (0-based). Re-evaluations of a cached candidate keep
     /// the episode index of their first evaluation in `first_seen`.
@@ -122,8 +126,13 @@ pub struct EpisodeRecord {
     pub first_seen: u32,
 }
 
+muffin_json::impl_json!(struct EpisodeRecord {
+    episode, actions, model_names, head_desc, accuracy, unfairness, reward,
+    head_params, total_params, head_seed, first_seen,
+});
+
 /// Result of a completed search: full history plus the best structures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// One record per episode (cached candidates repeat their metrics).
     pub history: Vec<EpisodeRecord>,
@@ -132,6 +141,8 @@ pub struct SearchOutcome {
     /// The names of the targeted attributes, in reward order.
     pub target_attributes: Vec<String>,
 }
+
+muffin_json::impl_json!(struct SearchOutcome { history, best_by_reward, target_attributes });
 
 impl SearchOutcome {
     /// Distinct evaluated candidates (first occurrence of each action
@@ -202,7 +213,7 @@ impl SearchOutcome {
     ///
     /// Returns an error string if serialisation or the write fails.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
-        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        let json = muffin_json::to_string(self);
         std::fs::write(path, json).map_err(|e| e.to_string())
     }
 
@@ -213,7 +224,7 @@ impl SearchOutcome {
     /// Returns an error string if the file cannot be read or parsed.
     pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        serde_json::from_str(&text).map_err(|e| e.to_string())
+        muffin_json::from_str(&text).map_err(|e| e.to_string())
     }
 }
 
@@ -590,6 +601,17 @@ mod tests {
         let loaded = SearchOutcome::load_json(&path).expect("load");
         assert_eq!(loaded.history.len(), outcome.history.len());
         assert_eq!(loaded.best().actions, outcome.best().actions);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_outcome_error_carries_line_and_column() {
+        let path = std::env::temp_dir().join("muffin_outcome_malformed.json");
+        // Stray comma on line 2.
+        std::fs::write(&path, "{\n  \"history\": [,]\n}").expect("write");
+        let msg = SearchOutcome::load_json(&path).unwrap_err();
+        assert!(msg.contains("line 2"), "missing line in: {msg}");
+        assert!(msg.contains("column"), "missing column in: {msg}");
         std::fs::remove_file(path).ok();
     }
 

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a sensitive attribute within an [`AttributeSchema`].
@@ -11,8 +10,10 @@ use std::fmt;
 /// let id = AttributeId::new(1);
 /// assert_eq!(id.index(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttributeId(usize);
+
+muffin_json::impl_json!(newtype AttributeId);
 
 impl AttributeId {
     /// Wraps a raw attribute index.
@@ -36,8 +37,10 @@ impl fmt::Display for AttributeId {
 ///
 /// Stored compactly as `u16`: the paper's attributes have at most nine
 /// groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(u16);
+
+muffin_json::impl_json!(newtype GroupId);
 
 impl GroupId {
     /// Wraps a raw group index.
@@ -75,11 +78,13 @@ impl fmt::Display for GroupId {
 /// assert_eq!(attr.num_groups(), 2);
 /// assert_eq!(attr.group_name(muffin_data::GroupId::new(1)), Some("female"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SensitiveAttribute {
     name: String,
     groups: Vec<String>,
 }
+
+muffin_json::impl_json!(struct SensitiveAttribute { name, groups });
 
 impl SensitiveAttribute {
     /// Creates an attribute from its name and group names.
@@ -132,10 +137,12 @@ impl SensitiveAttribute {
 /// assert_eq!(schema.len(), 2);
 /// assert!(schema.by_name("site").is_some());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeSchema {
     attributes: Vec<SensitiveAttribute>,
 }
+
+muffin_json::impl_json!(struct AttributeSchema { attributes });
 
 impl AttributeSchema {
     /// Creates a schema from an ordered attribute list.

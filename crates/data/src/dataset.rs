@@ -1,6 +1,5 @@
 use crate::{AttributeId, AttributeSchema, GroupId};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// A labelled dataset with per-sample sensitive-attribute group membership.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let young = ds.group_indices(age, muffin_data::GroupId::new(0));
 /// assert!(!young.is_empty());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     features: Matrix,
     labels: Vec<usize>,
@@ -26,6 +25,8 @@ pub struct Dataset {
     schema: AttributeSchema,
     group_ids: Vec<Vec<u16>>,
 }
+
+muffin_json::impl_json!(struct Dataset { features, labels, num_classes, schema, group_ids });
 
 impl Dataset {
     /// Assembles a dataset from parts.
@@ -173,7 +174,7 @@ impl Dataset {
 }
 
 /// Train/validation/test partition of a [`Dataset`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSplit {
     /// Training portion (64% by default, matching the paper).
     pub train: Dataset,
@@ -182,6 +183,8 @@ pub struct DatasetSplit {
     /// Held-out test portion (20% by default).
     pub test: Dataset,
 }
+
+muffin_json::impl_json!(struct DatasetSplit { train, val, test });
 
 #[cfg(test)]
 mod tests {

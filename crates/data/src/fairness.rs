@@ -13,10 +13,9 @@
 //! the core crate; `muffin` re-exports them and adds the multi-dimension
 //! aggregate of Eq. 1.
 
-use serde::{Deserialize, Serialize};
 
 /// Accuracy of one group, with its sample count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupAccuracy {
     /// Group index within the attribute.
     pub group: u16,
@@ -25,6 +24,8 @@ pub struct GroupAccuracy {
     /// Accuracy over the group's samples (`0.0` for empty groups).
     pub accuracy: f32,
 }
+
+muffin_json::impl_json!(struct GroupAccuracy { group, count, accuracy });
 
 /// Per-group accuracies for one attribute.
 ///

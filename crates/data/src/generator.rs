@@ -1,6 +1,5 @@
 use crate::{AttributeSchema, Dataset, SensitiveAttribute};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// One group of a synthetic sensitive attribute.
 ///
@@ -24,13 +23,15 @@ use serde::{Deserialize, Serialize};
 /// let g = GroupSpec::new("oral/genital", 0.06).with_angle(80.0).with_noise_mult(1.9);
 /// assert!(g.is_disadvantaged());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupSpec {
     name: String,
     share: f32,
     angle_deg: f32,
     noise_mult: f32,
 }
+
+muffin_json::impl_json!(struct GroupSpec { name, share, angle_deg, noise_mult });
 
 impl GroupSpec {
     /// Creates a privileged group with the given population share.
@@ -91,12 +92,14 @@ impl GroupSpec {
 
 /// A synthetic sensitive attribute: its groups plus the coordinate planes
 /// its rotations act on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttributeSpec {
     name: String,
     groups: Vec<GroupSpec>,
     planes: Vec<(usize, usize)>,
 }
+
+muffin_json::impl_json!(struct AttributeSpec { name, groups, planes });
 
 impl AttributeSpec {
     /// Creates an attribute from its groups and rotation planes.
@@ -146,7 +149,7 @@ impl AttributeSpec {
 }
 
 /// Full configuration of a synthetic dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorConfig {
     /// Number of samples to generate.
     pub num_samples: usize,
@@ -169,6 +172,10 @@ pub struct GeneratorConfig {
     /// unprivileged groups that Algorithm 1 exploits).
     pub correlation: f32,
 }
+
+muffin_json::impl_json!(struct GeneratorConfig {
+    num_samples, feature_dim, num_classes, class_sep, base_noise, spectral_decay, attributes, correlation,
+});
 
 impl GeneratorConfig {
     /// Validates the configuration.

@@ -50,8 +50,7 @@ impl Dataset {
     ///
     /// Returns [`DatasetIoError::Io`] if the file cannot be written.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), DatasetIoError> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| DatasetIoError::Parse(e.to_string()))?;
+        let json = muffin_json::to_string(self);
         fs::write(path, json)?;
         Ok(())
     }
@@ -64,7 +63,7 @@ impl Dataset {
     /// [`DatasetIoError::Parse`] if it is not a valid dataset.
     pub fn load_json(path: impl AsRef<Path>) -> Result<Dataset, DatasetIoError> {
         let text = fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| DatasetIoError::Parse(e.to_string()))
+        muffin_json::from_str(&text).map_err(|e| DatasetIoError::Parse(e.to_string()))
     }
 }
 
@@ -103,6 +102,21 @@ mod tests {
         std::fs::write(&path, "not json at all").expect("write");
         let err = Dataset::load_json(&path).unwrap_err();
         assert!(matches!(err, DatasetIoError::Parse(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_file_error_carries_line_and_column() {
+        let dir = std::env::temp_dir().join("muffin_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("malformed.json");
+        // Bad literal on line 3, column 15.
+        std::fs::write(&path, "{\n  \"features\": {\n    \"rows\": 1,,\n  }\n}").expect("write");
+        let err = Dataset::load_json(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, DatasetIoError::Parse(_)));
+        assert!(msg.contains("line 3"), "missing line in: {msg}");
+        assert!(msg.contains("column"), "missing column in: {msg}");
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,15 +1,16 @@
 use crate::{AttributeId, Dataset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Sample count of one group under one attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupCount {
     /// Group index within its attribute.
     pub group: u16,
     /// Number of samples.
     pub count: usize,
 }
+
+muffin_json::impl_json!(struct GroupCount { group, count });
 
 /// Descriptive statistics of a [`Dataset`]: per-attribute group counts and
 /// the class distribution.
@@ -25,12 +26,14 @@ pub struct GroupCount {
 /// assert_eq!(stats.class_counts().len(), 8);
 /// assert_eq!(stats.group_counts(muffin_data::AttributeId::new(1)).len(), 9);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetStats {
     class_counts: Vec<usize>,
     group_counts: Vec<Vec<GroupCount>>,
     num_samples: usize,
 }
+
+muffin_json::impl_json!(struct DatasetStats { class_counts, group_counts, num_samples });
 
 impl DatasetStats {
     /// Computes statistics for `dataset`.

@@ -1,0 +1,236 @@
+use crate::{Json, JsonError};
+
+/// Conversion into a [`Json`] value.
+///
+/// Implemented for the primitives the workspace persists; domain types get
+/// their implementation from [`impl_json!`](crate::impl_json).
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Decodes a value of this type from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Decode`] if `json` does not have the expected
+    /// shape.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::decode(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::decode(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let raw = match json {
+                    Json::Int(i) => *i,
+                    // Accept integral floats: a foreign writer may emit
+                    // `3.0` where we expect an integer.
+                    Json::Float(x) if x.fract() == 0.0 && x.abs() < 2e18 => *x as i128,
+                    other => {
+                        return Err(JsonError::decode(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw).map_err(|_| {
+                    JsonError::decode(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            // Widening 0.1f32 to f64 directly would serialise as the exact
+            // but unwieldy 0.10000000149011612. Going through the f32's
+            // shortest decimal keeps the text minimal while still decoding
+            // back to the identical f32.
+            Json::Float(format!("{self}").parse::<f64>().expect("float reformat"))
+        } else {
+            Json::Float(*self as f64)
+        }
+    }
+}
+
+macro_rules! impl_json_float {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Float(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_json_float!(f64);
+
+macro_rules! impl_json_float_from {
+    ($($ty:ty),*) => {$(
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                match json {
+                    Json::Float(x) => Ok(*x as $ty),
+                    Json::Int(i) => Ok(*i as $ty),
+                    // The writer spells non-finite floats as `null`.
+                    Json::Null => Ok(<$ty>::NAN),
+                    other => Err(JsonError::decode(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_json_float_from!(f32, f64);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    T::from_json(item).map_err(|e| e.in_context(&format!("index {i}")))
+                })
+                .collect(),
+            other => Err(JsonError::decode(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($len:literal; $($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                match json {
+                    Json::Arr(items) if items.len() == $len => Ok((
+                        $($name::from_json(&items[$idx])
+                            .map_err(|e| e.in_context(&format!("tuple index {}", $idx)))?,)+
+                    )),
+                    Json::Arr(items) => Err(JsonError::decode(format!(
+                        "expected {}-element array, found {} elements",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(JsonError::decode(format!(
+                        "expected array, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_json_tuple!(2; A: 0, B: 1);
+impl_json_tuple!(3; A: 0, B: 1, C: 2);
+impl_json_tuple!(4; A: 0, B: 1, C: 2, D: 3);

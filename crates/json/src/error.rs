@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Error produced while parsing or decoding JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text is not syntactically valid JSON. `line` and `column` are
+    /// 1-based and point at the offending character.
+    Parse {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        column: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// The JSON parsed but does not have the shape the target type expects
+    /// (missing field, wrong kind, out-of-range number, unknown variant).
+    Decode {
+        /// Human-readable description, prefixed with the field path where
+        /// the mismatch occurred.
+        message: String,
+    },
+}
+
+impl JsonError {
+    /// Builds a decode error.
+    pub fn decode(message: impl Into<String>) -> Self {
+        JsonError::Decode { message: message.into() }
+    }
+
+    /// Prefixes a decode error with surrounding context (field or index),
+    /// leaving parse errors untouched.
+    pub fn in_context(self, context: &str) -> Self {
+        match self {
+            JsonError::Decode { message } => {
+                JsonError::Decode { message: format!("{context}: {message}") }
+            }
+            parse => parse,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { line, column, message } => {
+                write!(f, "json parse error at line {line}, column {column}: {message}")
+            }
+            JsonError::Decode { message } => write!(f, "json decode error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}

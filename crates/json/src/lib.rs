@@ -1,0 +1,67 @@
+//! Zero-dependency JSON substrate for the Muffin workspace.
+//!
+//! The reproduction must build and test from a cold, air-gapped checkout,
+//! so instead of `serde`/`serde_json` this crate provides the whole JSON
+//! story in-repo:
+//!
+//! * [`Json`] — a small value model (null, bool, integer, float, string,
+//!   array, object);
+//! * [`parse`] — a strict recursive-descent parser whose errors carry the
+//!   offending line and column;
+//! * a writer ([`Json::to_string`], [`Json::to_string_pretty`]) with
+//!   deterministic key ordering (insertion order, which for the
+//!   [`impl_json!`] macros is field-declaration order) and float formatting
+//!   that round-trips exactly;
+//! * [`ToJson`]/[`FromJson`] — the conversion traits every persisted type
+//!   in the workspace implements, usually through [`impl_json!`].
+//!
+//! Integers are stored as `i128` so the full `u64`/`i64` ranges (seeds,
+//! parameter counts) survive a round trip without the precision loss a
+//! double-only model would impose. Non-finite floats have no JSON spelling;
+//! the writer emits `null` for them and float decoding maps `null` back to
+//! `NaN`, keeping round trips total.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_json::{FromJson, Json, ToJson};
+//!
+//! let v: Vec<f32> = vec![1.5, -0.25];
+//! let text = muffin_json::to_string(&v);
+//! assert_eq!(text, "[1.5,-0.25]");
+//! let back: Vec<f32> = muffin_json::from_str(&text).unwrap();
+//! assert_eq!(back, v);
+//! ```
+
+mod convert;
+mod error;
+mod macros;
+mod parser;
+mod value;
+mod writer;
+
+pub use convert::{FromJson, ToJson};
+pub use error::JsonError;
+pub use parser::parse;
+pub use value::Json;
+
+/// Serialises any [`ToJson`] value to compact JSON text.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Serialises any [`ToJson`] value to indented JSON text.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Parses JSON text and decodes it into any [`FromJson`] type.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] (with line/column) if the text is not
+/// valid JSON and [`JsonError::Decode`] if the value does not have the
+/// shape `T` expects.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}

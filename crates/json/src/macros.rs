@@ -1,0 +1,151 @@
+//! The `impl_json!` macro: field-list implementations of
+//! [`ToJson`](crate::ToJson)/[`FromJson`](crate::FromJson) for domain
+//! types, replacing what `#[derive(Serialize, Deserialize)]` used to
+//! generate.
+//!
+//! Four shapes cover every persisted type in the workspace:
+//!
+//! ```
+//! use muffin_json::impl_json;
+//!
+//! // Named-field struct → JSON object, keys in declaration order.
+//! #[derive(Debug, PartialEq)]
+//! struct Point { x: f32, y: f32 }
+//! impl_json!(struct Point { x, y });
+//!
+//! // Single-field tuple struct → the inner value, transparently.
+//! #[derive(Debug, PartialEq)]
+//! struct Id(u32);
+//! impl_json!(newtype Id);
+//!
+//! // All-unit enum → the variant name as a JSON string.
+//! #[derive(Debug, PartialEq)]
+//! enum Color { Red, Green }
+//! impl_json!(enum Color { Red, Green });
+//!
+//! // Enum with data → one-key object {"Variant": {fields…}}.
+//! #[derive(Debug, PartialEq)]
+//! enum Shape { Dot {}, Circle { radius: f32 } }
+//! impl_json!(tagged Shape { Dot {}, Circle { radius } });
+//!
+//! let text = muffin_json::to_string(&Shape::Circle { radius: 2.0 });
+//! assert_eq!(text, r#"{"Circle":{"radius":2.0}}"#);
+//! ```
+//!
+//! The macro must be invoked where the type's fields are visible
+//! (normally the defining module), exactly like a derive.
+
+/// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson)
+/// from a field list. See the [module documentation](self) for the four
+/// accepted shapes.
+#[macro_export]
+macro_rules! impl_json {
+    (struct $ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let mut obj = $crate::Json::object();
+                $(obj.insert(stringify!($field), $crate::ToJson::to_json(&self.$field));)*
+                obj
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: json
+                        .field(stringify!($field))
+                        .map_err(|e| e.in_context(stringify!($ty)))?,)*
+                })
+            }
+        }
+    };
+
+    (newtype $ty:ident) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $crate::FromJson::from_json(json)
+                    .map(Self)
+                    .map_err(|e| e.in_context(stringify!($ty)))
+            }
+        }
+    };
+
+    (enum $ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $(Self::$variant => $crate::Json::Str(stringify!($variant).to_owned()),)*
+                }
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match json {
+                    $crate::Json::Str(name) => match name.as_str() {
+                        $(stringify!($variant) => Ok(Self::$variant),)*
+                        other => Err($crate::JsonError::decode(format!(
+                            "unknown {} variant `{other}`",
+                            stringify!($ty)
+                        ))),
+                    },
+                    other => Err($crate::JsonError::decode(format!(
+                        "expected {} variant string, found {}",
+                        stringify!($ty),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+
+    (tagged $ty:ident { $($variant:ident { $($field:ident),* $(,)? }),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $(Self::$variant { $($field),* } => {
+                        #[allow(unused_mut)]
+                        let mut inner = $crate::Json::object();
+                        $(inner.insert(stringify!($field), $crate::ToJson::to_json($field));)*
+                        let mut obj = $crate::Json::object();
+                        obj.insert(stringify!($variant), inner);
+                        obj
+                    })*
+                }
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let entries = match json {
+                    $crate::Json::Obj(entries) if entries.len() == 1 => entries,
+                    other => {
+                        return Err($crate::JsonError::decode(format!(
+                            "expected single-variant object for {}, found {}",
+                            stringify!($ty),
+                            other.kind()
+                        )))
+                    }
+                };
+                let (name, inner) = &entries[0];
+                match name.as_str() {
+                    $(stringify!($variant) => Ok(Self::$variant {
+                        $($field: inner
+                            .field(stringify!($field))
+                            .map_err(|e| e.in_context(stringify!($ty)))?,)*
+                    }),)*
+                    other => Err($crate::JsonError::decode(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}

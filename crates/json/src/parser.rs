@@ -1,0 +1,311 @@
+use crate::{Json, JsonError};
+
+/// Parses a complete JSON document.
+///
+/// The grammar is RFC 8259 JSON: one top-level value, `//`-free, with
+/// strict number and escape syntax. Trailing whitespace is allowed,
+/// trailing garbage is not.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] carrying the 1-based line and column of
+/// the first offending character.
+///
+/// # Example
+///
+/// ```
+/// let err = muffin_json::parse("{\n  \"a\": nul\n}").unwrap_err();
+/// assert!(err.to_string().contains("line 2"));
+/// ```
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    p.skip_whitespace();
+    let value = p.value()?;
+    p.skip_whitespace();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth above which the parser refuses input rather than risk
+/// exhausting the stack on adversarial documents.
+const MAX_DEPTH: usize = 192;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        let (mut line, mut column) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        JsonError::Parse { line, column, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(self.error(format!("expected `{}`, found `{}`", byte as char, b as char))),
+            None => Err(self.error(format!("expected `{}`, found end of input", byte as char))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string().map_err(|e| match e {
+                JsonError::Parse { line, column, message } => JsonError::Parse {
+                    line,
+                    column,
+                    message: format!("object key: {message}"),
+                },
+                other => other,
+            })?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(format!("expected `,` or `}}`, found `{}`", b as char)));
+                }
+                None => return Err(self.error("unterminated object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Obj(entries))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(format!("expected `,` or `]`, found `{}`", b as char)));
+                }
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Arr(items))
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain (unescaped, ASCII-or-UTF-8)
+            // bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it came from &str) and we only
+                // stopped at ASCII delimiters, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("substring of valid UTF-8"));
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.escape(&mut out)?,
+                Some(_) => {
+                    self.pos -= 1;
+                    return Err(self.error("control character inside string"));
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{0008}'),
+            Some(b'f') => out.push('\u{000C}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let high = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.error("unpaired high surrogate in \\u escape"));
+                    }
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.error("invalid low surrogate in \\u escape"));
+                    }
+                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(high).ok_or_else(|| self.error("invalid \\u escape"))?
+                };
+                out.push(c);
+            }
+            Some(b) => return Err(self.error(format!("invalid escape `\\{}`", b as char))),
+            None => return Err(self.error("unterminated escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected four hex digits after \\u"));
+                }
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected digit in number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}

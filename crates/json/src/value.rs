@@ -1,0 +1,99 @@
+use crate::{FromJson, JsonError};
+
+/// A JSON value.
+///
+/// Objects preserve insertion order, so serialisation is deterministic:
+/// the [`impl_json!`](crate::impl_json) macros insert fields in
+/// declaration order and the writer emits them in that same order on every
+/// run. Numbers keep integers ([`Json::Int`], as `i128`) apart from floats
+/// ([`Json::Float`]) so 64-bit seeds and parameter counts round-trip
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no fraction or exponent in the source).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts a key into an object, preserving insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(entries) => entries.push((key.into(), value)),
+            other => panic!("Json::insert on non-object {}", other.kind()),
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Decodes this value into any [`FromJson`] type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Decode`] if the value does not have the shape
+    /// `T` expects.
+    pub fn decode<T: FromJson>(&self) -> Result<T, JsonError> {
+        T::from_json(self)
+    }
+
+    /// Decodes the field `key` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Decode`] if `self` is not an object, the field
+    /// is missing, or the field fails to decode; the error names the field.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        match self {
+            Json::Obj(_) => {}
+            other => {
+                return Err(JsonError::decode(format!(
+                    "expected object with field `{key}`, found {}",
+                    other.kind()
+                )))
+            }
+        }
+        let value = self
+            .get(key)
+            .ok_or_else(|| JsonError::decode(format!("missing field `{key}`")))?;
+        T::from_json(value).map_err(|e| e.in_context(&format!("field `{key}`")))
+    }
+
+    /// The value's kind as a lowercase noun, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}

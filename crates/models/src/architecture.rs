@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Family of a simulated off-the-shelf architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// ResNet-style residual networks.
     ResNet,
@@ -13,6 +12,8 @@ pub enum ModelFamily {
     /// ShuffleNet-style efficient networks.
     ShuffleNet,
 }
+
+muffin_json::impl_json!(enum ModelFamily { ResNet, DenseNet, MobileNet, ShuffleNet });
 
 impl fmt::Display for ModelFamily {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -44,7 +45,7 @@ impl fmt::Display for ModelFamily {
 /// assert_eq!(arch.reported_params(), 1_261_804);
 /// assert_eq!(arch.name(), "ShuffleNet_V2_X1_0");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Architecture {
     name: String,
     family: ModelFamily,
@@ -53,6 +54,8 @@ pub struct Architecture {
     reported_params: u64,
     seed_offset: u64,
 }
+
+muffin_json::impl_json!(struct Architecture { name, family, projection_dim, hidden, reported_params, seed_offset });
 
 impl Architecture {
     /// Creates a custom architecture descriptor.

@@ -2,7 +2,6 @@ use crate::{Architecture, FrozenModel};
 use muffin_data::Dataset;
 use muffin_nn::{ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
 use muffin_tensor::{Init, Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Training configuration for the simulated off-the-shelf backbones.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let cfg = BackboneConfig::default();
 /// assert_eq!(cfg.batch_size, 64);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BackboneConfig {
     /// Training epochs.
     pub epochs: u32,
@@ -27,6 +26,8 @@ pub struct BackboneConfig {
     /// Learning-rate schedule (the paper's step decay by default).
     pub schedule: LrSchedule,
 }
+
+muffin_json::impl_json!(struct BackboneConfig { epochs, batch_size, schedule });
 
 impl Default for BackboneConfig {
     fn default() -> Self {

@@ -2,7 +2,6 @@ use crate::backbone::train_backbone;
 use crate::{Architecture, BackboneConfig, FrozenModel};
 use muffin_data::{AttributeId, Dataset};
 use muffin_tensor::Rng64;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two single-attribute fairness interventions the paper compares
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(FairnessMethod::DataBalancing.short_name(), "D");
 /// assert_eq!(FairnessMethod::FairLoss.short_name(), "L");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FairnessMethod {
     /// Method **D** (paper ref. \[33\]): re-balance the training data by oversampling the
     /// target attribute's minority groups to parity with the largest group.
@@ -30,6 +29,8 @@ pub enum FairnessMethod {
     /// target attribute.
     FairLoss,
 }
+
+muffin_json::impl_json!(enum FairnessMethod { DataBalancing, FairLoss });
 
 impl FairnessMethod {
     /// The paper's one-letter tag (`D` or `L`).
@@ -79,7 +80,7 @@ impl fmt::Display for FairnessMethod {
 
 /// A record of which method was applied to which attribute — used by the
 /// experiment harness to label Table I / Figure 2 rows.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MethodApplication {
     /// The intervention.
     pub method: FairnessMethod,
@@ -88,6 +89,8 @@ pub struct MethodApplication {
     /// Name of the targeted attribute.
     pub attribute_name: String,
 }
+
+muffin_json::impl_json!(struct MethodApplication { method, attribute, attribute_name });
 
 impl MethodApplication {
     /// Creates a labelled application record.

@@ -10,7 +10,6 @@
 use crate::FrozenModel;
 use muffin_data::Dataset;
 use muffin_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A fitted temperature for one frozen model.
 ///
@@ -32,10 +31,12 @@ use serde::{Deserialize, Serialize};
 /// let scale = TemperatureScale::fit(pool.get(0).unwrap(), &split.val);
 /// assert!(scale.temperature() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TemperatureScale {
     temperature: f32,
 }
+
+muffin_json::impl_json!(struct TemperatureScale { temperature });
 
 impl TemperatureScale {
     /// The identity calibration (`T = 1`).

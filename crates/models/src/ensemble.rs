@@ -8,10 +8,9 @@
 use crate::{FrozenModel, ModelEvaluation};
 use muffin_data::Dataset;
 use muffin_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// How a naive ensemble combines its members' outputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnsembleRule {
     /// Plurality vote over hard predictions; ties resolve to the first
     /// member's prediction.
@@ -22,6 +21,8 @@ pub enum EnsembleRule {
     /// wins).
     MaxProbability,
 }
+
+muffin_json::impl_json!(enum EnsembleRule { MajorityVote, MeanProbability, MaxProbability });
 
 /// A fixed (non-learned) ensemble over frozen models.
 ///

@@ -2,11 +2,10 @@ use muffin_data::{
     group_accuracies, group_accuracy_gap, unfairness_score, AttributeId, Dataset, GroupAccuracy,
 };
 use muffin_nn::accuracy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Fairness evaluation of one model for one sensitive attribute.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AttributeEvaluation {
     /// The attribute's index in the dataset schema.
     pub attribute: usize,
@@ -19,6 +18,8 @@ pub struct AttributeEvaluation {
     /// Per-group accuracies.
     pub groups: Vec<GroupAccuracy>,
 }
+
+muffin_json::impl_json!(struct AttributeEvaluation { attribute, name, unfairness, accuracy_gap, groups });
 
 /// Full evaluation of one model on one dataset: overall accuracy plus one
 /// [`AttributeEvaluation`] per sensitive attribute.
@@ -42,7 +43,7 @@ pub struct AttributeEvaluation {
 /// println!("{eval}");
 /// assert_eq!(eval.attributes.len(), 3);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelEvaluation {
     /// Name of the evaluated model.
     pub model: String,
@@ -51,6 +52,8 @@ pub struct ModelEvaluation {
     /// Per-attribute fairness results, in schema order.
     pub attributes: Vec<AttributeEvaluation>,
 }
+
+muffin_json::impl_json!(struct ModelEvaluation { model, accuracy, attributes });
 
 impl ModelEvaluation {
     /// Evaluates `predictions` against `dataset`'s labels and groups.

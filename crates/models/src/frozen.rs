@@ -2,7 +2,6 @@ use crate::{Architecture, ModelEvaluation};
 use muffin_data::Dataset;
 use muffin_nn::Mlp;
 use muffin_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A trained, frozen off-the-shelf model.
@@ -32,13 +31,15 @@ use std::fmt;
 /// let probs = model.predict_proba(split.test.features());
 /// assert_eq!(probs.cols(), split.test.num_classes());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrozenModel {
     name: String,
     architecture: Architecture,
     projection: Matrix,
     mlp: Mlp,
 }
+
+muffin_json::impl_json!(struct FrozenModel { name, architecture, projection, mlp });
 
 impl FrozenModel {
     /// Assembles a frozen model (used by the trainers in this crate).

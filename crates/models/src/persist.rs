@@ -51,7 +51,7 @@ impl ModelPool {
     ///
     /// Returns [`PoolIoError::Io`] if the file cannot be written.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PoolIoError> {
-        let json = serde_json::to_string(self).map_err(|e| PoolIoError::Parse(e.to_string()))?;
+        let json = muffin_json::to_string(self);
         fs::write(path, json)?;
         Ok(())
     }
@@ -64,7 +64,7 @@ impl ModelPool {
     /// [`PoolIoError::Parse`] if it is not a valid pool.
     pub fn load_json(path: impl AsRef<Path>) -> Result<ModelPool, PoolIoError> {
         let text = fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| PoolIoError::Parse(e.to_string()))
+        muffin_json::from_str(&text).map_err(|e| PoolIoError::Parse(e.to_string()))
     }
 }
 
@@ -111,6 +111,21 @@ mod tests {
         std::fs::write(&path, "[not a pool]").expect("write");
         let err = ModelPool::load_json(&path).unwrap_err();
         assert!(matches!(err, PoolIoError::Parse(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_pool_error_carries_line_and_column() {
+        let dir = std::env::temp_dir().join("muffin_pool_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("malformed.json");
+        // Unterminated object opens on line 2.
+        std::fs::write(&path, "{\n  \"models\": [tru]\n}").expect("write");
+        let err = ModelPool::load_json(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, PoolIoError::Parse(_)));
+        assert!(msg.contains("line 2"), "missing line in: {msg}");
+        assert!(msg.contains("column"), "missing column in: {msg}");
         std::fs::remove_file(path).ok();
     }
 }

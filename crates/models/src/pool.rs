@@ -2,7 +2,6 @@ use crate::backbone::train_backbone;
 use crate::{Architecture, BackboneConfig, FrozenModel};
 use muffin_data::Dataset;
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// The Muffin "model pool": a set of trained, frozen off-the-shelf models
 /// the controller selects the muffin body from.
@@ -24,10 +23,12 @@ use serde::{Deserialize, Serialize};
 /// );
 /// assert!(pool.by_name("DenseNet121").is_some());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelPool {
     models: Vec<FrozenModel>,
 }
+
+muffin_json::impl_json!(struct ModelPool { models });
 
 impl ModelPool {
     /// Builds a pool from already trained models.

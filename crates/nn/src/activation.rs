@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Non-linear activation functions available to the muffin head search
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
 /// assert_eq!(Activation::Relu.apply(3.0), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// `f(x) = x` — used on output layers.
     Identity,
@@ -31,6 +30,8 @@ pub enum Activation {
     /// Gaussian error linear unit (tanh approximation).
     Gelu,
 }
+
+muffin_json::impl_json!(enum Activation { Identity, Relu, LeakyRelu, Sigmoid, Tanh, Gelu });
 
 impl Activation {
     /// All activations offered to the controller's search space.

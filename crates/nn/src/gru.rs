@@ -1,6 +1,5 @@
 use crate::Parameterized;
 use muffin_tensor::{Init, Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Forward cache for one [`GruCell`] step.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ impl GruCache {
 /// let (h1, _cache) = cell.forward(&Matrix::zeros(1, 4), &Matrix::zeros(1, 8));
 /// assert_eq!(h1.shape(), (1, 8));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GruCell {
     wxr: Matrix,
     whr: Matrix,
@@ -66,6 +65,11 @@ pub struct GruCell {
     grad_whn: Matrix,
     grad_bn: Vec<f32>,
 }
+
+muffin_json::impl_json!(struct GruCell {
+    wxr, whr, br, wxz, whz, bz, wxn, whn, bn,
+    grad_wxr, grad_whr, grad_br, grad_wxz, grad_whz, grad_bz, grad_wxn, grad_whn, grad_bn,
+});
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())

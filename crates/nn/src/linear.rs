@@ -1,6 +1,5 @@
 use crate::optim::Parameterized;
 use muffin_tensor::{Init, Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// A fully connected layer computing `y = x · W + b`.
 ///
@@ -20,13 +19,15 @@ use serde::{Deserialize, Serialize};
 /// let x = Matrix::zeros(4, 3);
 /// assert_eq!(layer.forward(&x).shape(), (4, 2));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Matrix,
     bias: Vec<f32>,
     grad_weight: Matrix,
     grad_bias: Vec<f32>,
 }
+
+muffin_json::impl_json!(struct Linear { weight, bias, grad_weight, grad_bias });
 
 impl Linear {
     /// Creates a layer with He-normal weights and zero biases.

@@ -13,7 +13,6 @@
 //! per-group formulation.
 
 use muffin_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Which loss a training run uses.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// assert_ne!(LossKind::CrossEntropy, LossKind::WeightedMse);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LossKind {
     /// Softmax cross-entropy (backbone training).
     CrossEntropy,
@@ -35,6 +34,8 @@ pub enum LossKind {
     /// Eq. 2 and the loss used by the `L` fairness baseline).
     WeightedCrossEntropy,
 }
+
+muffin_json::impl_json!(enum LossKind { CrossEntropy, WeightedMse, WeightedCrossEntropy });
 
 /// Builds a one-hot target matrix from class labels.
 ///

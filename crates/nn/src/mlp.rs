@@ -1,6 +1,5 @@
 use crate::{Activation, Linear, Parameterized};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Architecture description for an [`Mlp`].
 ///
@@ -16,13 +15,15 @@ use serde::{Deserialize, Serialize};
 /// let spec = MlpSpec::new(16, &[18, 12], 8).with_activation(Activation::Relu);
 /// assert_eq!(spec.layer_dims(), vec![16, 18, 12, 8]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MlpSpec {
     input_dim: usize,
     hidden: Vec<usize>,
     output_dim: usize,
     activation: Activation,
 }
+
+muffin_json::impl_json!(struct MlpSpec { input_dim, hidden, output_dim, activation });
 
 impl MlpSpec {
     /// Creates a spec with the given input width, hidden widths and output
@@ -103,11 +104,13 @@ pub struct MlpCache {
 /// let probs = mlp.predict_proba(&Matrix::zeros(2, 4));
 /// assert_eq!(probs.shape(), (2, 3));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     spec: MlpSpec,
     layers: Vec<Linear>,
 }
+
+muffin_json::impl_json!(struct Mlp { spec, layers });
 
 impl Mlp {
     /// Builds a randomly initialised network from `spec`.

@@ -1,6 +1,5 @@
 use crate::Parameterized;
 use muffin_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Layer normalisation with learnable gain and bias:
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
 /// assert!(mean.abs() < 1e-5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerNorm {
     gain: Vec<f32>,
     bias: Vec<f32>,
@@ -32,6 +31,8 @@ pub struct LayerNorm {
     grad_bias: Vec<f32>,
     eps: f32,
 }
+
+muffin_json::impl_json!(struct LayerNorm { gain, bias, grad_gain, grad_bias, eps });
 
 /// Forward cache for [`LayerNorm::backward`].
 #[derive(Debug, Clone)]

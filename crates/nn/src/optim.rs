@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// A model whose flat parameter/gradient buffers can be visited in a stable
 /// order.
@@ -59,13 +58,15 @@ pub trait Parameterized {
 ///
 /// Defaults match the paper's backbone recipe apart from the learning rate,
 /// which the schedule controls.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SgdConfig {
     /// Momentum coefficient (`0.0` disables momentum).
     pub momentum: f32,
     /// Decoupled L2 weight decay applied at each step.
     pub weight_decay: f32,
 }
+
+muffin_json::impl_json!(struct SgdConfig { momentum, weight_decay });
 
 impl Default for SgdConfig {
     fn default() -> Self {

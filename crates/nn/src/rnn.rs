@@ -1,6 +1,5 @@
 use crate::Parameterized;
 use muffin_tensor::{Init, Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Forward cache for one [`RnnCell`] step, consumed by
 /// [`RnnCell::backward`] during backpropagation through time.
@@ -38,7 +37,7 @@ impl RnnCache {
 /// let (h1, _cache) = cell.forward(&x, &h0);
 /// assert_eq!(h1.shape(), (1, 8));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RnnCell {
     wx: Matrix,
     wh: Matrix,
@@ -47,6 +46,8 @@ pub struct RnnCell {
     grad_wh: Matrix,
     grad_bias: Vec<f32>,
 }
+
+muffin_json::impl_json!(struct RnnCell { wx, wh, bias, grad_wx, grad_wh, grad_bias });
 
 impl RnnCell {
     /// Creates a cell mapping `input_dim` inputs to `hidden_dim` state.

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// Learning-rate schedules.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((sched.at(0) - 0.1).abs() < 1e-7);
 /// assert!((sched.at(20) - 0.09).abs() < 1e-7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
     /// A fixed learning rate.
     Constant {
@@ -31,6 +30,8 @@ pub enum LrSchedule {
         every: u32,
     },
 }
+
+muffin_json::impl_json!(tagged LrSchedule { Constant { lr }, StepDecay { initial, decay, every } });
 
 impl LrSchedule {
     /// The paper's recipe: start at `0.1`, decay `×0.9` every 20 steps.

@@ -1,10 +1,9 @@
 use crate::loss::{one_hot, weighted_cross_entropy_loss, weighted_mse_loss, LossKind};
 use crate::{LrSchedule, Mlp, Optimizer, Parameterized, SgdConfig};
 use muffin_tensor::{Matrix, Rng64};
-use serde::{Deserialize, Serialize};
 
 /// Summary of a completed training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Mean loss at the end of each epoch.
     pub epoch_losses: Vec<f32>,
@@ -15,6 +14,8 @@ pub struct TrainReport {
     /// Whether the run ended early on the patience criterion.
     pub stopped_early: bool,
 }
+
+muffin_json::impl_json!(struct TrainReport { epoch_losses, steps, val_accuracies, stopped_early });
 
 impl TrainReport {
     /// The final epoch's mean loss, or `None` for a zero-epoch run.
@@ -53,7 +54,7 @@ impl TrainReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassifierTrainer {
     epochs: u32,
     batch_size: usize,
@@ -61,6 +62,8 @@ pub struct ClassifierTrainer {
     sgd: SgdConfig,
     grad_clip: Option<f32>,
 }
+
+muffin_json::impl_json!(struct ClassifierTrainer { epochs, batch_size, schedule, sgd, grad_clip });
 
 impl ClassifierTrainer {
     /// Creates a trainer running `epochs` epochs with the given batch size,

@@ -1,85 +1,121 @@
-//! Property-based tests for the SVG chart crate.
+//! Property-based tests for the SVG chart crate, running on the in-repo
+//! `muffin-check` harness with pinned seeds.
 
+use muffin_check::{check, prop_assert, prop_assert_eq, Config, Gen};
 use muffin_plot::{nice_ticks, BarChart, LinearScale, LineChart, Marker, ScatterChart};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases() -> Config {
+    Config::cases(48).with_seed(0x7E45_0004)
+}
 
-    #[test]
-    fn scale_maps_domain_endpoints_to_range_endpoints(
-        lo in -100.0f32..100.0,
-        span in 0.1f32..100.0,
-        r0 in 0.0f32..500.0,
-        r1 in 0.0f32..500.0,
-    ) {
-        let scale = LinearScale::new((lo, lo + span), (r0, r1));
-        prop_assert!((scale.map(lo) - r0).abs() < 1e-2);
-        prop_assert!((scale.map(lo + span) - r1).abs() < 1e-2);
-    }
+#[test]
+fn scale_maps_domain_endpoints_to_range_endpoints() {
+    check(
+        "domain endpoints land on range endpoints",
+        cases(),
+        |g: &mut Gen| {
+            (g.f32_in(-100.0, 100.0), g.f32_in(0.1, 100.0), g.f32_in(0.0, 500.0), g.f32_in(0.0, 500.0))
+        },
+        |&(lo, span, r0, r1)| {
+            let scale = LinearScale::new((lo, lo + span), (r0, r1));
+            prop_assert!((scale.map(lo) - r0).abs() < 1e-2);
+            prop_assert!((scale.map(lo + span) - r1).abs() < 1e-2);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scale_is_monotone(
-        lo in -50.0f32..50.0,
-        span in 0.5f32..50.0,
-        t in 0.0f32..1.0,
-    ) {
-        let scale = LinearScale::new((lo, lo + span), (0.0, 100.0));
-        let a = scale.map(lo + span * t * 0.5);
-        let b = scale.map(lo + span * t);
-        prop_assert!(a <= b + 1e-3);
-    }
+#[test]
+fn scale_is_monotone() {
+    check(
+        "linear scale preserves order",
+        cases(),
+        |g: &mut Gen| (g.f32_in(-50.0, 50.0), g.f32_in(0.5, 50.0), g.f32_in(0.0, 1.0)),
+        |&(lo, span, t)| {
+            let scale = LinearScale::new((lo, lo + span), (0.0, 100.0));
+            let a = scale.map(lo + span * t * 0.5);
+            let b = scale.map(lo + span * t);
+            prop_assert!(a <= b + 1e-3);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ticks_lie_within_the_domain(
-        lo in -1000.0f32..1000.0,
-        span in 0.01f32..1000.0,
-        max_ticks in 2usize..12,
-    ) {
-        let ticks = nice_ticks((lo, lo + span), max_ticks);
-        let step_slack = span / max_ticks as f32;
-        for &t in &ticks {
-            prop_assert!(t >= lo - step_slack, "tick {t} below domain {lo}");
-            prop_assert!(t <= lo + span + step_slack, "tick {t} above domain");
-        }
-        // Never absurdly many ticks.
-        prop_assert!(ticks.len() <= 3 * max_ticks + 2);
-    }
+#[test]
+fn ticks_lie_within_the_domain() {
+    check(
+        "nice_ticks stays in the domain",
+        cases(),
+        |g: &mut Gen| (g.f32_in(-1000.0, 1000.0), g.f32_in(0.01, 1000.0), g.usize_in(2..=11)),
+        |&(lo, span, max_ticks)| {
+            let ticks = nice_ticks((lo, lo + span), max_ticks);
+            let step_slack = span / max_ticks as f32;
+            for &t in &ticks {
+                prop_assert!(t >= lo - step_slack, "tick {t} below domain {lo}");
+                prop_assert!(t <= lo + span + step_slack, "tick {t} above domain");
+            }
+            // Never absurdly many ticks.
+            prop_assert!(ticks.len() <= 3 * max_ticks + 2);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scatter_chart_renders_valid_svg_for_any_points(
-        points in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..30),
-    ) {
-        let svg = ScatterChart::new("t", "x", "y")
-            .series("s", Marker::Circle, &points)
-            .render();
-        prop_assert!(svg.starts_with("<svg"));
-        prop_assert!(svg.trim_end().ends_with("</svg>"));
-        prop_assert_eq!(svg.matches("<circle").count(), points.len() + 1); // + legend swatch
-        // Every coordinate rendered must be finite (no NaN leaking in).
-        prop_assert!(!svg.contains("NaN"));
-    }
+#[test]
+fn scatter_chart_renders_valid_svg_for_any_points() {
+    check(
+        "scatter output is well-formed SVG",
+        cases(),
+        |g: &mut Gen| {
+            let n = g.usize_in(1..=29);
+            (0..n).map(|_| (g.f32_in(-100.0, 100.0), g.f32_in(-100.0, 100.0))).collect::<Vec<_>>()
+        },
+        |points| {
+            let svg = ScatterChart::new("t", "x", "y")
+                .series("s", Marker::Circle, points)
+                .render();
+            prop_assert!(svg.starts_with("<svg"));
+            prop_assert!(svg.trim_end().ends_with("</svg>"));
+            prop_assert_eq!(svg.matches("<circle").count(), points.len() + 1); // + legend swatch
+            // Every coordinate rendered must be finite (no NaN leaking in).
+            prop_assert!(!svg.contains("NaN"));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn line_chart_handles_degenerate_series(y in -10.0f32..10.0, n in 1usize..20) {
-        // A flat series (degenerate y-domain) must still render.
-        let points: Vec<(f32, f32)> = (0..n).map(|i| (i as f32, y)).collect();
-        let svg = LineChart::new("t", "x", "y").series("flat", &points).render();
-        prop_assert!(svg.contains("<polyline"));
-        prop_assert!(!svg.contains("NaN"));
-    }
+#[test]
+fn line_chart_handles_degenerate_series() {
+    check(
+        "flat series still renders",
+        cases(),
+        |g: &mut Gen| (g.f32_in(-10.0, 10.0), g.usize_in(1..=19)),
+        |&(y, n)| {
+            // A flat series (degenerate y-domain) must still render.
+            let points: Vec<(f32, f32)> = (0..n).map(|i| (i as f32, y)).collect();
+            let svg = LineChart::new("t", "x", "y").series("flat", &points).render();
+            prop_assert!(svg.contains("<polyline"));
+            prop_assert!(!svg.contains("NaN"));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bar_chart_bar_count_matches_values(
-        values in proptest::collection::vec(0.01f32..10.0, 1..6),
-        categories in 1usize..5,
-    ) {
-        let mut chart = BarChart::new("t", "y");
-        for c in 0..categories {
-            chart = chart.category(&format!("c{c}"), &values);
-        }
-        let svg = chart.render();
-        // background + bars
-        prop_assert_eq!(svg.matches("<rect").count(), 1 + categories * values.len());
-    }
+#[test]
+fn bar_chart_bar_count_matches_values() {
+    check(
+        "one rect per bar plus background",
+        cases(),
+        |g: &mut Gen| (g.vec_f32(1..=5, 0.01, 10.0), g.usize_in(1..=4)),
+        |(values, categories)| {
+            let mut chart = BarChart::new("t", "y");
+            for c in 0..*categories {
+                chart = chart.category(&format!("c{c}"), values);
+            }
+            let svg = chart.render();
+            // background + bars
+            prop_assert_eq!(svg.matches("<rect").count(), 1 + categories * values.len());
+            Ok(())
+        },
+    );
 }

@@ -1,11 +1,13 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Deterministic random number generator used across the whole workspace.
 ///
 /// Every stochastic component in the Muffin reproduction (dataset
 /// generation, weight initialisation, controller sampling) is seeded through
 /// this type so experiments are exactly reproducible.
+///
+/// The core is the xoshiro256++ generator seeded through SplitMix64 —
+/// implemented in-repo so the workspace builds with zero external crates.
+/// The stream is a frozen part of the workspace contract: changing it
+/// changes every "seed N" experiment in `results/`.
 ///
 /// # Example
 ///
@@ -18,13 +20,46 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng64 {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl Rng64 {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion, the reference recipe for filling
+        // xoshiro's 256-bit state from a 64-bit seed: consecutive or even
+        // all-zero seeds still yield well-mixed, distinct states.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+
+    /// Produces the next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Samples a uniform value in `[0, 1)` with 24 bits of precision (the
+    /// full f32 mantissa).
+    #[inline]
+    fn unit_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Samples a uniform value in `[lo, hi)`.
@@ -37,15 +72,23 @@ impl Rng64 {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let x = lo + (hi - lo) * self.unit_f32();
+        // `lo + span * u` can land exactly on `hi` after rounding; keep
+        // the half-open contract.
+        if x >= hi {
+            lo.max(hi - (hi - lo) * f32::EPSILON)
+        } else {
+            x
+        }
     }
 
     /// Samples a standard normal value via the Box–Muller transform.
     pub fn normal(&mut self) -> f32 {
         // Box–Muller gives exact normals from two uniforms without needing a
-        // distributions dependency.
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        // distributions dependency. u1 is shifted into (0, 1] so ln(u1) is
+        // finite.
+        let u1 = (((self.next_u64() >> 40) + 1) as f32) * (1.0 / (1u64 << 24) as f32);
+        let u2 = self.unit_f32();
         (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
     }
 
@@ -61,13 +104,15 @@ impl Rng64 {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift maps the 64-bit output onto [0, n)
+        // essentially without bias for any n this workspace uses.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Samples `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f32) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_range(0.0..1.0f32) < p
+        self.unit_f32() < p
     }
 
     /// Samples an index from the categorical distribution given by `weights`.
@@ -81,7 +126,7 @@ impl Rng64 {
         assert!(!weights.is_empty(), "categorical weights must be non-empty");
         let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
         assert!(total > 0.0, "categorical weights must have positive mass");
-        let mut target = self.inner.gen_range(0.0..total);
+        let mut target = self.uniform(0.0, total);
         for (i, w) in weights.iter().enumerate() {
             let w = w.max(0.0);
             if target < w {
@@ -95,9 +140,19 @@ impl Rng64 {
     /// Shuffles `slice` in place with the Fisher–Yates algorithm.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             slice.swap(i, j);
         }
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choice<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        &slice[self.below(slice.len())]
     }
 
     /// Derives a child generator, advancing this generator once.
@@ -105,7 +160,7 @@ impl Rng64 {
     /// Useful for splitting one experiment seed into independent component
     /// seeds without manual bookkeeping.
     pub fn fork(&mut self) -> Self {
-        Self::seed(self.inner.gen())
+        Self::seed(self.next_u64())
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::{Init, Rng64, ShapeError};
-use serde::{Deserialize, Serialize};
+use muffin_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
@@ -27,7 +27,7 @@ use std::ops::{Add, Mul, Sub};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -443,6 +443,25 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("rows", self.rows.to_json());
+        obj.insert("cols", self.cols.to_json());
+        obj.insert("data", self.data.to_json());
+        obj
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let rows: usize = json.field("rows")?;
+        let cols: usize = json.field("cols")?;
+        let data: Vec<f32> = json.field("data")?;
+        Matrix::from_vec(rows, cols, data).map_err(|e| JsonError::decode(format!("Matrix: {e}")))
     }
 }
 

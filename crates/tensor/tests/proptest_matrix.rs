@@ -1,106 +1,156 @@
-//! Property-based tests for the matrix substrate.
+//! Property-based tests for the matrix substrate, running on the in-repo
+//! `muffin-check` harness with pinned seeds.
 
+use muffin_check::{check, prop_assert, prop_assert_eq, Config, Gen};
 use muffin_tensor::{argmax, logsumexp, Matrix};
-use proptest::prelude::*;
 
-fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized to shape"))
-    })
+fn config() -> Config {
+    Config::cases(64).with_seed(0x7E45_0001)
 }
 
-proptest! {
-    #[test]
-    fn transpose_is_involutive(m in matrix_strategy(8)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+fn gen_matrix(g: &mut Gen, max_dim: usize) -> Matrix {
+    g.matrix(1..=max_dim, 1..=max_dim, -10.0, 10.0)
+}
 
-    #[test]
-    fn matmul_identity_left_and_right(m in matrix_strategy(6)) {
-        let left = Matrix::identity(m.rows()).matmul(&m);
+#[test]
+fn transpose_is_involutive() {
+    check("transpose twice is identity", config(), |g| gen_matrix(g, 8), |m| {
+        prop_assert_eq!(m.transpose().transpose(), *m);
+        Ok(())
+    });
+}
+
+#[test]
+fn matmul_identity_left_and_right() {
+    check("identity is matmul-neutral", config(), |g| gen_matrix(g, 6), |m| {
+        let left = Matrix::identity(m.rows()).matmul(m);
         let right = m.matmul(&Matrix::identity(m.cols()));
-        prop_assert_eq!(&left, &m);
-        prop_assert_eq!(&right, &m);
-    }
+        prop_assert_eq!(&left, m);
+        prop_assert_eq!(&right, m);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in matrix_strategy(5),
-        seed in 0u64..1000,
-    ) {
-        // Build b and c with shapes compatible with a.
-        let mut rng = muffin_tensor::Rng64::seed(seed);
-        let cols = 4usize;
-        let b = Matrix::from_fn(a.cols(), cols, |_, _| rng.uniform(-1.0, 1.0));
-        let c = Matrix::from_fn(a.cols(), cols, |_, _| rng.uniform(-1.0, 1.0));
-        let lhs = a.matmul(&(&b + &c));
-        let rhs = &a.matmul(&b) + &a.matmul(&c);
-        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
-        }
-    }
+#[test]
+fn matmul_distributes_over_addition() {
+    check(
+        "A(B+C) = AB + AC",
+        config(),
+        |g| {
+            let a = gen_matrix(g, 5);
+            let cols = 4usize;
+            let b = g.matrix_exact(a.cols(), cols, -1.0, 1.0);
+            let c = g.matrix_exact(a.cols(), cols, -1.0, 1.0);
+            (a, b, c)
+        },
+        |(a, b, c)| {
+            let lhs = a.matmul(&(b + c));
+            let rhs = &a.matmul(b) + &a.matmul(c);
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn matmul_tn_agrees_with_naive(a in matrix_strategy(6), seed in 0u64..1000) {
-        let mut rng = muffin_tensor::Rng64::seed(seed);
-        let b = Matrix::from_fn(a.rows(), 3, |_, _| rng.uniform(-1.0, 1.0));
-        let fast = a.matmul_tn(&b);
-        let slow = a.transpose().matmul(&b);
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
-    }
+#[test]
+fn matmul_tn_agrees_with_naive() {
+    check(
+        "matmul_tn matches transpose-then-matmul",
+        config(),
+        |g| {
+            let a = gen_matrix(g, 6);
+            let b = g.matrix_exact(a.rows(), 3, -1.0, 1.0);
+            (a, b)
+        },
+        |(a, b)| {
+            let fast = a.matmul_tn(b);
+            let slow = a.transpose().matmul(b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(m in matrix_strategy(8)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    check("softmax rows sum to 1", config(), |g| gen_matrix(g, 8), |m| {
         let s = m.softmax_rows();
         for row in s.iter_rows() {
             let total: f32 = row.iter().sum();
             prop_assert!((total - 1.0).abs() < 1e-4);
             prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn softmax_argmax_matches_logit_argmax(m in matrix_strategy(8)) {
+#[test]
+fn softmax_argmax_matches_logit_argmax() {
+    check("softmax preserves argmax", config(), |g| gen_matrix(g, 8), |m| {
         let s = m.softmax_rows();
         for (logits, probs) in m.iter_rows().zip(s.iter_rows()) {
             prop_assert_eq!(argmax(logits), argmax(probs));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn logsumexp_bounds(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
-        let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = logsumexp(&v);
-        prop_assert!(lse >= max - 1e-4);
-        prop_assert!(lse <= max + (v.len() as f32).ln() + 1e-4);
-    }
+#[test]
+fn logsumexp_bounds() {
+    check(
+        "max <= logsumexp <= max + ln n",
+        config(),
+        |g| g.vec_f32(1..=19, -50.0, 50.0),
+        |v| {
+            let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = logsumexp(v);
+            prop_assert!(lse >= max - 1e-4);
+            prop_assert!(lse <= max + (v.len() as f32).ln() + 1e-4);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hcat_preserves_row_contents(a in matrix_strategy(5), b_cols in 1usize..5) {
-        let b = Matrix::filled(a.rows(), b_cols, 2.5);
-        let cat = Matrix::hcat(&[&a, &b]).expect("matching rows");
-        prop_assert_eq!(cat.cols(), a.cols() + b_cols);
-        for r in 0..a.rows() {
-            prop_assert_eq!(&cat.row(r)[..a.cols()], a.row(r));
-            prop_assert!(cat.row(r)[a.cols()..].iter().all(|&x| x == 2.5));
-        }
-    }
+#[test]
+fn hcat_preserves_row_contents() {
+    check(
+        "hcat keeps left block and fills right",
+        config(),
+        |g| (gen_matrix(g, 5), g.usize_in(1..=4)),
+        |(a, b_cols)| {
+            let b = Matrix::filled(a.rows(), *b_cols, 2.5);
+            let cat = Matrix::hcat(&[a, &b]).expect("matching rows");
+            prop_assert_eq!(cat.cols(), a.cols() + b_cols);
+            for r in 0..a.rows() {
+                prop_assert_eq!(&cat.row(r)[..a.cols()], a.row(r));
+                prop_assert!(cat.row(r)[a.cols()..].iter().all(|&x| x == 2.5));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn select_rows_picks_expected_rows(m in matrix_strategy(6)) {
+#[test]
+fn select_rows_picks_expected_rows() {
+    check("select_rows reorders rows", config(), |g| gen_matrix(g, 6), |m| {
         let indices: Vec<usize> = (0..m.rows()).rev().collect();
         let sel = m.select_rows(&indices);
         for (out_r, &src_r) in indices.iter().enumerate() {
             prop_assert_eq!(sel.row(out_r), m.row(src_r));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scaled_by_zero_is_zero(m in matrix_strategy(6)) {
+#[test]
+fn scaled_by_zero_is_zero() {
+    check("scaling by zero zeroes", config(), |g| gen_matrix(g, 6), |m| {
         let z = m.scaled(0.0);
         prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
-    }
+        Ok(())
+    });
 }

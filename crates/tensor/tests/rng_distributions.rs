@@ -1,0 +1,153 @@
+//! Deterministic statistical verification of the in-repo `Rng64`
+//! distributions that replaced the `rand` crate. Every test pins its seed,
+//! so a failure is exactly reproducible and tolerance choices are not
+//! load-bearing against flakiness.
+
+use muffin_tensor::Rng64;
+
+#[test]
+fn normal_mean_and_variance_within_tolerance() {
+    let mut rng = Rng64::seed(0xC0FFEE);
+    let n = 10_000;
+    let samples: Vec<f64> = (0..n).map(|_| rng.normal() as f64).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    // Standard error of the mean is 1/sqrt(10k) = 0.01; 4 sigma ≈ 0.04.
+    assert!(mean.abs() < 0.04, "normal mean {mean} drifted from 0");
+    assert!((var - 1.0).abs() < 0.06, "normal variance {var} drifted from 1");
+    // Symmetry: P(X > 0) ≈ 0.5.
+    let positive = samples.iter().filter(|&&x| x > 0.0).count() as f64 / n as f64;
+    assert!((positive - 0.5).abs() < 0.02, "normal sign balance {positive}");
+}
+
+#[test]
+fn normal_tail_mass_matches_gaussian() {
+    let mut rng = Rng64::seed(2024);
+    let n = 10_000;
+    let beyond_2sigma =
+        (0..n).filter(|_| rng.normal().abs() > 2.0).count() as f64 / n as f64;
+    // True mass outside ±2σ is ~4.55%.
+    assert!(
+        (0.03..0.06).contains(&beyond_2sigma),
+        "P(|X| > 2σ) = {beyond_2sigma}, expected ≈ 0.0455"
+    );
+}
+
+#[test]
+fn uniform_moments_and_bounds() {
+    let mut rng = Rng64::seed(31337);
+    let (lo, hi) = (-2.0f32, 5.0f32);
+    let n = 10_000;
+    let samples: Vec<f64> = (0..n).map(|_| rng.uniform(lo, hi) as f64).collect();
+    assert!(samples.iter().all(|&x| (lo as f64..hi as f64).contains(&x)));
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let expected_mean = (lo + hi) as f64 / 2.0;
+    assert!((mean - expected_mean).abs() < 0.1, "uniform mean {mean} vs {expected_mean}");
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let expected_var = ((hi - lo) as f64).powi(2) / 12.0;
+    assert!((var - expected_var).abs() < 0.2, "uniform var {var} vs {expected_var}");
+}
+
+#[test]
+fn below_is_close_to_equidistributed() {
+    let mut rng = Rng64::seed(99);
+    let buckets = 7usize;
+    let n = 70_000;
+    let mut counts = vec![0usize; buckets];
+    for _ in 0..n {
+        counts[rng.below(buckets)] += 1;
+    }
+    let expected = n / buckets;
+    for (i, &c) in counts.iter().enumerate() {
+        let rel = (c as f64 - expected as f64).abs() / expected as f64;
+        assert!(rel < 0.05, "bucket {i} count {c} deviates {rel:.3} from {expected}");
+    }
+}
+
+#[test]
+fn shuffle_is_a_permutation_and_mixes() {
+    let mut rng = Rng64::seed(7);
+    let original: Vec<usize> = (0..200).collect();
+    let mut shuffled = original.clone();
+    rng.shuffle(&mut shuffled);
+    let mut sorted = shuffled.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, original, "shuffle must be a permutation");
+    let fixed_points = shuffled.iter().zip(&original).filter(|(a, b)| a == b).count();
+    // Expected number of fixed points of a random permutation is 1.
+    assert!(fixed_points < 12, "{fixed_points} fixed points — barely shuffled");
+}
+
+#[test]
+fn shuffle_positions_are_unbiased_enough() {
+    // First-position histogram over many shuffles of [0,1,2,3]: each value
+    // should land in slot 0 about a quarter of the time.
+    let mut rng = Rng64::seed(12345);
+    let n = 20_000;
+    let mut first = [0usize; 4];
+    for _ in 0..n {
+        let mut v = [0usize, 1, 2, 3];
+        rng.shuffle(&mut v);
+        first[v[0]] += 1;
+    }
+    for (value, &c) in first.iter().enumerate() {
+        let p = c as f64 / n as f64;
+        assert!((p - 0.25).abs() < 0.02, "value {value} leads {p:.3} of shuffles");
+    }
+}
+
+#[test]
+fn chance_matches_probability() {
+    let mut rng = Rng64::seed(555);
+    let n = 20_000;
+    for &p in &[0.1f32, 0.5, 0.9] {
+        let hits = (0..n).filter(|_| rng.chance(p)).count() as f64 / n as f64;
+        assert!((hits - p as f64).abs() < 0.02, "chance({p}) hit rate {hits}");
+    }
+    assert!(!rng.chance(0.0));
+    assert!(rng.chance(1.0));
+}
+
+#[test]
+fn choice_covers_all_elements() {
+    let mut rng = Rng64::seed(808);
+    let items = ["a", "b", "c", "d", "e"];
+    let mut seen = [false; 5];
+    for _ in 0..400 {
+        let picked = rng.choice(&items);
+        seen[items.iter().position(|x| x == picked).unwrap()] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "choice never returned some element: {seen:?}");
+}
+
+#[test]
+fn streams_are_reproducible_and_seed_sensitive() {
+    let a: Vec<u64> = {
+        let mut rng = Rng64::seed(42);
+        (0..32).map(|_| rng.next_u64()).collect()
+    };
+    let b: Vec<u64> = {
+        let mut rng = Rng64::seed(42);
+        (0..32).map(|_| rng.next_u64()).collect()
+    };
+    assert_eq!(a, b, "same seed must give the identical stream");
+    let c: Vec<u64> = {
+        let mut rng = Rng64::seed(43);
+        (0..32).map(|_| rng.next_u64()).collect()
+    };
+    assert_ne!(a, c, "adjacent seeds must give different streams");
+    // SplitMix64 seeding keeps even the all-zero seed healthy.
+    let mut zero = Rng64::seed(0);
+    let draws: Vec<u64> = (0..16).map(|_| zero.next_u64()).collect();
+    assert!(draws.iter().any(|&x| x != 0));
+}
+
+#[test]
+fn forked_streams_are_decorrelated() {
+    let mut parent = Rng64::seed(1);
+    let mut c1 = parent.fork();
+    let mut c2 = parent.fork();
+    let s1: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+    let s2: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+    assert_ne!(s1, s2);
+}

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("frontier: reward vs parameters\n{t3}");
 
     // Machine-readable dump for plotting.
-    let json = serde_json::to_string(&distinct)?;
+    let json = muffin_json::to_string(&distinct);
     let path = std::env::temp_dir().join("muffin_pareto_history.json");
     std::fs::write(&path, json)?;
     println!("full history written to {}", path.display());

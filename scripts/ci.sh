@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate for the Muffin workspace.
+#
+# The workspace is hermetic (zero external crates), so everything here must
+# pass from a cold, air-gapped checkout with no registry access. Run from
+# the repository root:
+#
+#   sh scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check || {
+        echo "formatting drift detected (non-fatal for tier-1)" >&2
+    }
+else
+    echo "==> rustfmt not installed, skipping format check"
+fi
+
+echo "==> hermeticity: no external crates in any manifest"
+if grep -rn "serde\|rand\|proptest\|criterion" --include=Cargo.toml \
+    Cargo.toml crates tests examples; then
+    echo "ERROR: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+echo "ci: all checks passed"

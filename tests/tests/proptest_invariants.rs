@@ -1,145 +1,234 @@
 //! Property-based integration tests over the whole stack: random
 //! generator configurations, random search spaces, and random prediction
-//! vectors must all uphold the framework's invariants.
+//! vectors must all uphold the framework's invariants. Runs on the in-repo
+//! `muffin-check` harness with pinned seeds.
 
 use muffin::{pareto_min_indices, unfairness_score, SearchSpace};
+use muffin_check::{check, prop_assert, prop_assert_eq, Config, Gen, Shrink};
 use muffin_data::{AttributeSpec, DataGenerator, GeneratorConfig, GroupSpec};
 use muffin_nn::Activation;
 use muffin_tensor::Rng64;
-use proptest::prelude::*;
 
-fn small_config_strategy() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        50usize..300,
-        4usize..16,
-        2usize..6,
-        0.0f32..1.0,
-        1u16..4,
-        0u64..1000,
-    )
-        .prop_map(|(n, dim, classes, corr, extra_groups, _seed)| {
-            let mut groups = vec![GroupSpec::new("majority", 0.6)];
-            for g in 0..extra_groups {
-                groups.push(
-                    GroupSpec::new(format!("g{g}"), 0.4 / extra_groups as f32)
-                        .with_angle(30.0 + 15.0 * g as f32)
-                        .with_noise_mult(1.0 + 0.3 * g as f32),
-                );
-            }
-            GeneratorConfig {
-                num_samples: n,
-                feature_dim: dim,
-                num_classes: classes,
-                class_sep: 2.0,
-                base_noise: 1.0,
-                spectral_decay: 0.85,
-                attributes: vec![AttributeSpec::new("a", groups, vec![(0, 1)])],
-                correlation: corr,
-            }
-        })
+fn config() -> Config {
+    Config::cases(24).with_seed(0x7E45_0100)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random-but-valid generator configuration plus the dataset seed, drawn
+/// from the same ranges the old proptest strategy used. Shrinking moves each
+/// field toward its domain minimum (never out of range), so every shrink
+/// candidate still builds a valid `GeneratorConfig`.
+#[derive(Clone, Debug)]
+struct ConfigCase {
+    num_samples: usize, // 50..300
+    feature_dim: usize, // 4..16
+    num_classes: usize, // 2..6
+    correlation: f32,   // 0..1
+    extra_groups: u16,  // 1..4
+    dataset_seed: u64,  // 0..500
+}
 
-    #[test]
-    fn generated_datasets_are_structurally_valid(config in small_config_strategy(), seed in 0u64..500) {
-        let gen = DataGenerator::new(config.clone()).expect("strategy builds valid configs");
-        let ds = gen.generate(&mut Rng64::seed(seed));
-        prop_assert_eq!(ds.len(), config.num_samples);
-        prop_assert_eq!(ds.feature_dim(), config.feature_dim);
-        prop_assert!(ds.labels().iter().all(|&l| l < config.num_classes));
+impl ConfigCase {
+    fn generate(g: &mut Gen) -> Self {
+        Self {
+            num_samples: g.usize_in(50..=299),
+            feature_dim: g.usize_in(4..=15),
+            num_classes: g.usize_in(2..=5),
+            correlation: g.f32_in(0.0, 1.0),
+            extra_groups: g.u16_in(1..=3),
+            dataset_seed: g.usize_in(0..=499) as u64,
+        }
+    }
+
+    fn build(&self) -> GeneratorConfig {
+        let mut groups = vec![GroupSpec::new("majority", 0.6)];
+        for g in 0..self.extra_groups {
+            groups.push(
+                GroupSpec::new(format!("g{g}"), 0.4 / self.extra_groups as f32)
+                    .with_angle(30.0 + 15.0 * g as f32)
+                    .with_noise_mult(1.0 + 0.3 * g as f32),
+            );
+        }
+        GeneratorConfig {
+            num_samples: self.num_samples,
+            feature_dim: self.feature_dim,
+            num_classes: self.num_classes,
+            class_sep: 2.0,
+            base_noise: 1.0,
+            spectral_decay: 0.85,
+            attributes: vec![AttributeSpec::new("a", groups, vec![(0, 1)])],
+            correlation: self.correlation,
+        }
+    }
+}
+
+impl Shrink for ConfigCase {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let mut push = |case: ConfigCase| out.push(case);
+        if self.num_samples > 50 {
+            push(Self { num_samples: 50, ..self.clone() });
+            push(Self { num_samples: (self.num_samples + 50) / 2, ..self.clone() });
+        }
+        if self.feature_dim > 4 {
+            push(Self { feature_dim: 4, ..self.clone() });
+        }
+        if self.num_classes > 2 {
+            push(Self { num_classes: 2, ..self.clone() });
+        }
+        if self.correlation != 0.0 {
+            push(Self { correlation: 0.0, ..self.clone() });
+            push(Self { correlation: self.correlation / 2.0, ..self.clone() });
+        }
+        if self.extra_groups > 1 {
+            push(Self { extra_groups: 1, ..self.clone() });
+        }
+        if self.dataset_seed != 0 {
+            push(Self { dataset_seed: 0, ..self.clone() });
+        }
+        out
+    }
+}
+
+#[test]
+fn generated_datasets_are_structurally_valid() {
+    check("generated datasets are structurally valid", config(), ConfigCase::generate, |case| {
+        let cfg = case.build();
+        let gen = DataGenerator::new(cfg.clone()).expect("case builds valid configs");
+        let ds = gen.generate(&mut Rng64::seed(case.dataset_seed));
+        prop_assert_eq!(ds.len(), cfg.num_samples);
+        prop_assert_eq!(ds.feature_dim(), cfg.feature_dim);
+        prop_assert!(ds.labels().iter().all(|&l| l < cfg.num_classes));
         prop_assert!(ds.features().as_slice().iter().all(|x| x.is_finite()));
         let attr = ds.schema().by_name("a").expect("attribute a");
         let num_groups = ds.schema().get(attr).expect("a").num_groups();
         prop_assert!(ds.groups(attr).iter().all(|&g| (g as usize) < num_groups));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn splits_partition_any_generated_dataset(config in small_config_strategy(), seed in 0u64..500) {
-        let gen = DataGenerator::new(config).expect("valid");
-        let ds = gen.generate(&mut Rng64::seed(seed));
-        let split = ds.split_default(&mut Rng64::seed(seed ^ 0xABCD));
+#[test]
+fn splits_partition_any_generated_dataset() {
+    check("splits partition any generated dataset", config(), ConfigCase::generate, |case| {
+        let gen = DataGenerator::new(case.build()).expect("valid");
+        let ds = gen.generate(&mut Rng64::seed(case.dataset_seed));
+        let split = ds.split_default(&mut Rng64::seed(case.dataset_seed ^ 0xABCD));
         prop_assert_eq!(split.train.len() + split.val.len() + split.test.len(), ds.len());
         prop_assert!(split.train.len() >= split.test.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unfairness_score_is_bounded(
-        preds in proptest::collection::vec(0usize..4, 1..200),
-        seed in 0u64..100,
-    ) {
-        let mut rng = Rng64::seed(seed);
-        let labels: Vec<usize> = preds.iter().map(|_| rng.below(4)).collect();
-        let num_groups = 3usize;
-        let groups: Vec<u16> = preds.iter().map(|_| rng.below(num_groups) as u16).collect();
-        let u = unfairness_score(&preds, &labels, &groups, num_groups);
-        prop_assert!(u >= 0.0);
-        prop_assert!(u <= num_groups as f32);
-    }
+#[test]
+fn unfairness_score_is_bounded() {
+    check(
+        "unfairness score is bounded",
+        config(),
+        |g| (g.vec_usize(1..=199, 0..=3), g.usize_in(0..=99) as u64),
+        |(preds, seed)| {
+            if preds.is_empty() {
+                return Ok(()); // shrinking may propose the empty vector
+            }
+            let mut rng = Rng64::seed(*seed);
+            let labels: Vec<usize> = preds.iter().map(|_| rng.below(4)).collect();
+            let num_groups = 3usize;
+            let groups: Vec<u16> = preds.iter().map(|_| rng.below(num_groups) as u16).collect();
+            let u = unfairness_score(preds, &labels, &groups, num_groups);
+            prop_assert!(u >= 0.0);
+            prop_assert!(u <= num_groups as f32);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn perfect_predictions_have_zero_unfairness(
-        labels in proptest::collection::vec(0usize..5, 1..100),
-        seed in 0u64..100,
-    ) {
-        let mut rng = Rng64::seed(seed);
-        let groups: Vec<u16> = labels.iter().map(|_| rng.below(4) as u16).collect();
-        let u = unfairness_score(&labels, &labels, &groups, 4);
-        prop_assert!(u.abs() < 1e-6);
-    }
+#[test]
+fn perfect_predictions_have_zero_unfairness() {
+    check(
+        "perfect predictions have zero unfairness",
+        config(),
+        |g| (g.vec_usize(1..=99, 0..=4), g.usize_in(0..=99) as u64),
+        |(labels, seed)| {
+            if labels.is_empty() {
+                return Ok(());
+            }
+            let mut rng = Rng64::seed(*seed);
+            let groups: Vec<u16> = labels.iter().map(|_| rng.below(4) as u16).collect();
+            let u = unfairness_score(labels, labels, &groups, 4);
+            prop_assert!(u.abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn search_space_samples_always_decode(
-        pool_size in 1usize..12,
-        slots in 1usize..4,
-        seed in 0u64..500,
-    ) {
-        let space = SearchSpace::new(
-            pool_size,
-            slots,
-            vec![2, 3, 4],
-            vec![8, 10, 12, 16],
-            Activation::SEARCHABLE.to_vec(),
-        ).expect("valid space");
-        let mut rng = Rng64::seed(seed);
-        let sizes = space.step_sizes();
-        let actions: Vec<usize> = sizes.iter().map(|&n| rng.below(n)).collect();
-        let candidate = space.decode(&actions).expect("in-range actions decode");
-        prop_assert!(!candidate.model_indices.is_empty());
-        prop_assert!(candidate.model_indices.len() <= slots);
-        prop_assert!(candidate.model_indices.iter().all(|&m| m < pool_size));
-        prop_assert!((2..=4).contains(&candidate.head.hidden().len()));
-        // Distinctness: no duplicates in the body.
-        let mut sorted = candidate.model_indices.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        prop_assert_eq!(sorted.len(), candidate.model_indices.len());
-    }
+#[test]
+fn search_space_samples_always_decode() {
+    check(
+        "search space samples always decode",
+        config(),
+        |g| (g.usize_in(1..=11), g.usize_in(1..=3), g.usize_in(0..=499) as u64),
+        |&(pool_size, slots, seed)| {
+            // Shrinking can drive the sizes to 0; clamp back into the domain.
+            let (pool_size, slots) = (pool_size.max(1), slots.max(1));
+            let space = SearchSpace::new(
+                pool_size,
+                slots,
+                vec![2, 3, 4],
+                vec![8, 10, 12, 16],
+                Activation::SEARCHABLE.to_vec(),
+            )
+            .expect("valid space");
+            let mut rng = Rng64::seed(seed);
+            let sizes = space.step_sizes();
+            let actions: Vec<usize> = sizes.iter().map(|&n| rng.below(n)).collect();
+            let candidate = space.decode(&actions).expect("in-range actions decode");
+            prop_assert!(!candidate.model_indices.is_empty());
+            prop_assert!(candidate.model_indices.len() <= slots);
+            prop_assert!(candidate.model_indices.iter().all(|&m| m < pool_size));
+            prop_assert!((2..=4).contains(&candidate.head.hidden().len()));
+            // Distinctness: no duplicates in the body.
+            let mut sorted = candidate.model_indices.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), candidate.model_indices.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pareto_frontier_members_are_mutually_nondominating(
-        points in proptest::collection::vec((0.0f32..10.0, 0.0f32..10.0), 1..40),
-    ) {
-        let front = pareto_min_indices(&points, |&p| p);
-        prop_assert!(!front.is_empty());
-        for &i in &front {
-            for &j in &front {
-                if i != j {
-                    let (a, b) = (points[i], points[j]);
-                    let dominates = a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
-                    prop_assert!(!dominates, "frontier member {i} dominates {j}");
+#[test]
+fn pareto_frontier_members_are_mutually_nondominating() {
+    check(
+        "pareto frontier members are mutually nondominating",
+        config(),
+        |g| {
+            let n = g.usize_in(1..=39);
+            (0..n)
+                .map(|_| (g.f32_in(0.0, 10.0), g.f32_in(0.0, 10.0)))
+                .collect::<Vec<(f32, f32)>>()
+        },
+        |points| {
+            if points.is_empty() {
+                return Ok(());
+            }
+            let front = pareto_min_indices(points, |&p| p);
+            prop_assert!(!front.is_empty());
+            for &i in &front {
+                for &j in &front {
+                    if i != j {
+                        let (a, b) = (points[i], points[j]);
+                        let dominates = a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
+                        prop_assert!(!dominates, "frontier member {i} dominates {j}");
+                    }
                 }
             }
-        }
-        // Every non-member is dominated by some member (or tied duplicate).
-        for (k, &p) in points.iter().enumerate() {
-            if !front.contains(&k) {
-                let covered = front.iter().any(|&i| {
-                    points[i].0 <= p.0 && points[i].1 <= p.1
-                });
-                prop_assert!(covered, "point {k} excluded but not dominated");
+            // Every non-member is dominated by some member (or tied duplicate).
+            for (k, &p) in points.iter().enumerate() {
+                if !front.contains(&k) {
+                    let covered =
+                        front.iter().any(|&i| points[i].0 <= p.0 && points[i].1 <= p.1);
+                    prop_assert!(covered, "point {k} excluded but not dominated");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
