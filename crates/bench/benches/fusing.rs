@@ -2,7 +2,7 @@
 //! ablation called out in `DESIGN.md`: gated prediction vs head-always
 //! prediction, and Algorithm-1-weighted vs uniform head training.
 
-use muffin::{FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset};
+use muffin::{FusingStructure, HeadSpec, HeadTrainConfig, PrivilegeMap, ProxyDataset, WorkerPool};
 use muffin_bench::timing::{black_box, Harness};
 use muffin_data::{DatasetSplit, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
@@ -60,6 +60,12 @@ fn bench_prediction_gating_ablation(h: &mut Harness) {
     h.sample_size(10);
     h.bench("fused_prediction/consensus_gated", || {
         black_box(fusing.predict(&pool, split.test.features()))
+    });
+    // Row-chunked batch inference on the shared worker pool; serial vs
+    // 4 workers is tracked in the suite JSON alongside the gated paths.
+    let workers = WorkerPool::new(4);
+    h.bench("fused_prediction/consensus_gated_parallel_4w", || {
+        black_box(fusing.predict_with(&pool, split.test.features(), &workers))
     });
     fusing.set_consensus_gating(false);
     h.bench("fused_prediction/head_always", || {

@@ -31,6 +31,11 @@ COMMANDS:
               --attrs a,b (required)      --episodes N (default 150)
               --slots N (default 2)       --seed S (default 7)
               --split-seed S (default 7)  --out FILE (required)
+              --batch M (default 1: Eq. 4 REINFORCE batch size; the
+                controller updates once per M episodes)
+              --workers N (default: available parallelism; candidate
+                evaluations of each REINFORCE batch run on N threads —
+                the outcome is identical for every N)
               --distill-out FILE (optional: distil the best candidate
                 into a single student MLP and save it as JSON)
               --student-hidden w1,w2 (default 64,32)
@@ -152,15 +157,24 @@ fn search(args: &Args) -> Result<(), String> {
     let episodes = args.get_u32("episodes", 150)?;
     let slots = args.get_usize("slots", 2)?;
     let seed = args.get_u64("seed", 7)?;
+    let workers = args.get_usize("workers", muffin::available_parallelism())?;
+    let batch = args.get_usize("batch", 1)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
 
-    let config = SearchConfig::paper(&attrs).with_episodes(episodes).with_slots(slots);
+    let config = SearchConfig::paper(&attrs)
+        .with_episodes(episodes)
+        .with_slots(slots)
+        .with_reinforce_batch(batch);
     let search = MuffinSearch::new(pool, split, config).map_err(|e| e.to_string())?;
     println!(
-        "proxy: {} unprivileged samples; space: {} steps",
+        "proxy: {} unprivileged samples; space: {} steps; workers: {workers}",
         search.proxy().len(),
         search.space().num_steps()
     );
-    let outcome = search.run(&mut Rng64::seed(seed)).map_err(|e| e.to_string())?;
+    let outcome =
+        search.run_parallel(&mut Rng64::seed(seed), workers).map_err(|e| e.to_string())?;
     outcome.save_json(out)?;
     let best = outcome.best();
     if let Some(student_path) = args.get("distill-out") {
@@ -307,6 +321,10 @@ mod tests {
             "age,site",
             "--episodes",
             "3",
+            "--batch",
+            "3",
+            "--workers",
+            "2",
             "--out",
             &outcome,
             "--distill-out",

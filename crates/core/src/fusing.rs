@@ -2,6 +2,7 @@ use crate::{MuffinError, ProxyDataset};
 use muffin_data::Dataset;
 use muffin_models::ModelPool;
 use muffin_nn::{Activation, ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
+use muffin_par::WorkerPool;
 use muffin_tensor::{Matrix, Rng64};
 use std::fmt;
 
@@ -279,6 +280,29 @@ impl FusingStructure {
             .collect()
     }
 
+    /// Like [`FusingStructure::predict`], with the input rows fanned out
+    /// across `workers` in contiguous chunks.
+    ///
+    /// Predictions are per-row, so the result is identical to the serial
+    /// path for every worker count; small inputs fall back to the serial
+    /// path to avoid paying thread spawn for nothing.
+    pub fn predict_with(
+        &self,
+        pool: &ModelPool,
+        features: &Matrix,
+        workers: &WorkerPool,
+    ) -> Vec<usize> {
+        if workers.is_serial() || features.rows() < 2 * workers.workers() {
+            return self.predict(pool, features);
+        }
+        let chunks = muffin_par::chunk_ranges(features.rows(), workers.workers());
+        let parts = workers.map(&chunks, |_, range| {
+            let rows: Vec<usize> = range.clone().collect();
+            self.predict(pool, &features.select_rows(&rows))
+        });
+        parts.into_iter().flatten().collect()
+    }
+
     /// Evaluates the fused model on `dataset`.
     pub fn evaluate(&self, pool: &ModelPool, dataset: &Dataset) -> muffin_models::ModelEvaluation {
         let preds = self.predict(pool, dataset.features());
@@ -430,6 +454,25 @@ mod tests {
             fusing.total_reported_params(&pool),
             expected_body + fusing.head_param_count() as u64
         );
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial() {
+        let (pool, split, proxy, mut rng) = setup();
+        let mut fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 12], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::fast(), &mut rng);
+        let serial = fusing.predict(&pool, split.test.features());
+        for workers in [1usize, 2, 4, 32] {
+            let parallel =
+                fusing.predict_with(&pool, split.test.features(), &WorkerPool::new(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
     }
 
     #[test]

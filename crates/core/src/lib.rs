@@ -87,6 +87,10 @@ pub use reward::{multi_fairness_reward, RewardConfig};
 pub use reward_variants::RewardKind;
 pub use search::{EpisodeRecord, MuffinSearch, SearchConfig, SearchOutcome};
 
+// Re-exported so downstream users (CLI, benches) size and share one pool
+// without depending on `muffin-par` directly.
+pub use muffin_par::{available_parallelism, WorkerPool};
+
 // Re-export the fairness metric primitives so downstream users need only
 // this crate for the paper's Section 3.1 definitions.
 pub use muffin_data::{

@@ -4,7 +4,8 @@ use crate::{
 };
 use muffin_data::{Dataset, DatasetSplit};
 use muffin_models::ModelPool;
-use muffin_tensor::Rng64;
+use muffin_par::WorkerPool;
+use muffin_tensor::{Rng64, SplitMix64};
 use std::collections::HashMap;
 
 /// Configuration of a full Muffin search.
@@ -157,28 +158,50 @@ impl SearchOutcome {
         &self.history[self.best_by_reward]
     }
 
+    /// Lexicographic (unfairness ↑, reward ↓) order used by the `best_*`
+    /// selectors. `total_cmp` keeps the comparator a total order even if a
+    /// reward is NaN (NaN rewards lose ties instead of winning randomly).
+    fn selection_order(ua: f32, ra: f32, ub: f32, rb: f32) -> std::cmp::Ordering {
+        ua.total_cmp(&ub).then(rb.total_cmp(&ra))
+    }
+
     /// The distinct record with the lowest unfairness on `attr_index`
     /// (ties broken by reward) — the paper's Muffin-Age / Muffin-Site /
     /// Muffin-Balance selections.
+    ///
+    /// Records whose unfairness on `attr_index` is missing or non-finite
+    /// (`run` stores NaN when an attribute was absent from an evaluation)
+    /// are excluded: a NaN entry must never win the paper's Table I picks.
     pub fn best_for_attribute(&self, attr_index: usize) -> Option<&EpisodeRecord> {
         self.distinct()
             .into_iter()
-            .filter(|r| attr_index < r.unfairness.len())
+            .filter(|r| {
+                attr_index < r.unfairness.len() && r.unfairness[attr_index].is_finite()
+            })
             .min_by(|a, b| {
-                (a.unfairness[attr_index], -a.reward)
-                    .partial_cmp(&(b.unfairness[attr_index], -b.reward))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                Self::selection_order(
+                    a.unfairness[attr_index],
+                    a.reward,
+                    b.unfairness[attr_index],
+                    b.reward,
+                )
             })
     }
 
     /// The distinct record with the lowest **summed** unfairness over all
     /// targets (Muffin-Balance in the Fitzpatrick experiment).
+    ///
+    /// Records with any non-finite unfairness entry are excluded — one NaN
+    /// would poison the sum and the comparison.
     pub fn best_balanced(&self) -> Option<&EpisodeRecord> {
-        self.distinct().into_iter().min_by(|a, b| {
-            let ua: f32 = a.unfairness.iter().sum();
-            let ub: f32 = b.unfairness.iter().sum();
-            (ua, -a.reward).partial_cmp(&(ub, -b.reward)).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.distinct()
+            .into_iter()
+            .filter(|r| r.unfairness.iter().all(|u| u.is_finite()))
+            .min_by(|a, b| {
+                let ua: f32 = a.unfairness.iter().sum();
+                let ub: f32 = b.unfairness.iter().sum();
+                Self::selection_order(ua, a.reward, ub, b.reward)
+            })
     }
 
     /// Like [`SearchOutcome::best_for_attribute`] but restricted to
@@ -188,22 +211,34 @@ impl SearchOutcome {
     pub fn best_united_for_attribute(&self, attr_index: usize) -> Option<&EpisodeRecord> {
         self.distinct()
             .into_iter()
-            .filter(|r| r.model_names.len() >= 2 && attr_index < r.unfairness.len())
+            .filter(|r| {
+                r.model_names.len() >= 2
+                    && attr_index < r.unfairness.len()
+                    && r.unfairness[attr_index].is_finite()
+            })
             .min_by(|a, b| {
-                (a.unfairness[attr_index], -a.reward)
-                    .partial_cmp(&(b.unfairness[attr_index], -b.reward))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                Self::selection_order(
+                    a.unfairness[attr_index],
+                    a.reward,
+                    b.unfairness[attr_index],
+                    b.reward,
+                )
             })
     }
 
     /// Like [`SearchOutcome::best_balanced`] but restricted to candidates
     /// uniting at least two models.
     pub fn best_united_balanced(&self) -> Option<&EpisodeRecord> {
-        self.distinct().into_iter().filter(|r| r.model_names.len() >= 2).min_by(|a, b| {
-            let ua: f32 = a.unfairness.iter().sum();
-            let ub: f32 = b.unfairness.iter().sum();
-            (ua, -a.reward).partial_cmp(&(ub, -b.reward)).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.distinct()
+            .into_iter()
+            .filter(|r| {
+                r.model_names.len() >= 2 && r.unfairness.iter().all(|u| u.is_finite())
+            })
+            .min_by(|a, b| {
+                let ua: f32 = a.unfairness.iter().sum();
+                let ub: f32 = b.unfairness.iter().sum();
+                Self::selection_order(ua, a.reward, ub, b.reward)
+            })
     }
 
     /// Serialises the outcome to a JSON file so search histories can be
@@ -395,39 +430,107 @@ impl MuffinSearch {
             .expect("validated required models")
     }
 
-    /// Runs the reinforcement-learning loop and returns the history.
-    ///
-    /// Candidates are trained once and cached by action vector; repeated
-    /// samples reuse the cached metrics (the controller still receives the
-    /// reward each time, as in the paper's episode loop).
+    /// Runs the reinforcement-learning loop serially and returns the
+    /// history. Equivalent to [`MuffinSearch::run_with_pool`] with a
+    /// single-worker pool — and guaranteed to produce the **same outcome**
+    /// as any parallel run with the same `rng` seed.
     ///
     /// # Errors
     ///
     /// Propagates candidate-construction errors (which indicate a bug, not
     /// a user error, since sampled actions are always in range).
     pub fn run(&self, rng: &mut Rng64) -> Result<SearchOutcome, MuffinError> {
+        self.run_with_pool(rng, &WorkerPool::serial())
+    }
+
+    /// Runs the search with candidate evaluations fanned out over
+    /// `workers` threads. See [`MuffinSearch::run_with_pool`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MuffinSearch::run`].
+    pub fn run_parallel(
+        &self,
+        rng: &mut Rng64,
+        workers: usize,
+    ) -> Result<SearchOutcome, MuffinError> {
+        self.run_with_pool(rng, &WorkerPool::new(workers))
+    }
+
+    /// Runs the reinforcement-learning loop, evaluating each REINFORCE
+    /// batch's uncached candidates on `pool`.
+    ///
+    /// Candidates are trained once and cached by action vector; repeated
+    /// samples reuse the cached metrics (the controller still receives the
+    /// reward each time, as in the paper's episode loop).
+    ///
+    /// **Determinism:** the outcome is bit-identical for every worker
+    /// count. REINFORCE (Eq. 4) only needs episode rewards at the batch
+    /// boundary, so each batch is processed in three phases:
+    ///
+    /// 1. sample the whole batch from the controller on the caller's RNG
+    ///    stream (policy is frozen within a batch);
+    /// 2. evaluate the batch's distinct uncached candidates concurrently —
+    ///    each evaluation is a pure function of (candidate, head seed),
+    ///    with head seeds pre-derived per episode from a [`SplitMix64`]
+    ///    stream that is split off the caller's RNG once at the start;
+    /// 3. merge the records back in episode order and apply one batched
+    ///    policy update.
+    ///
+    /// Because no evaluation touches the shared RNG and results are merged
+    /// index-ordered, scheduling cannot influence the search trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MuffinSearch::run`].
+    pub fn run_with_pool(
+        &self,
+        rng: &mut Rng64,
+        pool: &WorkerPool,
+    ) -> Result<SearchOutcome, MuffinError> {
         let space = self.space();
         let mut controller = RnnController::new(space.clone(), self.config.controller, rng);
         let target_names: Vec<&str> =
             self.config.target_attributes.iter().map(String::as_str).collect();
 
+        // Per-episode head seeds, pre-derived so evaluation order (and the
+        // cache hit pattern) can never perturb the controller's stream.
+        let mut seed_stream = SplitMix64::new(rng.next_u64());
+        let head_seeds: Vec<u64> =
+            (0..self.config.episodes).map(|_| seed_stream.next_u64()).collect();
+
         let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
-        let mut history = Vec::with_capacity(self.config.episodes as usize);
+        let mut history: Vec<EpisodeRecord> =
+            Vec::with_capacity(self.config.episodes as usize);
         let mut best_idx = 0usize;
         let mut best_reward = f32::MIN;
-        let mut pending: Vec<(crate::SampledEpisode, f32)> = Vec::new();
 
-        for episode in 0..self.config.episodes {
-            let sampled = controller.sample(rng);
-            let record = if let Some(cached) = cache.get(&sampled.actions) {
-                let mut r = cached.clone();
-                r.episode = episode;
-                r
-            } else {
-                let candidate = space.decode(&sampled.actions)?;
-                let head_seed = rng.uniform(0.0, 1.0).to_bits() as u64 ^ (episode as u64) << 32;
-                let (fusing, eval) =
-                    self.evaluate_candidate(&candidate, &self.split.val, head_seed)?;
+        let mut episode = 0u32;
+        while episode < self.config.episodes {
+            let batch_len = (self.config.reinforce_batch as u32)
+                .min(self.config.episodes - episode) as usize;
+
+            // Phase 1: sample the whole batch under the frozen policy.
+            let sampled: Vec<crate::SampledEpisode> =
+                (0..batch_len).map(|_| controller.sample(rng)).collect();
+
+            // Phase 2: evaluate each distinct uncached action vector once,
+            // keyed to the episode of its first occurrence in this batch.
+            let mut jobs: Vec<(usize, Candidate, u64)> = Vec::new();
+            for (k, s) in sampled.iter().enumerate() {
+                let fresh = !cache.contains_key(&s.actions)
+                    && !jobs.iter().any(|&(j, _, _)| sampled[j].actions == s.actions);
+                if fresh {
+                    let seed = head_seeds[episode as usize + k];
+                    jobs.push((k, space.decode(&s.actions)?, seed));
+                }
+            }
+            let evaluated = pool.map(&jobs, |_, (_, candidate, seed)| {
+                self.evaluate_candidate(candidate, &self.split.val, *seed)
+            });
+            for (&(k, ref candidate, seed), result) in jobs.iter().zip(evaluated) {
+                let (fusing, eval) = result?;
+                let first_seen = episode + k as u32;
                 let reward =
                     self.config.reward_kind.evaluate(&eval, &target_names, self.config.reward);
                 let unfairness = target_names
@@ -435,8 +538,8 @@ impl MuffinSearch {
                     .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
                     .collect();
                 let record = EpisodeRecord {
-                    episode,
-                    actions: sampled.actions.clone(),
+                    episode: first_seen,
+                    actions: sampled[k].actions.clone(),
                     model_names: candidate
                         .model_indices
                         .iter()
@@ -449,26 +552,29 @@ impl MuffinSearch {
                     reward,
                     head_params: fusing.head_param_count(),
                     total_params: fusing.total_reported_params(&self.pool),
-                    head_seed,
-                    first_seen: episode,
+                    head_seed: seed,
+                    first_seen,
                 };
-                cache.insert(sampled.actions.clone(), record.clone());
-                record
-            };
+                cache.insert(sampled[k].actions.clone(), record);
+            }
 
-            pending.push((sampled, record.reward));
-            if pending.len() >= self.config.reinforce_batch {
-                controller.update_batch(&pending);
-                pending.clear();
+            // Phase 3: merge records in episode order and update the
+            // policy once per batch (Eq. 4 with m = batch_len).
+            let mut pending: Vec<(crate::SampledEpisode, f32)> =
+                Vec::with_capacity(batch_len);
+            for (k, s) in sampled.into_iter().enumerate() {
+                let mut record =
+                    cache.get(&s.actions).expect("evaluated or cached above").clone();
+                record.episode = episode + k as u32;
+                if record.reward > best_reward {
+                    best_reward = record.reward;
+                    best_idx = history.len();
+                }
+                pending.push((s, record.reward));
+                history.push(record);
             }
-            if record.reward > best_reward {
-                best_reward = record.reward;
-                best_idx = history.len();
-            }
-            history.push(record);
-        }
-        if !pending.is_empty() {
             controller.update_batch(&pending);
+            episode += batch_len as u32;
         }
 
         Ok(SearchOutcome {
@@ -624,6 +730,127 @@ mod tests {
         }
         if let Some(r) = outcome.best_united_balanced() {
             assert!(r.model_names.len() >= 2);
+        }
+    }
+
+    fn synthetic_record(episode: u32, unfairness: Vec<f32>, reward: f32) -> EpisodeRecord {
+        EpisodeRecord {
+            episode,
+            actions: vec![episode as usize, 0, 0],
+            model_names: vec!["A".into(), "B".into()],
+            head_desc: "[8] relu".into(),
+            accuracy: 0.8,
+            unfairness,
+            reward,
+            head_params: 100,
+            total_params: 2_000_000,
+            head_seed: episode as u64,
+            first_seen: episode,
+        }
+    }
+
+    #[test]
+    fn nan_unfairness_never_wins_selection() {
+        // Regression: partial_cmp(..).unwrap_or(Equal) let NaN records win
+        // min_by arbitrarily depending on iteration order.
+        let outcome = SearchOutcome {
+            history: vec![
+                synthetic_record(0, vec![f32::NAN, 0.0], 9.0),
+                synthetic_record(1, vec![0.3, 0.4], 1.0),
+                synthetic_record(2, vec![0.2, f32::INFINITY], 2.0),
+                synthetic_record(3, vec![0.5, 0.1], 3.0),
+            ],
+            best_by_reward: 0,
+            target_attributes: vec!["age".into(), "site".into()],
+        };
+        // Attribute 0: NaN (record 0) excluded; 0.2 (record 2) wins.
+        assert_eq!(outcome.best_for_attribute(0).unwrap().episode, 2);
+        // Attribute 1: record 0 has unfairness 0.0 — finite, so it wins.
+        assert_eq!(outcome.best_for_attribute(1).unwrap().episode, 0);
+        // Balanced: records 0 (NaN) and 2 (∞) excluded; among the finite
+        // records, 3 sums to 0.6 and beats 1's 0.7.
+        assert_eq!(outcome.best_balanced().unwrap().episode, 3);
+        assert_eq!(outcome.best_united_for_attribute(0).unwrap().episode, 2);
+        assert_eq!(outcome.best_united_balanced().unwrap().episode, 3);
+    }
+
+    #[test]
+    fn all_nan_history_selects_nothing() {
+        let outcome = SearchOutcome {
+            history: vec![synthetic_record(0, vec![f32::NAN], 1.0)],
+            best_by_reward: 0,
+            target_attributes: vec!["age".into()],
+        };
+        assert!(outcome.best_for_attribute(0).is_none());
+        assert!(outcome.best_balanced().is_none());
+        assert!(outcome.best_united_for_attribute(0).is_none());
+        assert!(outcome.best_united_balanced().is_none());
+    }
+
+    #[test]
+    fn head_seeds_follow_the_pinned_splitmix_stream() {
+        // The per-episode head-seed derivation is a frozen contract: the
+        // controller consumes the caller's RNG first, then one draw seeds a
+        // SplitMix64 stream whose k-th output is episode k's head seed.
+        let (search, rng) = setup(8);
+        let mut replay = rng.clone();
+        let outcome = search.run(&mut rng.clone()).expect("search runs");
+
+        let _controller = RnnController::new(
+            search.space(),
+            search.config().controller,
+            &mut replay,
+        );
+        let mut stream = SplitMix64::new(replay.next_u64());
+        let expected: Vec<u64> = (0..8).map(|_| stream.next_u64()).collect();
+        for r in &outcome.history {
+            assert_eq!(
+                r.head_seed, expected[r.first_seen as usize],
+                "episode {} (first seen {}) diverged from the seed stream",
+                r.episode, r.first_seen
+            );
+        }
+        // 64-bit stream seeds: distinct across first occurrences (the old
+        // 32-bit-entropy derivation collided readily).
+        let mut firsts: Vec<u64> =
+            outcome.distinct().iter().map(|r| r.head_seed).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), outcome.distinct().len());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let (search, rng) = setup(9);
+        let serial = search
+            .run_with_pool(&mut rng.clone(), &WorkerPool::serial())
+            .expect("serial run");
+        for workers in [2usize, 4] {
+            let parallel = search
+                .run_with_pool(&mut rng.clone(), &WorkerPool::new(workers))
+                .expect("parallel run");
+            assert_eq!(serial.best_by_reward, parallel.best_by_reward);
+            assert_eq!(serial.history.len(), parallel.history.len());
+            for (s, p) in serial.history.iter().zip(&parallel.history) {
+                assert_eq!(s.actions, p.actions);
+                assert_eq!(s.reward.to_bits(), p.reward.to_bits());
+                assert_eq!(s.accuracy.to_bits(), p.accuracy.to_bits());
+                assert_eq!(s.head_seed, p.head_seed);
+                assert_eq!(s.first_seen, p.first_seen);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_reinforce_runs_and_fills_history() {
+        let (mut search, rng) = setup(10);
+        // Exercise a partial final batch (10 episodes, batch of 4).
+        search.config.reinforce_batch = 4;
+        let outcome = search.run(&mut rng.clone()).expect("search runs");
+        assert_eq!(outcome.history.len(), 10);
+        for (i, r) in outcome.history.iter().enumerate() {
+            assert_eq!(r.episode, i as u32);
+            assert!(r.first_seen <= r.episode);
         }
     }
 

@@ -1,0 +1,273 @@
+//! Hermetic scoped thread pool for the Muffin workspace.
+//!
+//! `muffin-par` replaces what `rayon` would provide with the one primitive
+//! the search actually needs: map a closure over a slice on a fixed number
+//! of OS threads and collect the results **in input order**. It is built
+//! entirely on `std` (`thread::scope`, an atomic work counter and an mpsc
+//! channel), so the workspace stays dependency-free.
+//!
+//! Guarantees:
+//!
+//! - **Deterministic collection** — `WorkerPool::map` returns results
+//!   indexed exactly like the input slice, independent of which worker ran
+//!   which item or in what order they finished. A caller that feeds
+//!   deterministic per-item inputs (e.g. pre-derived seeds) therefore gets
+//!   bit-identical output at any worker count, including 1.
+//! - **Panic propagation** — a panic inside the closure unwinds out of
+//!   `map` on the calling thread (via `std::thread::scope`'s join) instead
+//!   of deadlocking or being silently dropped.
+//! - **No oversubscription** — at most `workers` threads run at once; the
+//!   work queue is a single atomic counter, so items are handed out with
+//!   no per-item allocation or locking.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_par::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of hardware threads, falling back to 1 where it cannot be
+/// queried (the value `--workers` defaults to in the CLI).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `len` items into at most `chunks` contiguous, balanced ranges.
+///
+/// Every range is non-empty and the ranges cover `0..len` in order; sizes
+/// differ by at most one, so workers finish at roughly the same time.
+///
+/// # Example
+///
+/// ```
+/// use muffin_par::chunk_ranges;
+///
+/// assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
+/// assert_eq!(chunk_ranges(2, 8).len(), 2);
+/// assert!(chunk_ranges(0, 3).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool holds no threads between calls: each [`WorkerPool::map`]
+/// spawns its workers inside a `std::thread::scope`, which lets the closure
+/// borrow from the caller's stack (the search borrows its model pool and
+/// datasets) without `Arc` or `'static` bounds, and joins them before
+/// returning. Spawn cost is microseconds against the multi-millisecond
+/// candidate evaluations it schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool running `workers` threads per map (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// The single-threaded pool: `map` runs inline on the calling thread.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool sized to [`available_parallelism`].
+    pub fn auto() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether `map` runs inline without spawning threads.
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// `f` receives the item index alongside the item so callers can pair
+    /// results with pre-derived per-item state (seeds, labels) without
+    /// capturing mutable bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (on the calling thread) any panic raised by `f` on a
+    /// worker thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.workers == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let tx = tx.clone();
+                let (next, f) = (&next, &f);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send can only fail if the receiver was dropped,
+                    // which cannot happen while the scope is alive.
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // The scope joins every worker here and re-raises the first
+            // panic, so a poisoned map never returns partial results.
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index mapped exactly once"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        // Make later items finish first so ordering must come from the
+        // index bookkeeping, not completion order.
+        let out = pool.map(&items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closure_sees_matching_index() {
+        let pool = WorkerPool::new(3);
+        let items = vec![10u64, 20, 30, 40, 50];
+        let out = pool.map(&items, |i, &x| (i, x));
+        for (i, (seen_i, x)) in out.iter().enumerate() {
+            assert_eq!(*seen_i, i);
+            assert_eq!(*x, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(&Vec::<u32>::new(), |_, &x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_serial() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.is_serial());
+        assert_eq!(pool.map(&[1, 2, 3], |_, &x: &i32| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let pool = WorkerPool::new(64);
+        let out = pool.map(&[1u8, 2, 3], |_, &x| x as u32);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        // Expected panics on worker threads would spam the test log via the
+        // default hook; silence it for the duration.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..32).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("unlucky item");
+                }
+                x
+            })
+        }));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err(), "panic must unwind out of map");
+    }
+
+    #[test]
+    fn auto_pool_has_at_least_one_worker() {
+        assert!(WorkerPool::auto().workers() >= 1);
+        assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 5, 17, 100] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, covered, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "range {i} empty for len={len} chunks={chunks}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+                if len > 0 {
+                    assert!(ranges.len() <= chunks.min(len));
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(max - min <= 1, "unbalanced chunks: {sizes:?}");
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,6 @@ mod matrix;
 mod ops;
 
 pub use error::ShapeError;
-pub use init::{Init, Rng64};
+pub use init::{Init, Rng64, SplitMix64};
 pub use matrix::Matrix;
 pub use ops::{argmax, logsumexp, softmax_in_place};

@@ -211,11 +211,15 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
+        // Skipping `a == 0` rows of the inner product is only sound when
+        // `other` is all-finite: `0 · NaN` and `0 · ∞` are NaN and must
+        // propagate, exactly as they do in `matmul_nt`.
+        let skip_zeros = other.data.iter().all(|x| x.is_finite());
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue;
                 }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -239,11 +243,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
+        // Same finiteness guard as `matmul`: the zero-skip must not swallow
+        // NaN/∞ contributions from `other`.
+        let skip_zeros = other.data.iter().all(|x| x.is_finite());
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue;
                 }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
@@ -558,6 +565,44 @@ mod tests {
         let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
         let b = m(4, 3, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
         assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_rows() {
+        // Regression: the a == 0 fast path used to turn 0 · NaN into 0.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::NAN, 2.0, 3.0, 4.0]);
+        let out = a.matmul(&b);
+        assert!(out.get(0, 0).is_nan(), "0 · NaN must stay NaN");
+        assert_eq!(out.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn matmul_propagates_infinity_through_zero_rows() {
+        let a = m(1, 2, &[0.0, 0.0]);
+        let b = m(2, 1, &[f32::INFINITY, 1.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan(), "0 · ∞ must stay NaN");
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_like_nt() {
+        let a = m(2, 1, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::NAN, 1.0, 2.0, 3.0]);
+        let tn = a.matmul_tn(&b);
+        let reference = a.transpose().matmul_nt(&b.transpose());
+        assert!(tn.get(0, 0).is_nan());
+        assert_eq!(tn.get(0, 0).is_nan(), reference.get(0, 0).is_nan());
+        assert_eq!(tn.get(0, 1), reference.get(0, 1));
+    }
+
+    #[test]
+    fn matmul_zero_skip_still_exact_for_finite_inputs() {
+        // The fast path must not change results where it applies: a sparse
+        // operand against a finite matrix multiplies exactly.
+        let a = m(2, 3, &[0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        let b = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.matmul(&b), a.matmul(&b.transpose().transpose()));
+        assert_eq!(a.matmul(&b), m(2, 2, &[6., 8., 16., 20.]));
     }
 
     #[test]

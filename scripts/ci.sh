@@ -25,8 +25,17 @@ else
     echo "==> rustfmt not installed, skipping format check"
 fi
 
+echo "==> serial vs parallel search equivalence"
+cargo test -q --offline -p muffin-integration-tests --test parallel_equivalence
+
 echo "==> hermeticity: no external crates in any manifest"
-if grep -rn "serde\|rand\|proptest\|criterion" --include=Cargo.toml \
+# Anchor to dependency-declaration lines ("<crate> = ..." or
+# "<crate> = { ... }") so comments, descriptions, or in-repo crate names
+# that merely *contain* a banned word (e.g. muffin-random) cannot trip the
+# gate. The known serde/rand/proptest/criterion ecosystems are matched as
+# whole crate names.
+banned='serde|serde_json|serde_derive|rand|rand_core|rand_chacha|rand_distr|proptest|criterion'
+if grep -rnE "^[[:space:]]*(${banned})[[:space:]]*=" --include=Cargo.toml \
     Cargo.toml crates tests examples; then
     echo "ERROR: external dependency reference found in a manifest" >&2
     exit 1
