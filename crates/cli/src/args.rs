@@ -2,6 +2,14 @@
 
 use std::collections::BTreeMap;
 
+/// Options that are boolean flags: they take no value and parse as `true`
+/// when present. Everything else follows the strict `--key value` shape.
+const FLAG_OPTIONS: &[&str] = &["verbose"];
+
+/// Command groups: these subcommands take a second word naming the action
+/// (e.g. `muffin trace summarize`), parsed into a two-word command.
+const COMMAND_GROUPS: &[&str] = &["trace"];
+
 /// Parsed command line: a subcommand plus `--key value` options.
 ///
 /// # Example
@@ -34,17 +42,31 @@ impl Args {
         S: Into<String>,
     {
         let mut iter = args.into_iter().map(Into::into);
-        let command = iter.next().ok_or("missing subcommand")?;
+        let mut command = iter.next().ok_or("missing subcommand")?;
         if command.starts_with("--") {
             return Err(format!("expected a subcommand, got option {command}"));
+        }
+        if COMMAND_GROUPS.contains(&command.as_str()) {
+            let action = iter
+                .next()
+                .ok_or_else(|| format!("{command} expects an action, e.g. {command} summarize"))?;
+            if action.starts_with("--") {
+                return Err(format!("{command} expects an action, got option {action}"));
+            }
+            command = format!("{command} {action}");
         }
         let mut options = BTreeMap::new();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument: {key}"));
             };
-            let value =
-                iter.next().ok_or_else(|| format!("option --{name} is missing its value"))?;
+            if FLAG_OPTIONS.contains(&name) {
+                options.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("option --{name} is missing its value"))?;
             options.insert(name.to_string(), value);
         }
         Ok(Self { command, options })
@@ -75,7 +97,8 @@ impl Args {
     ///
     /// Returns a message naming the missing option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A `u64` option with a default.
@@ -86,7 +109,9 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v}")),
         }
     }
 
@@ -98,7 +123,9 @@ impl Args {
     pub fn get_u32(&self, key: &str, default: u32) -> Result<u32, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v}")),
         }
     }
 
@@ -110,14 +137,27 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v}")),
         }
+    }
+
+    /// Whether a boolean flag (see [`FLAG_OPTIONS`], e.g. `--verbose`) was
+    /// supplied.
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     /// A comma-separated list option (empty vec when absent).
     pub fn get_list(&self, key: &str) -> Vec<&str> {
         self.get(key)
-            .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
+            .map(|v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -176,5 +216,33 @@ mod tests {
     fn list_trims_and_skips_empties() {
         let args = Args::parse_from(["run", "--attrs", " age, ,site "]).expect("valid");
         assert_eq!(args.get_list("attrs"), vec!["age", "site"]);
+    }
+
+    #[test]
+    fn verbose_flag_takes_no_value() {
+        let args = Args::parse_from(["search", "--verbose", "--seed", "3"]).expect("valid");
+        assert!(args.get_flag("verbose"));
+        assert_eq!(args.get_u64("seed", 0).unwrap(), 3);
+
+        let args = Args::parse_from(["search", "--seed", "3", "--verbose"]).expect("valid");
+        assert!(args.get_flag("verbose"));
+
+        let args = Args::parse_from(["search"]).expect("valid");
+        assert!(!args.get_flag("verbose"));
+    }
+
+    #[test]
+    fn trace_group_parses_a_two_word_command() {
+        let args = Args::parse_from(["trace", "summarize", "--trace", "log.json"]).expect("valid");
+        assert_eq!(args.command(), "trace summarize");
+        assert_eq!(args.get("trace"), Some("log.json"));
+    }
+
+    #[test]
+    fn trace_without_action_is_an_error() {
+        let err = Args::parse_from(["trace"]).unwrap_err();
+        assert!(err.contains("action"), "{err}");
+        let err = Args::parse_from(["trace", "--trace", "log.json"]).unwrap_err();
+        assert!(err.contains("action"), "{err}");
     }
 }

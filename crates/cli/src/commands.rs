@@ -1,6 +1,7 @@
 use crate::Args;
 use muffin::{
-    distill_student, DistillConfig, MuffinSearch, SearchConfig, SearchOutcome, TextTable,
+    distill_student, summarize, DistillConfig, MuffinSearch, SearchConfig, SearchOutcome,
+    TextTable, TraceLog, Tracer,
 };
 use muffin_data::{Dataset, FitzpatrickLike, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
@@ -39,8 +40,16 @@ COMMANDS:
               --distill-out FILE (optional: distil the best candidate
                 into a single student MLP and save it as JSON)
               --student-hidden w1,w2 (default 64,32)
+              --trace-out FILE (optional: record a structured event log
+                of the run — spans, counters, latency histograms — as
+                deterministic JSON; timings live in an isolated field)
+              --verbose (print progress lines to stderr; without it the
+                run is silent apart from the result)
   report      Summarise a saved search outcome
               --outcome FILE (required)   --top N (default 5)
+  trace summarize
+              Render a saved event log as a per-phase timing table
+              --trace FILE (required)
   help        Print this message
 ";
 
@@ -60,6 +69,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         "evaluate" => evaluate(args),
         "search" => search(args),
         "report" => report(args),
+        "trace summarize" => trace_summarize(args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -75,8 +85,14 @@ fn generate(args: &Args) -> Result<(), String> {
     let mut rng = Rng64::seed(seed);
     let dataset = match args.get("dataset").unwrap_or("isic") {
         "isic" => IsicLike::new().with_num_samples(samples).generate(&mut rng),
-        "fitzpatrick" => FitzpatrickLike::new().with_num_samples(samples).generate(&mut rng),
-        other => return Err(format!("unknown dataset: {other} (expected isic|fitzpatrick)")),
+        "fitzpatrick" => FitzpatrickLike::new()
+            .with_num_samples(samples)
+            .generate(&mut rng),
+        other => {
+            return Err(format!(
+                "unknown dataset: {other} (expected isic|fitzpatrick)"
+            ))
+        }
     };
     dataset.save_json(out).map_err(|e| e.to_string())?;
     println!(
@@ -139,7 +155,11 @@ fn evaluate(args: &Args) -> Result<(), String> {
     for model in pool.iter() {
         let eval = model.evaluate(&split.test);
         let mut row = vec![eval.model.clone(), format!("{:.2}%", eval.accuracy * 100.0)];
-        row.extend(eval.attributes.iter().map(|a| format!("{:.4}", a.unfairness)));
+        row.extend(
+            eval.attributes
+                .iter()
+                .map(|a| format!("{:.4}", a.unfairness)),
+        );
         table.row_owned(row);
     }
     println!("{table}");
@@ -147,9 +167,9 @@ fn evaluate(args: &Args) -> Result<(), String> {
 }
 
 fn search(args: &Args) -> Result<(), String> {
+    // Validate every argument before loading any file, so bad flags fail
+    // fast even when the inputs are large.
     let out = args.require("out")?;
-    let (_, split) = load_split(args)?;
-    let pool = ModelPool::load_json(args.require("pool")?).map_err(|e| e.to_string())?;
     let attrs = args.get_list("attrs");
     if attrs.is_empty() {
         return Err("--attrs requires at least one attribute name".into());
@@ -158,24 +178,51 @@ fn search(args: &Args) -> Result<(), String> {
     let slots = args.get_usize("slots", 2)?;
     let seed = args.get_u64("seed", 7)?;
     let workers = args.get_usize("workers", muffin::available_parallelism())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
     let batch = args.get_usize("batch", 1)?;
     if batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    let trace_out = args.get("trace-out");
+    if let Some(path) = trace_out {
+        // Fail before the (long) search if the log can't be written.
+        std::fs::write(path, "").map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
+    }
+    let tracer = if trace_out.is_some() {
+        Tracer::capturing()
+    } else {
+        Tracer::noop()
+    }
+    .with_verbose(args.get_flag("verbose"));
+
+    let (_, split) = load_split(args)?;
+    let pool = ModelPool::load_json(args.require("pool")?).map_err(|e| e.to_string())?;
 
     let config = SearchConfig::paper(&attrs)
         .with_episodes(episodes)
         .with_slots(slots)
         .with_reinforce_batch(batch);
-    let search = MuffinSearch::new(pool, split, config).map_err(|e| e.to_string())?;
-    println!(
-        "proxy: {} unprivileged samples; space: {} steps; workers: {workers}",
-        search.proxy().len(),
-        search.space().num_steps()
-    );
-    let outcome =
-        search.run_parallel(&mut Rng64::seed(seed), workers).map_err(|e| e.to_string())?;
+    let search = MuffinSearch::new(pool, split, config)
+        .map_err(|e| e.to_string())?
+        .with_tracer(tracer);
+    search.tracer().progress(|| {
+        format!(
+            "proxy: {} unprivileged samples; space: {} steps; workers: {workers}",
+            search.proxy().len(),
+            search.space().num_steps()
+        )
+    });
+    let outcome = search
+        .run_parallel(&mut Rng64::seed(seed), workers)
+        .map_err(|e| e.to_string())?;
     outcome.save_json(out)?;
+    if let Some(path) = trace_out {
+        let log = search.tracer().finish();
+        log.save_json(path)?;
+        println!("trace log ({} events) written to {path}", log.events.len());
+    }
     let best = outcome.best();
     if let Some(student_path) = args.get("distill-out") {
         let fusing = search.rebuild(best).map_err(|e| e.to_string())?;
@@ -185,7 +232,11 @@ fn search(args: &Args) -> Result<(), String> {
             .map(|w| w.parse().map_err(|_| format!("bad student width: {w}")))
             .collect::<Result<Vec<usize>, String>>()?;
         let config = DistillConfig {
-            student_hidden: if hidden.is_empty() { vec![64, 32] } else { hidden },
+            student_hidden: if hidden.is_empty() {
+                vec![64, 32]
+            } else {
+                hidden
+            },
             ..DistillConfig::default()
         };
         let distilled = distill_student(
@@ -217,6 +268,12 @@ fn search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn trace_summarize(args: &Args) -> Result<(), String> {
+    let log = TraceLog::load_json(args.require("trace")?)?;
+    println!("{}", summarize(&log));
+    Ok(())
+}
+
 fn report(args: &Args) -> Result<(), String> {
     let outcome = SearchOutcome::load_json(args.require("outcome")?)?;
     let top = args.get_usize("top", 5)?;
@@ -227,14 +284,22 @@ fn report(args: &Args) -> Result<(), String> {
         outcome.target_attributes
     );
     let mut ranked: Vec<_> = outcome.distinct();
-    ranked.sort_by(|a, b| b.reward.partial_cmp(&a.reward).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.reward
+            .partial_cmp(&a.reward)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut table = TextTable::new(&["rank", "reward", "acc", "unfairness", "body", "head"]);
     for (i, r) in ranked.iter().take(top).enumerate() {
         table.row_owned(vec![
             (i + 1).to_string(),
             format!("{:.3}", r.reward),
             format!("{:.2}%", r.accuracy * 100.0),
-            r.unfairness.iter().map(|u| format!("{u:.3}")).collect::<Vec<_>>().join("/"),
+            r.unfairness
+                .iter()
+                .map(|u| format!("{u:.3}"))
+                .collect::<Vec<_>>()
+                .join("/"),
             r.model_names.join("+"),
             r.head_desc.clone(),
         ]);
@@ -276,8 +341,8 @@ mod tests {
     #[test]
     fn generate_rejects_unknown_dataset() {
         let out = tmp("never_written.json");
-        let args = Args::parse_from(["generate", "--dataset", "cifar", "--out", &out])
-            .expect("parse");
+        let args =
+            Args::parse_from(["generate", "--dataset", "cifar", "--out", &out]).expect("parse");
         assert!(run(&args).unwrap_err().contains("unknown dataset"));
     }
 
@@ -288,7 +353,13 @@ mod tests {
         let outcome = tmp("outcome.json");
 
         run(&Args::parse_from([
-            "generate", "--samples", "400", "--seed", "3", "--out", &data,
+            "generate",
+            "--samples",
+            "400",
+            "--seed",
+            "3",
+            "--out",
+            &data,
         ])
         .expect("parse"))
         .expect("generate");
@@ -311,6 +382,7 @@ mod tests {
             .expect("evaluate");
 
         let student = tmp("student.json");
+        let trace = tmp("trace.json");
         run(&Args::parse_from([
             "search",
             "--data",
@@ -331,17 +403,93 @@ mod tests {
             &student,
             "--student-hidden",
             "16",
+            "--trace-out",
+            &trace,
         ])
         .expect("parse"))
         .expect("search");
-        assert!(std::fs::read_to_string(&student).expect("student written").contains("spec"));
+        assert!(std::fs::read_to_string(&student)
+            .expect("student written")
+            .contains("spec"));
 
-        run(&Args::parse_from(["report", "--outcome", &outcome]).expect("parse"))
-            .expect("report");
+        // The trace log parses and records the search structure.
+        let log = TraceLog::load_json(&trace).expect("trace log parses");
+        assert_eq!(
+            log.events
+                .iter()
+                .filter(|e| e.name == "search.episode")
+                .count(),
+            3
+        );
+        assert!(log.events.iter().any(|e| e.name == "search.run"));
 
-        for f in [data, pool, outcome, student] {
+        run(&Args::parse_from(["report", "--outcome", &outcome]).expect("parse")).expect("report");
+        run(&Args::parse_from(["trace", "summarize", "--trace", &trace]).expect("parse"))
+            .expect("trace summarize");
+
+        for f in [data, pool, outcome, student, trace] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn search_rejects_zero_workers() {
+        let args = Args::parse_from([
+            "search",
+            "--data",
+            "x.json",
+            "--pool",
+            "p.json",
+            "--attrs",
+            "age",
+            "--out",
+            "o.json",
+            "--workers",
+            "0",
+        ])
+        .expect("parse");
+        // Rejected before any file is touched: x.json does not exist.
+        assert!(run(&args).unwrap_err().contains("--workers"));
+    }
+
+    #[test]
+    fn search_rejects_non_numeric_batch() {
+        let args = Args::parse_from([
+            "search", "--data", "x.json", "--pool", "p.json", "--attrs", "age", "--out", "o.json",
+            "--batch", "lots",
+        ])
+        .expect("parse");
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--batch") && err.contains("lots"), "{err}");
+    }
+
+    #[test]
+    fn search_rejects_unwritable_trace_path_before_running() {
+        let args = Args::parse_from([
+            "search",
+            "--data",
+            "x.json",
+            "--pool",
+            "p.json",
+            "--attrs",
+            "age",
+            "--out",
+            "o.json",
+            "--trace-out",
+            "/nonexistent-dir/trace.json",
+        ])
+        .expect("parse");
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+    }
+
+    #[test]
+    fn trace_summarize_requires_a_readable_log() {
+        let args = Args::parse_from(["trace", "summarize"]).expect("parse");
+        assert!(run(&args).unwrap_err().contains("--trace"));
+        let args = Args::parse_from(["trace", "summarize", "--trace", "/nonexistent.json"])
+            .expect("parse");
+        assert!(run(&args).is_err());
     }
 
     #[test]
@@ -350,7 +498,13 @@ mod tests {
         run(&Args::parse_from(["generate", "--samples", "300", "--out", &data]).expect("parse"))
             .expect("generate");
         let args = Args::parse_from([
-            "train-pool", "--data", &data, "--archs", "VGG-16", "--out", "/dev/null",
+            "train-pool",
+            "--data",
+            &data,
+            "--archs",
+            "VGG-16",
+            "--out",
+            "/dev/null",
         ])
         .expect("parse");
         assert!(run(&args).unwrap_err().contains("unknown architecture"));

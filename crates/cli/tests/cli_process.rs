@@ -1,0 +1,148 @@
+//! End-to-end process tests for the `muffin` binary: quiet runs must be
+//! silent on stderr, `--verbose` must report progress there, and
+//! `--trace-out` must produce a parseable event log that
+//! `trace summarize` renders.
+
+use muffin_trace::TraceLog;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn muffin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_muffin"))
+        .args(args)
+        .output()
+        .expect("spawn muffin binary")
+}
+
+fn tmp(name: &str) -> String {
+    let dir: PathBuf = std::env::temp_dir().join("muffin_cli_process_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn quiet_search_is_silent_on_stderr_and_verbose_is_not() {
+    let data = tmp("data.json");
+    let pool = tmp("pool.json");
+    let outcome = tmp("outcome.json");
+    let trace = tmp("trace.json");
+
+    let gen = muffin(&[
+        "generate",
+        "--samples",
+        "300",
+        "--seed",
+        "3",
+        "--out",
+        &data,
+    ]);
+    assert!(
+        gen.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+    assert!(gen.stderr.is_empty(), "generate must not write to stderr");
+
+    let train = muffin(&[
+        "train-pool",
+        "--data",
+        &data,
+        "--archs",
+        "ResNet-18,DenseNet121",
+        "--epochs",
+        "2",
+        "--out",
+        &pool,
+    ]);
+    assert!(
+        train.status.success(),
+        "train-pool failed: {}",
+        String::from_utf8_lossy(&train.stderr)
+    );
+    assert!(
+        train.stderr.is_empty(),
+        "train-pool must not write to stderr"
+    );
+
+    let search_args = |extra: &[&str]| {
+        let mut v = vec![
+            "search",
+            "--data",
+            &data,
+            "--pool",
+            &pool,
+            "--attrs",
+            "age,site",
+            "--episodes",
+            "2",
+            "--out",
+            &outcome,
+        ];
+        v.extend_from_slice(extra);
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+
+    // Quiet run: stderr stays empty.
+    let quiet_args = search_args(&[]);
+    let quiet = muffin(&quiet_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        quiet.status.success(),
+        "search failed: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+    assert!(
+        quiet.stderr.is_empty(),
+        "quiet search leaked to stderr: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+
+    // Verbose run: progress lines appear on stderr, result stays on stdout.
+    let verbose_args = search_args(&["--verbose", "--trace-out", &trace]);
+    let verbose = muffin(&verbose_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        verbose.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verbose.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&verbose.stderr);
+    assert!(
+        stderr.contains("proxy:"),
+        "missing proxy progress line: {stderr}"
+    );
+    assert!(
+        stderr.contains("episode"),
+        "missing episode progress lines: {stderr}"
+    );
+    assert!(String::from_utf8_lossy(&verbose.stdout).contains("best"));
+
+    // The trace log parses and summarize renders a per-phase table.
+    let log = TraceLog::load_json(&trace).expect("trace log parses");
+    assert!(!log.events.is_empty());
+    let summary = muffin(&["trace", "summarize", "--trace", &trace]);
+    assert!(summary.status.success());
+    let text = String::from_utf8_lossy(&summary.stdout);
+    assert!(text.contains("phase"), "missing table header: {text}");
+    assert!(text.contains("search.episode"), "missing phase row: {text}");
+    assert!(
+        text.contains("search.cache_miss"),
+        "missing counter row: {text}"
+    );
+
+    for f in [data, pool, outcome, trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn bad_arguments_exit_with_usage_code() {
+    let out = muffin(&["search", "--workers"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "dangling option is a usage error"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+
+    let out = muffin(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+}

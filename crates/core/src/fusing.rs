@@ -4,6 +4,7 @@ use muffin_models::ModelPool;
 use muffin_nn::{Activation, ClassifierTrainer, LossKind, LrSchedule, Mlp, MlpSpec};
 use muffin_par::WorkerPool;
 use muffin_tensor::{Matrix, Rng64};
+use muffin_trace::Tracer;
 use std::fmt;
 
 /// Architecture of the muffin head: the MLP the controller searches over
@@ -34,7 +35,10 @@ impl HeadSpec {
     ///
     /// Panics if any width is zero.
     pub fn new(hidden: Vec<usize>, activation: Activation) -> Self {
-        assert!(hidden.iter().all(|&h| h > 0), "head widths must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "head widths must be positive"
+        );
         Self { hidden, activation }
     }
 
@@ -87,7 +91,11 @@ impl Default for HeadTrainConfig {
         Self {
             epochs: 60,
             batch_size: 64,
-            schedule: LrSchedule::StepDecay { initial: 0.4, decay: 0.9, every: 12 },
+            schedule: LrSchedule::StepDecay {
+                initial: 0.4,
+                decay: 0.9,
+                every: 12,
+            },
             loss: LossKind::WeightedMse,
         }
     }
@@ -96,7 +104,10 @@ impl Default for HeadTrainConfig {
 impl HeadTrainConfig {
     /// A fast configuration for tests (8 epochs).
     pub fn fast() -> Self {
-        Self { epochs: 8, ..Self::default() }
+        Self {
+            epochs: 8,
+            ..Self::default()
+        }
     }
 }
 
@@ -183,12 +194,23 @@ impl FusingStructure {
         seen.sort_unstable();
         seen.dedup();
         if seen.len() != model_indices.len() {
-            return Err(MuffinError::InvalidConfig("duplicate model selected".into()));
+            return Err(MuffinError::InvalidConfig(
+                "duplicate model selected".into(),
+            ));
         }
-        let num_classes = pool.get(model_indices[0]).expect("validated index").num_classes();
+        let num_classes = pool
+            .get(model_indices[0])
+            .expect("validated index")
+            .num_classes();
         let input_dim = num_classes * model_indices.len();
         let head = Mlp::new(&head_spec.to_mlp_spec(input_dim, num_classes), rng);
-        Ok(Self { model_indices, head_spec, head, num_classes, consensus_gating: true })
+        Ok(Self {
+            model_indices,
+            head_spec,
+            head,
+            num_classes,
+            consensus_gating: true,
+        })
     }
 
     /// Disables or enables consensus gating (ablation: the head then
@@ -234,7 +256,11 @@ impl FusingStructure {
         let probs: Vec<Matrix> = self
             .model_indices
             .iter()
-            .map(|&i| pool.get(i).expect("validated index").predict_proba(features))
+            .map(|&i| {
+                pool.get(i)
+                    .expect("validated index")
+                    .predict_proba(features)
+            })
             .collect();
         let refs: Vec<&Matrix> = probs.iter().collect();
         Matrix::hcat(&refs).expect("equal row counts by construction")
@@ -250,12 +276,54 @@ impl FusingStructure {
         config: &HeadTrainConfig,
         rng: &mut Rng64,
     ) {
+        self.train_head_traced(pool, source, proxy, config, rng, &Tracer::noop());
+    }
+
+    /// Like [`FusingStructure::train_head`], recording a
+    /// `fusing.train_head` span (epochs, steps, final loss) plus one
+    /// `nn.epoch` span per epoch into `tracer`. With a no-op tracer this is
+    /// exactly `train_head`: tracing never touches the RNG, so the trained
+    /// head is bit-identical either way.
+    pub fn train_head_traced(
+        &mut self,
+        pool: &ModelPool,
+        source: &Dataset,
+        proxy: &ProxyDataset,
+        config: &HeadTrainConfig,
+        rng: &mut Rng64,
+        tracer: &Tracer,
+    ) {
+        let start = std::time::Instant::now();
         let features = source.features().select_rows(proxy.indices());
-        let labels: Vec<usize> = proxy.indices().iter().map(|&i| source.labels()[i]).collect();
+        let labels: Vec<usize> = proxy
+            .indices()
+            .iter()
+            .map(|&i| source.labels()[i])
+            .collect();
         let inputs = self.head_inputs(pool, &features);
-        let trainer = ClassifierTrainer::new(config.epochs, config.batch_size)
-            .with_schedule(config.schedule);
-        trainer.fit(&mut self.head, &inputs, &labels, Some(proxy.weights()), config.loss, rng);
+        let trainer =
+            ClassifierTrainer::new(config.epochs, config.batch_size).with_schedule(config.schedule);
+        let report = trainer.fit_traced(
+            &mut self.head,
+            &inputs,
+            &labels,
+            Some(proxy.weights()),
+            config.loss,
+            rng,
+            tracer,
+        );
+        if tracer.is_enabled() {
+            tracer.record_span(
+                "fusing.train_head",
+                vec![
+                    muffin_trace::Field::new("epochs", config.epochs as usize),
+                    muffin_trace::Field::new("steps", report.steps as usize),
+                    muffin_trace::Field::new("final_loss", report.final_loss().unwrap_or(f32::NAN)),
+                    muffin_trace::Field::new("samples", proxy.indices().len()),
+                ],
+                start.elapsed(),
+            );
+        }
     }
 
     /// Predicts classes for `features`: consensus where the body agrees,
@@ -292,20 +360,60 @@ impl FusingStructure {
         features: &Matrix,
         workers: &WorkerPool,
     ) -> Vec<usize> {
-        if workers.is_serial() || features.rows() < 2 * workers.workers() {
-            return self.predict(pool, features);
-        }
-        let chunks = muffin_par::chunk_ranges(features.rows(), workers.workers());
-        let parts = workers.map(&chunks, |_, range| {
-            let rows: Vec<usize> = range.clone().collect();
-            self.predict(pool, &features.select_rows(&rows))
-        });
-        parts.into_iter().flatten().collect()
+        self.predict_with_traced(pool, features, workers, &Tracer::noop())
+    }
+
+    /// Like [`FusingStructure::predict_with`], observing the batch's
+    /// end-to-end latency into `tracer`'s `fusing.predict_batch` histogram.
+    /// Histogram aggregation is order-insensitive, so this is safe to call
+    /// from worker threads sharing one tracer.
+    pub fn predict_with_traced(
+        &self,
+        pool: &ModelPool,
+        features: &Matrix,
+        workers: &WorkerPool,
+        tracer: &Tracer,
+    ) -> Vec<usize> {
+        let start = std::time::Instant::now();
+        let preds = if workers.is_serial() || features.rows() < 2 * workers.workers() {
+            self.predict(pool, features)
+        } else {
+            let chunks = muffin_par::chunk_ranges(features.rows(), workers.workers());
+            let parts = workers.map(&chunks, |_, range| {
+                let rows: Vec<usize> = range.clone().collect();
+                self.predict(pool, &features.select_rows(&rows))
+            });
+            parts.into_iter().flatten().collect()
+        };
+        tracer.observe("fusing.predict_batch", start.elapsed());
+        preds
+    }
+
+    /// Like [`FusingStructure::evaluate`], observing the prediction
+    /// latency into `tracer`'s `fusing.predict_batch` histogram.
+    pub fn evaluate_traced(
+        &self,
+        pool: &ModelPool,
+        dataset: &Dataset,
+        tracer: &Tracer,
+    ) -> muffin_models::ModelEvaluation {
+        let preds =
+            self.predict_with_traced(pool, dataset.features(), &WorkerPool::serial(), tracer);
+        self.evaluation_of(&preds, pool, dataset)
     }
 
     /// Evaluates the fused model on `dataset`.
     pub fn evaluate(&self, pool: &ModelPool, dataset: &Dataset) -> muffin_models::ModelEvaluation {
         let preds = self.predict(pool, dataset.features());
+        self.evaluation_of(&preds, pool, dataset)
+    }
+
+    fn evaluation_of(
+        &self,
+        preds: &[usize],
+        pool: &ModelPool,
+        dataset: &Dataset,
+    ) -> muffin_models::ModelEvaluation {
         let names: Vec<&str> = self
             .model_indices
             .iter()
@@ -313,7 +421,7 @@ impl FusingStructure {
             .map(|m| m.name())
             .collect();
         let label = format!("Muffin({} | {})", names.join("+"), self.head_spec);
-        muffin_models::ModelEvaluation::of(&preds, dataset, label)
+        muffin_models::ModelEvaluation::of(preds, dataset, label)
     }
 }
 
@@ -336,7 +444,10 @@ mod tests {
         );
         let mut map = PrivilegeMap::new();
         map.set(split.train.schema().by_name("age").unwrap(), vec![4, 5]);
-        map.set(split.train.schema().by_name("site").unwrap(), vec![5, 6, 7, 8]);
+        map.set(
+            split.train.schema().by_name("site").unwrap(),
+            vec![5, 6, 7, 8],
+        );
         let proxy = ProxyDataset::build(&split.train, &map).expect("proxy");
         (pool, split, proxy, rng)
     }
@@ -415,10 +526,25 @@ mod tests {
             &mut rng,
         )
         .expect("valid");
-        let before = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
-        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::default(), &mut rng);
-        let after = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
-        assert!(after >= before - 0.02, "training should not degrade accuracy: {before} -> {after}");
+        let before = accuracy(
+            &fusing.predict(&pool, split.test.features()),
+            split.test.labels(),
+        );
+        fusing.train_head(
+            &pool,
+            &split.train,
+            &proxy,
+            &HeadTrainConfig::default(),
+            &mut rng,
+        );
+        let after = accuracy(
+            &fusing.predict(&pool, split.test.features()),
+            split.test.labels(),
+        );
+        assert!(
+            after >= before - 0.02,
+            "training should not degrade accuracy: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -431,12 +557,29 @@ mod tests {
             &mut rng,
         )
         .expect("valid");
-        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::default(), &mut rng);
-        let fused = accuracy(&fusing.predict(&pool, split.test.features()), split.test.labels());
+        fusing.train_head(
+            &pool,
+            &split.train,
+            &proxy,
+            &HeadTrainConfig::default(),
+            &mut rng,
+        );
+        let fused = accuracy(
+            &fusing.predict(&pool, split.test.features()),
+            split.test.labels(),
+        );
         let best_body = (0..2)
-            .map(|i| accuracy(&pool.get(i).unwrap().predict(split.test.features()), split.test.labels()))
+            .map(|i| {
+                accuracy(
+                    &pool.get(i).unwrap().predict(split.test.features()),
+                    split.test.labels(),
+                )
+            })
             .fold(f32::MIN, f32::max);
-        assert!(fused > best_body - 0.05, "fused {fused} vs best body {best_body}");
+        assert!(
+            fused > best_body - 0.05,
+            "fused {fused} vs best body {best_body}"
+        );
     }
 
     #[test]
@@ -466,7 +609,13 @@ mod tests {
             &mut rng,
         )
         .expect("valid");
-        fusing.train_head(&pool, &split.train, &proxy, &HeadTrainConfig::fast(), &mut rng);
+        fusing.train_head(
+            &pool,
+            &split.train,
+            &proxy,
+            &HeadTrainConfig::fast(),
+            &mut rng,
+        );
         let serial = fusing.predict(&pool, split.test.features());
         for workers in [1usize, 2, 4, 32] {
             let parallel =
@@ -506,8 +655,9 @@ mod tests {
         assert_eq!(inputs.cols(), 3 * 8);
         // Unanimous three-way agreement must pass through untouched.
         let preds = fusing.predict(&pool, split.test.features());
-        let bodies: Vec<Vec<usize>> =
-            (0..3).map(|i| pool.get(i).unwrap().predict(split.test.features())).collect();
+        let bodies: Vec<Vec<usize>> = (0..3)
+            .map(|i| pool.get(i).unwrap().predict(split.test.features()))
+            .collect();
         for s in 0..preds.len() {
             if bodies.iter().all(|b| b[s] == bodies[0][s]) {
                 assert_eq!(preds[s], bodies[0][s]);

@@ -91,6 +91,10 @@ pub use search::{EpisodeRecord, MuffinSearch, SearchConfig, SearchOutcome};
 // without depending on `muffin-par` directly.
 pub use muffin_par::{available_parallelism, WorkerPool};
 
+// Re-exported so downstream users attach observability without depending
+// on `muffin-trace` directly.
+pub use muffin_trace::{summarize, TraceLog, Tracer};
+
 // Re-export the fairness metric primitives so downstream users need only
 // this crate for the paper's Section 3.1 definitions.
 pub use muffin_data::{

@@ -38,10 +38,17 @@ pub fn random_search(
     search: &MuffinSearch,
     rng: &mut Rng64,
 ) -> Result<SearchOutcome, crate::MuffinError> {
+    let tracer = search.tracer();
+    let mut run_span = tracer.span("search.random");
+    run_span.field("episodes", search.config().episodes as usize);
     let space = search.space();
     let sizes = space.step_sizes();
-    let target_names: Vec<&str> =
-        search.config().target_attributes.iter().map(String::as_str).collect();
+    let target_names: Vec<&str> = search
+        .config()
+        .target_attributes
+        .iter()
+        .map(String::as_str)
+        .collect();
     let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
     let mut history = Vec::with_capacity(search.config().episodes as usize);
     let mut best_idx = 0usize;
@@ -50,18 +57,25 @@ pub fn random_search(
     for episode in 0..search.config().episodes {
         let actions: Vec<usize> = sizes.iter().map(|&n| rng.below(n)).collect();
         let record = if let Some(cached) = cache.get(&actions) {
+            tracer.count("search.cache_hit", 1);
             let mut r = cached.clone();
             r.episode = episode;
             r
         } else {
+            tracer.count("search.cache_miss", 1);
             let candidate = space.decode(&actions)?;
             let head_seed = rng.uniform(0.0, 1.0).to_bits() as u64 ^ (episode as u64) << 32;
-            let (fusing, eval) =
-                search.evaluate_candidate(&candidate, &search.split().val, head_seed)?;
-            let reward = search
-                .config()
-                .reward_kind
-                .evaluate(&eval, &target_names, search.config().reward);
+            let (fusing, eval) = search.evaluate_candidate_traced(
+                &candidate,
+                &search.split().val,
+                head_seed,
+                tracer,
+            )?;
+            let reward =
+                search
+                    .config()
+                    .reward_kind
+                    .evaluate(&eval, &target_names, search.config().reward);
             let unfairness = target_names
                 .iter()
                 .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
@@ -92,7 +106,15 @@ pub fn random_search(
             best_idx = history.len();
         }
         history.push(record);
+        tracer.progress(|| {
+            format!(
+                "random episode {}/{}: best reward {best_reward:.3}",
+                episode + 1,
+                search.config().episodes,
+            )
+        });
     }
+    run_span.finish();
 
     Ok(SearchOutcome {
         history,
@@ -135,7 +157,10 @@ mod tests {
         let a = random_search(&search, &mut Rng64::seed(5)).expect("runs");
         let b = random_search(&search, &mut Rng64::seed(5)).expect("runs");
         let acts = |o: &SearchOutcome| {
-            o.history.iter().map(|r| r.actions.clone()).collect::<Vec<_>>()
+            o.history
+                .iter()
+                .map(|r| r.actions.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(acts(&a), acts(&b));
     }

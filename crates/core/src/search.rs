@@ -6,7 +6,9 @@ use muffin_data::{Dataset, DatasetSplit};
 use muffin_models::ModelPool;
 use muffin_par::WorkerPool;
 use muffin_tensor::{Rng64, SplitMix64};
+use muffin_trace::{Field, Tracer};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Configuration of a full Muffin search.
 #[derive(Debug, Clone)]
@@ -150,7 +152,10 @@ impl SearchOutcome {
     /// vector).
     pub fn distinct(&self) -> Vec<&EpisodeRecord> {
         let mut seen = std::collections::HashSet::new();
-        self.history.iter().filter(|r| seen.insert(r.actions.clone())).collect()
+        self.history
+            .iter()
+            .filter(|r| seen.insert(r.actions.clone()))
+            .collect()
     }
 
     /// The best record overall by reward.
@@ -175,9 +180,7 @@ impl SearchOutcome {
     pub fn best_for_attribute(&self, attr_index: usize) -> Option<&EpisodeRecord> {
         self.distinct()
             .into_iter()
-            .filter(|r| {
-                attr_index < r.unfairness.len() && r.unfairness[attr_index].is_finite()
-            })
+            .filter(|r| attr_index < r.unfairness.len() && r.unfairness[attr_index].is_finite())
             .min_by(|a, b| {
                 Self::selection_order(
                     a.unfairness[attr_index],
@@ -231,9 +234,7 @@ impl SearchOutcome {
     pub fn best_united_balanced(&self) -> Option<&EpisodeRecord> {
         self.distinct()
             .into_iter()
-            .filter(|r| {
-                r.model_names.len() >= 2 && r.unfairness.iter().all(|u| u.is_finite())
-            })
+            .filter(|r| r.model_names.len() >= 2 && r.unfairness.iter().all(|u| u.is_finite()))
             .min_by(|a, b| {
                 let ua: f32 = a.unfairness.iter().sum();
                 let ub: f32 = b.unfairness.iter().sum();
@@ -298,6 +299,7 @@ pub struct MuffinSearch {
     config: SearchConfig,
     privilege: PrivilegeMap,
     proxy: ProxyDataset,
+    tracer: Tracer,
 }
 
 impl MuffinSearch {
@@ -317,10 +319,14 @@ impl MuffinSearch {
             return Err(MuffinError::EmptyPool);
         }
         if config.episodes == 0 {
-            return Err(MuffinError::InvalidConfig("episodes must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "episodes must be positive".into(),
+            ));
         }
         if config.reinforce_batch == 0 {
-            return Err(MuffinError::InvalidConfig("reinforce_batch must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "reinforce_batch must be positive".into(),
+            ));
         }
         if let Some(&bad) = config.required_models.iter().find(|&&i| i >= pool.len()) {
             return Err(MuffinError::InvalidConfig(format!(
@@ -342,7 +348,14 @@ impl MuffinSearch {
         let attrs = attrs?;
         let privilege = PrivilegeMap::infer(&pool, &split.val, &attrs, config.privilege_margin);
         let proxy = ProxyDataset::build(&split.train, &privilege)?;
-        Ok(Self { pool, split, config, privilege, proxy })
+        Ok(Self {
+            pool,
+            split,
+            config,
+            privilege,
+            proxy,
+            tracer: Tracer::noop(),
+        })
     }
 
     /// Prepares a search with an explicitly provided privilege map
@@ -361,7 +374,31 @@ impl MuffinSearch {
             return Err(MuffinError::EmptyPool);
         }
         let proxy = ProxyDataset::build(&split.train, &privilege)?;
-        Ok(Self { pool, split, config, privilege, proxy })
+        Ok(Self {
+            pool,
+            split,
+            config,
+            privilege,
+            proxy,
+            tracer: Tracer::noop(),
+        })
+    }
+
+    /// Attaches a tracer: every run records spans for episodes, head
+    /// training epochs and batch evaluations, plus cache-hit counters.
+    ///
+    /// The default is the no-op tracer, and tracing never touches any RNG,
+    /// so the [`SearchOutcome`] is bit-identical with tracing on or off
+    /// (enforced by the golden-snapshot and trace-determinism suites).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer runs record into ([`Tracer::noop`] unless
+    /// [`MuffinSearch::with_tracer`] was used).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The model pool being searched over.
@@ -397,6 +434,20 @@ impl MuffinSearch {
         eval_on: &Dataset,
         head_seed: u64,
     ) -> Result<(FusingStructure, muffin_models::ModelEvaluation), MuffinError> {
+        self.evaluate_candidate_traced(candidate, eval_on, head_seed, &Tracer::noop())
+    }
+
+    /// Like [`MuffinSearch::evaluate_candidate`], recording head-training
+    /// spans and prediction latency into `tracer`. Used by the search loop
+    /// with per-job [`Tracer::fork`]s so concurrent evaluations keep a
+    /// deterministic event order.
+    pub fn evaluate_candidate_traced(
+        &self,
+        candidate: &Candidate,
+        eval_on: &Dataset,
+        head_seed: u64,
+        tracer: &Tracer,
+    ) -> Result<(FusingStructure, muffin_models::ModelEvaluation), MuffinError> {
         let mut head_rng = Rng64::seed(head_seed);
         let mut fusing = FusingStructure::new(
             candidate.model_indices.clone(),
@@ -404,8 +455,15 @@ impl MuffinSearch {
             &self.pool,
             &mut head_rng,
         )?;
-        fusing.train_head(&self.pool, &self.split.train, &self.proxy, &self.config.head, &mut head_rng);
-        let eval = fusing.evaluate(&self.pool, eval_on);
+        fusing.train_head_traced(
+            &self.pool,
+            &self.split.train,
+            &self.proxy,
+            &self.config.head,
+            &mut head_rng,
+            tracer,
+        );
+        let eval = fusing.evaluate_traced(&self.pool, eval_on, tracer);
         Ok((fusing, eval))
     }
 
@@ -489,26 +547,37 @@ impl MuffinSearch {
         pool: &WorkerPool,
     ) -> Result<SearchOutcome, MuffinError> {
         let space = self.space();
+        let tracer = &self.tracer;
+        let mut run_span = tracer.span("search.run");
+        run_span.field("episodes", self.config.episodes as usize);
+        run_span.field("slots", self.config.num_slots);
+        run_span.field("pool_models", self.pool.len());
+        run_span.field("reinforce_batch", self.config.reinforce_batch);
         let mut controller = RnnController::new(space.clone(), self.config.controller, rng);
-        let target_names: Vec<&str> =
-            self.config.target_attributes.iter().map(String::as_str).collect();
+        let target_names: Vec<&str> = self
+            .config
+            .target_attributes
+            .iter()
+            .map(String::as_str)
+            .collect();
 
         // Per-episode head seeds, pre-derived so evaluation order (and the
         // cache hit pattern) can never perturb the controller's stream.
         let mut seed_stream = SplitMix64::new(rng.next_u64());
-        let head_seeds: Vec<u64> =
-            (0..self.config.episodes).map(|_| seed_stream.next_u64()).collect();
+        let head_seeds: Vec<u64> = (0..self.config.episodes)
+            .map(|_| seed_stream.next_u64())
+            .collect();
 
         let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
-        let mut history: Vec<EpisodeRecord> =
-            Vec::with_capacity(self.config.episodes as usize);
+        let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes as usize);
         let mut best_idx = 0usize;
         let mut best_reward = f32::MIN;
 
         let mut episode = 0u32;
         while episode < self.config.episodes {
-            let batch_len = (self.config.reinforce_batch as u32)
-                .min(self.config.episodes - episode) as usize;
+            let mut batch_span = tracer.span("search.batch");
+            let batch_len =
+                (self.config.reinforce_batch as u32).min(self.config.episodes - episode) as usize;
 
             // Phase 1: sample the whole batch under the frozen policy.
             let sampled: Vec<crate::SampledEpisode> =
@@ -519,20 +588,43 @@ impl MuffinSearch {
             let mut jobs: Vec<(usize, Candidate, u64)> = Vec::new();
             for (k, s) in sampled.iter().enumerate() {
                 let fresh = !cache.contains_key(&s.actions)
-                    && !jobs.iter().any(|&(j, _, _)| sampled[j].actions == s.actions);
+                    && !jobs
+                        .iter()
+                        .any(|&(j, _, _)| sampled[j].actions == s.actions);
                 if fresh {
                     let seed = head_seeds[episode as usize + k];
                     jobs.push((k, space.decode(&s.actions)?, seed));
                 }
             }
-            let evaluated = pool.map(&jobs, |_, (_, candidate, seed)| {
-                self.evaluate_candidate(candidate, &self.split.val, *seed)
+            batch_span.field("episodes", batch_len);
+            // Worker-queue occupancy: distinct uncached candidates handed
+            // to the pool this batch.
+            batch_span.field("jobs", jobs.len());
+            tracer.count("search.cache_miss", jobs.len() as u64);
+            tracer.count("search.cache_hit", (batch_len - jobs.len()) as u64);
+
+            // Workers measure their own durations and record into per-job
+            // forks; the forks are absorbed below in job order, so the
+            // event log is identical for every worker count.
+            let forks: Vec<Tracer> = jobs.iter().map(|_| tracer.fork()).collect();
+            let evaluated = pool.map(&jobs, |idx, (_, candidate, seed)| {
+                let eval_start = Instant::now();
+                let result =
+                    self.evaluate_candidate_traced(candidate, &self.split.val, *seed, &forks[idx]);
+                (result, eval_start.elapsed())
             });
-            for (&(k, ref candidate, seed), result) in jobs.iter().zip(evaluated) {
+            let mut eval_time: HashMap<Vec<usize>, Duration> = HashMap::new();
+            for ((&(k, ref candidate, seed), (result, took)), fork) in
+                jobs.iter().zip(evaluated).zip(&forks)
+            {
+                tracer.absorb(fork);
+                eval_time.insert(sampled[k].actions.clone(), took);
                 let (fusing, eval) = result?;
                 let first_seen = episode + k as u32;
                 let reward =
-                    self.config.reward_kind.evaluate(&eval, &target_names, self.config.reward);
+                    self.config
+                        .reward_kind
+                        .evaluate(&eval, &target_names, self.config.reward);
                 let unfairness = target_names
                     .iter()
                     .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
@@ -560,22 +652,51 @@ impl MuffinSearch {
 
             // Phase 3: merge records in episode order and update the
             // policy once per batch (Eq. 4 with m = batch_len).
-            let mut pending: Vec<(crate::SampledEpisode, f32)> =
-                Vec::with_capacity(batch_len);
+            let mut pending: Vec<(crate::SampledEpisode, f32)> = Vec::with_capacity(batch_len);
             for (k, s) in sampled.into_iter().enumerate() {
-                let mut record =
-                    cache.get(&s.actions).expect("evaluated or cached above").clone();
+                let mut record = cache
+                    .get(&s.actions)
+                    .expect("evaluated or cached above")
+                    .clone();
                 record.episode = episode + k as u32;
                 if record.reward > best_reward {
                     best_reward = record.reward;
                     best_idx = history.len();
+                }
+                if tracer.is_enabled() {
+                    let cached = record.first_seen != record.episode;
+                    let took = if cached {
+                        Duration::ZERO
+                    } else {
+                        eval_time.get(&s.actions).copied().unwrap_or(Duration::ZERO)
+                    };
+                    let mut fields = vec![
+                        Field::new("episode", record.episode as usize),
+                        Field::new("first_seen", record.first_seen as usize),
+                        Field::new("cached", i64::from(cached)),
+                        Field::new("reward", record.reward),
+                        Field::new("accuracy", record.accuracy),
+                    ];
+                    for (name, u) in target_names.iter().zip(&record.unfairness) {
+                        fields.push(Field::new(format!("U_{name}"), *u));
+                    }
+                    tracer.record_span("search.episode", fields, took);
                 }
                 pending.push((s, record.reward));
                 history.push(record);
             }
             controller.update_batch(&pending);
             episode += batch_len as u32;
+            batch_span.finish();
+            tracer.progress(|| {
+                format!(
+                    "episode {episode}/{}: {} new evaluation(s), best reward {best_reward:.3}",
+                    self.config.episodes,
+                    jobs.len(),
+                )
+            });
         }
+        run_span.finish();
 
         Ok(SearchOutcome {
             history,
@@ -626,8 +747,7 @@ mod tests {
             &BackboneConfig::fast(),
             &mut rng,
         );
-        let err =
-            MuffinSearch::new(pool, split, SearchConfig::fast(&["nope"])).unwrap_err();
+        let err = MuffinSearch::new(pool, split, SearchConfig::fast(&["nope"])).unwrap_err();
         assert_eq!(err, MuffinError::UnknownAttribute("nope".into()));
     }
 
@@ -664,7 +784,11 @@ mod tests {
     fn best_record_has_max_reward() {
         let (search, mut rng) = setup(8);
         let outcome = search.run(&mut rng).expect("search runs");
-        let max = outcome.history.iter().map(|r| r.reward).fold(f32::MIN, f32::max);
+        let max = outcome
+            .history
+            .iter()
+            .map(|r| r.reward)
+            .fold(f32::MIN, f32::max);
         assert_eq!(outcome.best().reward, max);
     }
 
@@ -695,7 +819,10 @@ mod tests {
         let record = outcome.best();
         let fusing = search.rebuild(record).expect("rebuild");
         let eval = fusing.evaluate(search.pool(), &search.split().val);
-        assert!((eval.accuracy - record.accuracy).abs() < 1e-6, "rebuild must be exact");
+        assert!(
+            (eval.accuracy - record.accuracy).abs() < 1e-6,
+            "rebuild must be exact"
+        );
     }
 
     #[test]
@@ -796,11 +923,8 @@ mod tests {
         let mut replay = rng.clone();
         let outcome = search.run(&mut rng.clone()).expect("search runs");
 
-        let _controller = RnnController::new(
-            search.space(),
-            search.config().controller,
-            &mut replay,
-        );
+        let _controller =
+            RnnController::new(search.space(), search.config().controller, &mut replay);
         let mut stream = SplitMix64::new(replay.next_u64());
         let expected: Vec<u64> = (0..8).map(|_| stream.next_u64()).collect();
         for r in &outcome.history {
@@ -812,8 +936,7 @@ mod tests {
         }
         // 64-bit stream seeds: distinct across first occurrences (the old
         // 32-bit-entropy derivation collided readily).
-        let mut firsts: Vec<u64> =
-            outcome.distinct().iter().map(|r| r.head_seed).collect();
+        let mut firsts: Vec<u64> = outcome.distinct().iter().map(|r| r.head_seed).collect();
         firsts.sort_unstable();
         firsts.dedup();
         assert_eq!(firsts.len(), outcome.distinct().len());
@@ -852,6 +975,62 @@ mod tests {
             assert_eq!(r.episode, i as u32);
             assert!(r.first_seen <= r.episode);
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_strips_deterministically() {
+        let (search, rng) = setup(6);
+        let untraced = search.run(&mut rng.clone()).expect("untraced run");
+
+        let run_traced = |workers: &WorkerPool| {
+            let (fresh, traced_rng) = setup(6);
+            let tracer = Tracer::capturing();
+            let fresh = fresh.with_tracer(tracer.clone());
+            let outcome = fresh
+                .run_with_pool(&mut traced_rng.clone(), workers)
+                .expect("traced run");
+            (outcome, tracer.finish())
+        };
+        let (serial_outcome, serial_log) = run_traced(&WorkerPool::serial());
+        let (parallel_outcome, parallel_log) = run_traced(&WorkerPool::new(3));
+
+        // Tracing must not perturb the search.
+        for (a, b) in untraced.history.iter().zip(&serial_outcome.history) {
+            assert_eq!(a.actions, b.actions);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        }
+        assert_eq!(
+            muffin_json::to_string(&serial_outcome),
+            muffin_json::to_string(&parallel_outcome),
+        );
+
+        // The event log (modulo timings) is identical at any worker count.
+        assert_eq!(
+            muffin_json::to_string(&serial_log.stripped()),
+            muffin_json::to_string(&parallel_log.stripped()),
+        );
+
+        // The log carries the promised structure.
+        let count = |name: &str| serial_log.events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("search.run"), 1);
+        assert_eq!(count("search.episode"), 6);
+        let distinct = serial_outcome.distinct().len();
+        assert_eq!(count("fusing.train_head"), distinct);
+        assert_eq!(
+            count("nn.epoch"),
+            distinct * search.config().head.epochs as usize
+        );
+        let hits = serial_log
+            .events
+            .iter()
+            .find(|e| e.name == "search.cache_hit")
+            .expect("cache-hit counter");
+        assert_eq!(
+            hits.data,
+            muffin_trace::EventData::Counter {
+                value: (6 - distinct) as u64
+            }
+        );
     }
 
     #[test]

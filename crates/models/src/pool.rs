@@ -43,10 +43,41 @@ impl ModelPool {
         config: &BackboneConfig,
         rng: &mut Rng64,
     ) -> Self {
+        Self::train_traced(
+            train,
+            architectures,
+            config,
+            rng,
+            &muffin_trace::Tracer::noop(),
+        )
+    }
+
+    /// Like [`ModelPool::train`], recording one `models.train_backbone`
+    /// span per architecture into `tracer`. With a no-op tracer this is
+    /// exactly `train`: tracing never touches the RNG, so the pool is
+    /// bit-identical either way.
+    pub fn train_traced(
+        train: &Dataset,
+        architectures: &[Architecture],
+        config: &BackboneConfig,
+        rng: &mut Rng64,
+        tracer: &muffin_trace::Tracer,
+    ) -> Self {
         let models = architectures
             .iter()
             .map(|arch| {
-                train_backbone(arch.name().to_string(), arch, train, config, None, None, rng)
+                let mut span = tracer.span("models.train_backbone");
+                span.field("architecture", arch.name());
+                span.field("samples", train.len());
+                train_backbone(
+                    arch.name().to_string(),
+                    arch,
+                    train,
+                    config,
+                    None,
+                    None,
+                    rng,
+                )
             })
             .collect();
         Self { models }
@@ -92,13 +123,18 @@ impl ModelPool {
     /// Probability outputs of every pool member on `features`, in pool
     /// order.
     pub fn predict_proba_all(&self, features: &Matrix) -> Vec<Matrix> {
-        self.models.iter().map(|m| m.predict_proba(features)).collect()
+        self.models
+            .iter()
+            .map(|m| m.predict_proba(features))
+            .collect()
     }
 }
 
 impl FromIterator<FrozenModel> for ModelPool {
     fn from_iter<T: IntoIterator<Item = FrozenModel>>(iter: T) -> Self {
-        Self { models: iter.into_iter().collect() }
+        Self {
+            models: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -141,18 +177,28 @@ mod tests {
         let (pool, split) = small_pool();
         let a = pool.get(0).unwrap().predict(split.test.features());
         let b = pool.get(1).unwrap().predict(split.test.features());
-        let disagreement =
-            a.iter().zip(&b).filter(|(x, y)| x != y).count() as f32 / a.len() as f32;
-        assert!(disagreement > 0.05, "disagreement {disagreement} too low for fusing to help");
-        assert!(disagreement < 0.9, "disagreement {disagreement} suspiciously high");
+        let disagreement = a.iter().zip(&b).filter(|(x, y)| x != y).count() as f32 / a.len() as f32;
+        assert!(
+            disagreement > 0.05,
+            "disagreement {disagreement} too low for fusing to help"
+        );
+        assert!(
+            disagreement < 0.9,
+            "disagreement {disagreement} suspiciously high"
+        );
     }
 
     #[test]
     fn bigger_models_are_usually_stronger() {
         let (pool, split) = small_pool();
-        let big = accuracy(&pool.get(0).unwrap().predict(split.test.features()), split.test.labels());
-        let small =
-            accuracy(&pool.get(1).unwrap().predict(split.test.features()), split.test.labels());
+        let big = accuracy(
+            &pool.get(0).unwrap().predict(split.test.features()),
+            split.test.labels(),
+        );
+        let small = accuracy(
+            &pool.get(1).unwrap().predict(split.test.features()),
+            split.test.labels(),
+        );
         // At this reduced test scale (1.2k samples, 12 epochs) the ordering
         // is noisy; the full-scale ordering is asserted by the Fig. 1
         // experiment binary. Only guard against a dramatic inversion here.
@@ -165,7 +211,10 @@ mod tests {
         let (pool, split) = small_pool();
         let all = pool.predict_proba_all(split.test.features());
         assert_eq!(all.len(), 2);
-        assert_eq!(all[0], pool.get(0).unwrap().predict_proba(split.test.features()));
+        assert_eq!(
+            all[0],
+            pool.get(0).unwrap().predict_proba(split.test.features())
+        );
     }
 
     #[test]

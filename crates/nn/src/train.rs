@@ -1,6 +1,7 @@
 use crate::loss::{one_hot, weighted_cross_entropy_loss, weighted_mse_loss, LossKind};
 use crate::{LrSchedule, Mlp, Optimizer, Parameterized, SgdConfig};
 use muffin_tensor::{Matrix, Rng64};
+use muffin_trace::{Field, Tracer};
 
 /// Summary of a completed training run.
 #[derive(Debug, Clone)]
@@ -25,9 +26,10 @@ impl TrainReport {
 
     /// The best validation accuracy observed, if validation ran.
     pub fn best_val_accuracy(&self) -> Option<f32> {
-        self.val_accuracies.iter().copied().fold(None, |best, v| {
-            Some(best.map_or(v, |b: f32| b.max(v)))
-        })
+        self.val_accuracies
+            .iter()
+            .copied()
+            .fold(None, |best, v| Some(best.map_or(v, |b: f32| b.max(v))))
     }
 }
 
@@ -133,6 +135,24 @@ impl ClassifierTrainer {
         self.fit_with_validation(mlp, x, y, sample_weights, loss, None, rng)
     }
 
+    /// Like [`ClassifierTrainer::fit`], recording one `nn.epoch` span per
+    /// epoch (loss, learning rate) into `tracer`. With a no-op tracer this
+    /// is exactly `fit`: tracing never touches the RNG, so the trained
+    /// weights are bit-identical either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_traced(
+        &self,
+        mlp: &mut Mlp,
+        x: &Matrix,
+        y: &[usize],
+        sample_weights: Option<&[f32]>,
+        loss: LossKind,
+        rng: &mut Rng64,
+        tracer: &Tracer,
+    ) -> TrainReport {
+        self.fit_with_validation_traced(mlp, x, y, sample_weights, loss, None, rng, tracer)
+    }
+
     /// Trains like [`ClassifierTrainer::fit`] but additionally tracks
     /// validation accuracy per epoch and stops early when it has not
     /// improved for `patience` consecutive epochs, restoring nothing (the
@@ -156,6 +176,36 @@ impl ClassifierTrainer {
         validation: Option<(&Matrix, &[usize], u32)>,
         rng: &mut Rng64,
     ) -> TrainReport {
+        self.fit_with_validation_traced(
+            mlp,
+            x,
+            y,
+            sample_weights,
+            loss,
+            validation,
+            rng,
+            &Tracer::noop(),
+        )
+    }
+
+    /// [`ClassifierTrainer::fit_with_validation`] with per-epoch `nn.epoch`
+    /// spans recorded into `tracer`; see [`ClassifierTrainer::fit_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`ClassifierTrainer::fit_with_validation`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_validation_traced(
+        &self,
+        mlp: &mut Mlp,
+        x: &Matrix,
+        y: &[usize],
+        sample_weights: Option<&[f32]>,
+        loss: LossKind,
+        validation: Option<(&Matrix, &[usize], u32)>,
+        rng: &mut Rng64,
+        tracer: &Tracer,
+    ) -> TrainReport {
         assert_eq!(x.rows(), y.len(), "features/labels mismatch");
         if let Some((vx, vy, _)) = validation {
             assert_eq!(vx.rows(), vy.len(), "validation features/labels mismatch");
@@ -176,6 +226,7 @@ impl ClassifierTrainer {
         let mut steps = 0u32;
 
         for epoch in 0..self.epochs {
+            let epoch_start = std::time::Instant::now();
             rng.shuffle(&mut indices);
             let lr = self.schedule.at(epoch);
             let mut epoch_loss = 0.0;
@@ -211,7 +262,22 @@ impl ClassifierTrainer {
                 batches += 1;
                 steps += 1;
             }
-            epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            epoch_losses.push(if batches > 0 {
+                epoch_loss / batches as f32
+            } else {
+                0.0
+            });
+            if tracer.is_enabled() {
+                tracer.record_span(
+                    "nn.epoch",
+                    vec![
+                        Field::new("epoch", epoch as usize),
+                        Field::new("loss", *epoch_losses.last().expect("pushed above")),
+                        Field::new("lr", lr),
+                    ],
+                    epoch_start.elapsed(),
+                );
+            }
 
             if let Some((vx, vy, patience)) = validation {
                 let acc = crate::accuracy(&mlp.predict(vx), vy);
@@ -228,7 +294,12 @@ impl ClassifierTrainer {
                 }
             }
         }
-        TrainReport { epoch_losses, steps, val_accuracies, stopped_early }
+        TrainReport {
+            epoch_losses,
+            steps,
+            val_accuracies,
+            stopped_early,
+        }
     }
 }
 
@@ -269,11 +340,20 @@ mod tests {
     fn weighted_mse_training_fits_blobs() {
         let mut rng = Rng64::seed(11);
         let (x, y) = blobs(90, &mut rng);
-        let mut mlp =
-            Mlp::new(&MlpSpec::new(2, &[16, 8], 3).with_activation(Activation::Tanh), &mut rng);
+        let mut mlp = Mlp::new(
+            &MlpSpec::new(2, &[16, 8], 3).with_activation(Activation::Tanh),
+            &mut rng,
+        );
         let trainer = ClassifierTrainer::new(120, 16).with_learning_rate(0.3);
         let weights = vec![1.0; y.len()];
-        trainer.fit(&mut mlp, &x, &y, Some(&weights), LossKind::WeightedMse, &mut rng);
+        trainer.fit(
+            &mut mlp,
+            &x,
+            &y,
+            Some(&weights),
+            LossKind::WeightedMse,
+            &mut rng,
+        );
         let acc = crate::accuracy(&mlp.predict(&x), &y);
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -288,7 +368,14 @@ mod tests {
         let weights = vec![10.0f32, 0.1];
         let mut mlp = Mlp::new(&MlpSpec::new(1, &[4], 2), &mut rng);
         let trainer = ClassifierTrainer::new(200, 2).with_learning_rate(0.2);
-        trainer.fit(&mut mlp, &x, &y, Some(&weights), LossKind::WeightedCrossEntropy, &mut rng);
+        trainer.fit(
+            &mut mlp,
+            &x,
+            &y,
+            Some(&weights),
+            LossKind::WeightedCrossEntropy,
+            &mut rng,
+        );
         assert_eq!(mlp.predict(&x)[0], 0);
     }
 
@@ -361,18 +448,47 @@ mod tests {
         let (x, y) = blobs(60, &mut rng);
         let (vx, vy) = blobs(30, &mut rng);
         let mut mlp = Mlp::new(&MlpSpec::new(2, &[8], 3), &mut rng);
-        let report = ClassifierTrainer::new(10, 16).with_learning_rate(0.1).fit_with_validation(
-            &mut mlp,
-            &x,
-            &y,
-            None,
-            LossKind::CrossEntropy,
-            Some((&vx, &vy, 100)),
-            &mut rng,
-        );
+        let report = ClassifierTrainer::new(10, 16)
+            .with_learning_rate(0.1)
+            .fit_with_validation(
+                &mut mlp,
+                &x,
+                &y,
+                None,
+                LossKind::CrossEntropy,
+                Some((&vx, &vy, 100)),
+                &mut rng,
+            );
         assert_eq!(report.val_accuracies.len(), 10);
         assert!(!report.stopped_early);
         assert!(report.best_val_accuracy().expect("tracked") > 0.3);
+    }
+
+    #[test]
+    fn traced_fit_records_one_span_per_epoch_and_matches_untraced() {
+        let (x, y) = blobs(30, &mut Rng64::seed(16));
+        let run = |tracer: &Tracer| {
+            let mut rng = Rng64::seed(33);
+            let mut mlp = Mlp::new(&MlpSpec::new(2, &[6], 3), &mut rng);
+            ClassifierTrainer::new(5, 8).fit_traced(
+                &mut mlp,
+                &x,
+                &y,
+                None,
+                LossKind::CrossEntropy,
+                &mut rng,
+                tracer,
+            );
+            mlp.forward(&x)
+        };
+        let tracer = Tracer::capturing();
+        // Tracing must not perturb training: identical outputs either way.
+        assert_eq!(run(&tracer), run(&Tracer::noop()));
+        let log = tracer.finish();
+        let epochs: Vec<_> = log.events.iter().filter(|e| e.name == "nn.epoch").collect();
+        assert_eq!(epochs.len(), 5);
+        assert!(epochs[0].field("loss").is_some());
+        assert!(epochs[0].field("lr").is_some());
     }
 
     #[test]
@@ -383,16 +499,22 @@ mod tests {
         let mut mlp = Mlp::new(&MlpSpec::new(2, &[16], 3), &mut rng);
         // Zero learning rate: validation accuracy can never improve after
         // the first epoch, so patience=2 must trip quickly.
-        let report = ClassifierTrainer::new(50, 16).with_learning_rate(0.0).fit_with_validation(
-            &mut mlp,
-            &x,
-            &y,
-            None,
-            LossKind::CrossEntropy,
-            Some((&vx, &vy, 2)),
-            &mut rng,
-        );
+        let report = ClassifierTrainer::new(50, 16)
+            .with_learning_rate(0.0)
+            .fit_with_validation(
+                &mut mlp,
+                &x,
+                &y,
+                None,
+                LossKind::CrossEntropy,
+                Some((&vx, &vy, 2)),
+                &mut rng,
+            );
         assert!(report.stopped_early);
-        assert!(report.val_accuracies.len() <= 4, "stopped after {} epochs", report.val_accuracies.len());
+        assert!(
+            report.val_accuracies.len() <= 4,
+            "stopped after {} epochs",
+            report.val_accuracies.len()
+        );
     }
 }

@@ -1,0 +1,49 @@
+//! Hermetic structured observability for the Muffin workspace.
+//!
+//! The search/training/inference stack is instrumented with a [`Tracer`]
+//! handle threaded through `muffin` (core), `muffin-nn`, `muffin-data`
+//! and `muffin-models`. Like the rest of the workspace this crate is
+//! built on `std` alone (plus the in-repo `muffin-json` for
+//! serialisation) so a cold, air-gapped checkout keeps building.
+//!
+//! Three guarantees, verified by the trace test suites:
+//!
+//! 1. **No-op by default** — [`Tracer::noop`] records nothing and every
+//!    instrumented call site degrades to a branch. Tracing never touches
+//!    an RNG, so seeded outputs (`SearchOutcome` JSON bytes) are
+//!    identical with tracing on, off, or captured
+//!    (`tests/tests/trace_determinism.rs`, plus the golden snapshot).
+//! 2. **Deterministic event logs** — wall-clock measurements live only in
+//!    the isolated [`Timing`] field of each event; [`TraceLog::stripped`]
+//!    zeroes them, and two seeded runs of the same workload (at *any*
+//!    worker count) produce byte-identical stripped logs. Counters and
+//!    histogram summaries are emitted sorted by name.
+//! 3. **Thread-safe without order races** — handles are cheap clones of
+//!    one shared buffer; concurrent work records into per-job
+//!    [`Tracer::fork`]s that the caller [`Tracer::absorb`]s in job order,
+//!    and histogram aggregation is order-insensitive.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_trace::{summarize, Tracer};
+//!
+//! let tracer = Tracer::capturing();
+//! {
+//!     let mut span = tracer.span("episode");
+//!     span.field("reward", 1.25f64);
+//! }
+//! tracer.count("cache_hit", 1);
+//! let log = tracer.finish();
+//! let text = muffin_json::to_string(&log); // deterministic JSON
+//! assert!(text.contains("episode"));
+//! println!("{}", summarize(&log));
+//! ```
+
+mod event;
+mod summary;
+mod tracer;
+
+pub use event::{EventData, Field, FieldValue, Timing, TraceEvent, TraceLog, TRACE_LOG_VERSION};
+pub use summary::summarize;
+pub use tracer::{Span, Tracer};

@@ -1,0 +1,595 @@
+use crate::event::{EventData, Field, FieldValue, Timing, TraceEvent, TraceLog};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct HistogramState {
+    count: u64,
+    total_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl HistogramState {
+    fn observe_us(&mut self, us: u64) {
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+    }
+
+    fn merge(&mut self, other: &HistogramState) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min_us = other.min_us;
+            self.max_us = other.max_us;
+        } else {
+            self.min_us = self.min_us.min(other.min_us);
+            self.max_us = self.max_us.max(other.max_us);
+        }
+        self.count += other.count;
+        self.total_us = self.total_us.saturating_add(other.total_us);
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    events: Vec<TraceEvent>,
+    seq: u64,
+    depth: u32,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramState>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// Where gated progress lines go. Quiet (the default) is represented by
+/// the absence of a `Progress` value on the tracer.
+#[derive(Debug, Clone)]
+enum Progress {
+    /// Print progress lines to stderr (the CLI's `--verbose`).
+    Stderr,
+    /// Collect progress lines into a buffer (for tests asserting
+    /// silence or content without spawning a process).
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+/// A structured, hermetic tracer: spans, counters, duration histograms
+/// and a verbosity-gated progress channel.
+///
+/// The **no-op tracer** ([`Tracer::noop`], also [`Default`]) records
+/// nothing, prints nothing, and adds only a branch per call site, so
+/// instrumented code behaves identically with tracing off — the
+/// workspace's determinism contract (`SearchOutcome` bytes are unchanged
+/// by tracing, because a tracer never touches any RNG).
+///
+/// A **capturing tracer** ([`Tracer::capturing`]) accumulates
+/// [`TraceEvent`]s; [`Tracer::finish`] drains them (appending one
+/// `Counter` and one `Histogram` summary event per name, sorted) into a
+/// [`TraceLog`] whose wall-clock measurements live only in the isolated
+/// [`Timing`] field.
+///
+/// Handles are cheap clones sharing one buffer, and every method takes
+/// `&self`, so a tracer can be threaded through nested calls freely. For
+/// work fanned out across threads, [`Tracer::fork`] + [`Tracer::absorb`]
+/// keep the event **order** deterministic: each job records into its own
+/// fork and the caller absorbs the forks in job order.
+///
+/// # Example
+///
+/// ```
+/// use muffin_trace::Tracer;
+///
+/// let tracer = Tracer::capturing();
+/// {
+///     let mut span = tracer.span("work.step");
+///     span.field("items", 3usize);
+/// }
+/// tracer.count("work.cache_hit", 1);
+/// let log = tracer.finish();
+/// assert_eq!(log.events.len(), 2);
+/// assert_eq!(log.events[0].name, "work.step");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+    progress: Option<Progress>,
+}
+
+impl Tracer {
+    /// The no-op tracer: captures nothing, prints nothing.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// A tracer that records events.
+    pub fn capturing() -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+            progress: None,
+        }
+    }
+
+    /// Enables (or disables) progress lines on stderr.
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.progress = verbose.then_some(Progress::Stderr);
+        self
+    }
+
+    /// Redirects progress lines into `buffer` (verbose, but captured) —
+    /// lets tests assert what a verbose run reports without a process
+    /// boundary.
+    pub fn with_progress_capture(mut self, buffer: Arc<Mutex<Vec<String>>>) -> Self {
+        self.progress = Some(Progress::Capture(buffer));
+        self
+    }
+
+    /// Whether progress lines are emitted at all.
+    pub fn verbose(&self) -> bool {
+        self.progress.is_some()
+    }
+
+    /// Whether events are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Emits a progress line through the verbosity gate. The closure runs
+    /// only when the gate is open, so quiet runs pay no formatting cost.
+    pub fn progress(&self, msg: impl FnOnce() -> String) {
+        match &self.progress {
+            None => {}
+            Some(Progress::Stderr) => eprintln!("{}", msg()),
+            Some(Progress::Capture(buffer)) => {
+                buffer.lock().expect("progress buffer poisoned").push(msg());
+            }
+        }
+    }
+
+    /// Opens a span. The returned guard records a `Span` event when
+    /// dropped (or when [`Span::finish`] is called); attach payload with
+    /// [`Span::field`]. On a no-op tracer the guard is inert.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        let inner = self.shared.as_ref().map(|shared| {
+            let depth = {
+                let mut state = shared.state.lock().expect("tracer poisoned");
+                let depth = state.depth;
+                state.depth += 1;
+                depth
+            };
+            SpanInner {
+                name: name.into(),
+                start: Instant::now(),
+                depth,
+                fields: Vec::new(),
+            }
+        });
+        Span {
+            tracer: self,
+            inner,
+        }
+    }
+
+    /// Records a completed span whose duration was measured elsewhere
+    /// (e.g. on a worker thread) — the deterministic way to log
+    /// concurrent work: measure on the worker, record in job order on the
+    /// calling thread.
+    pub fn record_span(&self, name: impl Into<String>, fields: Vec<Field>, took: Duration) {
+        let Some(shared) = &self.shared else { return };
+        let took_us = duration_us(took);
+        let now_us = duration_us(shared.epoch.elapsed());
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        let depth = state.depth;
+        push_event(
+            &mut state,
+            name.into(),
+            depth,
+            EventData::Span { fields },
+            Timing {
+                start_us: now_us.saturating_sub(took_us),
+                duration_us: took_us,
+                ..Timing::zero()
+            },
+        );
+    }
+
+    /// Records a free-form `Message` event.
+    pub fn message(&self, name: impl Into<String>, text: impl Into<String>) {
+        let Some(shared) = &self.shared else { return };
+        let now_us = duration_us(shared.epoch.elapsed());
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        let depth = state.depth;
+        push_event(
+            &mut state,
+            name.into(),
+            depth,
+            EventData::Message { text: text.into() },
+            Timing {
+                start_us: now_us,
+                ..Timing::zero()
+            },
+        );
+    }
+
+    /// Adds `delta` to the named counter. Counters are aggregated and
+    /// emitted as one `Counter` event each by [`Tracer::finish`].
+    pub fn count(&self, name: &str, delta: u64) {
+        let Some(shared) = &self.shared else { return };
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        match state.counters.get_mut(name) {
+            Some(total) => *total += delta,
+            None => {
+                state.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 when absent) — for assertions.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.shared
+            .as_ref()
+            .map(|shared| {
+                let state = shared.state.lock().expect("tracer poisoned");
+                state.counters.get(name).copied().unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Adds one observation to the named duration histogram. Aggregation
+    /// (count / total / min / max) is order-insensitive, so observations
+    /// may safely come from worker threads; summaries are emitted by
+    /// [`Tracer::finish`].
+    pub fn observe(&self, name: &str, took: Duration) {
+        let Some(shared) = &self.shared else { return };
+        let us = duration_us(took);
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        match state.histograms.get_mut(name) {
+            Some(hist) => hist.observe_us(us),
+            None => {
+                let mut hist = HistogramState::default();
+                hist.observe_us(us);
+                state.histograms.insert(name.to_string(), hist);
+            }
+        }
+    }
+
+    /// Number of events recorded so far (excluding pending counter and
+    /// histogram summaries).
+    pub fn events_recorded(&self) -> usize {
+        self.shared
+            .as_ref()
+            .map(|shared| shared.state.lock().expect("tracer poisoned").events.len())
+            .unwrap_or(0)
+    }
+
+    /// A child tracer for one unit of concurrent work: capturing if and
+    /// only if `self` captures, never verbose. Record into the fork on
+    /// the worker, then pass it to [`Tracer::absorb`] in a deterministic
+    /// order on the calling thread.
+    pub fn fork(&self) -> Tracer {
+        if self.is_enabled() {
+            Tracer::capturing()
+        } else {
+            Tracer::noop()
+        }
+    }
+
+    /// Merges a fork's recordings into this tracer: events are appended
+    /// in the fork's order (re-sequenced, depths offset by the current
+    /// depth), counters and histograms merge into the aggregates.
+    pub fn absorb(&self, fork: &Tracer) {
+        let (Some(shared), Some(child)) = (&self.shared, &fork.shared) else {
+            return;
+        };
+        let mut child_state = std::mem::take(&mut *child.state.lock().expect("tracer poisoned"));
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        let base_depth = state.depth;
+        for event in child_state.events.drain(..) {
+            let depth = base_depth + event.depth;
+            push_event(&mut state, event.name, depth, event.data, event.timing);
+        }
+        for (name, value) in child_state.counters {
+            match state.counters.get_mut(&name) {
+                Some(total) => *total += value,
+                None => {
+                    state.counters.insert(name, value);
+                }
+            }
+        }
+        for (name, hist) in child_state.histograms {
+            match state.histograms.get_mut(&name) {
+                Some(existing) => existing.merge(&hist),
+                None => {
+                    state.histograms.insert(name, hist);
+                }
+            }
+        }
+    }
+
+    /// Drains everything recorded into a [`TraceLog`]: the events in
+    /// record order, then one `Counter` event per counter and one
+    /// `Histogram` event per histogram (each sorted by name, so the log
+    /// is deterministic). The tracer is empty afterwards.
+    ///
+    /// A no-op tracer yields an empty log.
+    pub fn finish(&self) -> TraceLog {
+        let Some(shared) = &self.shared else {
+            return TraceLog::new(Vec::new());
+        };
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        let mut drained = std::mem::take(&mut *state);
+        drop(state);
+        for (name, value) in std::mem::take(&mut drained.counters) {
+            push_event(
+                &mut drained,
+                name,
+                0,
+                EventData::Counter { value },
+                Timing::zero(),
+            );
+        }
+        for (name, hist) in std::mem::take(&mut drained.histograms) {
+            push_event(
+                &mut drained,
+                name,
+                0,
+                EventData::Histogram { count: hist.count },
+                Timing {
+                    start_us: 0,
+                    duration_us: hist.total_us,
+                    min_us: hist.min_us,
+                    max_us: hist.max_us,
+                },
+            );
+        }
+        TraceLog::new(drained.events)
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn push_event(state: &mut State, name: String, depth: u32, data: EventData, timing: Timing) {
+    let seq = state.seq;
+    state.seq += 1;
+    state.events.push(TraceEvent {
+        seq,
+        name,
+        depth,
+        data,
+        timing,
+    });
+}
+
+struct SpanInner {
+    name: String,
+    start: Instant,
+    depth: u32,
+    fields: Vec<Field>,
+}
+
+/// Guard for an open span; see [`Tracer::span`].
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    inner: Option<SpanInner>,
+}
+
+impl Span<'_> {
+    /// Attaches a deterministic payload field to the span.
+    pub fn field(&mut self, name: impl Into<String>, value: impl Into<FieldValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push(Field::new(name, value));
+        }
+    }
+
+    /// Closes the span now (otherwise it closes on drop).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let Some(shared) = &self.tracer.shared else {
+            return;
+        };
+        let took_us = duration_us(inner.start.elapsed());
+        // `duration_since` saturates to zero if the span somehow predates
+        // the tracer epoch.
+        let start_us = duration_us(inner.start.duration_since(shared.epoch));
+        let mut state = shared.state.lock().expect("tracer poisoned");
+        state.depth = state.depth.saturating_sub(1);
+        push_event(
+            &mut state,
+            inner.name,
+            inner.depth,
+            EventData::Span {
+                fields: inner.fields,
+            },
+            Timing {
+                start_us,
+                duration_us: took_us,
+                ..Timing::zero()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_records_and_prints_nothing() {
+        let tracer = Tracer::noop();
+        {
+            let mut span = tracer.span("a");
+            span.field("x", 1usize);
+        }
+        tracer.count("c", 5);
+        tracer.observe("h", Duration::from_micros(10));
+        tracer.message("m", "hello");
+        tracer.progress(|| panic!("progress closure must not run when quiet"));
+        assert!(!tracer.is_enabled());
+        assert!(!tracer.verbose());
+        assert_eq!(tracer.events_recorded(), 0);
+        let log = tracer.finish();
+        assert!(log.events.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let tracer = Tracer::capturing();
+        {
+            let _outer = tracer.span("outer");
+            {
+                let _inner = tracer.span("inner");
+            }
+        }
+        let log = tracer.finish();
+        // Spans close inner-first.
+        assert_eq!(log.events[0].name, "inner");
+        assert_eq!(log.events[0].depth, 1);
+        assert_eq!(log.events[1].name, "outer");
+        assert_eq!(log.events[1].depth, 0);
+        assert_eq!(log.events[0].seq, 0);
+        assert_eq!(log.events[1].seq, 1);
+    }
+
+    #[test]
+    fn counters_aggregate_and_emit_sorted() {
+        let tracer = Tracer::capturing();
+        tracer.count("b.second", 1);
+        tracer.count("a.first", 2);
+        tracer.count("b.second", 3);
+        assert_eq!(tracer.counter_value("b.second"), 4);
+        let log = tracer.finish();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].name, "a.first");
+        assert_eq!(log.events[0].data, EventData::Counter { value: 2 });
+        assert_eq!(log.events[1].name, "b.second");
+        assert_eq!(log.events[1].data, EventData::Counter { value: 4 });
+    }
+
+    #[test]
+    fn histograms_track_count_min_max_total() {
+        let tracer = Tracer::capturing();
+        tracer.observe("h", Duration::from_micros(10));
+        tracer.observe("h", Duration::from_micros(30));
+        tracer.observe("h", Duration::from_micros(20));
+        let log = tracer.finish();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].data, EventData::Histogram { count: 3 });
+        assert_eq!(log.events[0].timing.min_us, 10);
+        assert_eq!(log.events[0].timing.max_us, 30);
+        assert_eq!(log.events[0].timing.duration_us, 60);
+    }
+
+    #[test]
+    fn finish_drains_the_tracer() {
+        let tracer = Tracer::capturing();
+        tracer.count("c", 1);
+        tracer.message("m", "x");
+        assert_eq!(tracer.finish().events.len(), 2);
+        assert_eq!(tracer.finish().events.len(), 0);
+    }
+
+    #[test]
+    fn fork_and_absorb_merge_deterministically() {
+        let tracer = Tracer::capturing();
+        let _guard = tracer.span("parent");
+        let forks: Vec<Tracer> = (0..3).map(|_| tracer.fork()).collect();
+        for (i, fork) in forks.iter().enumerate() {
+            fork.record_span(
+                format!("job{i}"),
+                vec![Field::new("i", i)],
+                Duration::from_micros(5),
+            );
+            fork.count("jobs", 1);
+            fork.observe("job_us", Duration::from_micros(i as u64 + 1));
+        }
+        // Absorb out of completion order is irrelevant: the caller picks
+        // the order.
+        for fork in &forks {
+            tracer.absorb(fork);
+        }
+        drop(_guard);
+        assert_eq!(tracer.counter_value("jobs"), 3);
+        let log = tracer.finish();
+        let names: Vec<&str> = log.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["job0", "job1", "job2", "parent", "jobs", "job_us"]
+        );
+        // Fork events are nested under the open parent span.
+        assert_eq!(log.events[0].depth, 1);
+        let hist = log.events.iter().find(|e| e.name == "job_us").unwrap();
+        assert_eq!(hist.data, EventData::Histogram { count: 3 });
+        assert_eq!(hist.timing.min_us, 1);
+        assert_eq!(hist.timing.max_us, 3);
+    }
+
+    #[test]
+    fn fork_of_noop_is_noop() {
+        let tracer = Tracer::noop();
+        let fork = tracer.fork();
+        assert!(!fork.is_enabled());
+        fork.count("c", 1);
+        tracer.absorb(&fork);
+        assert_eq!(tracer.finish().events.len(), 0);
+    }
+
+    #[test]
+    fn progress_capture_collects_lines_and_quiet_drops_them() {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let tracer = Tracer::noop().with_progress_capture(Arc::clone(&buffer));
+        assert!(tracer.verbose());
+        tracer.progress(|| "line one".to_string());
+        tracer.progress(|| "line two".to_string());
+        assert_eq!(*buffer.lock().unwrap(), vec!["line one", "line two"]);
+
+        let quiet = Tracer::capturing().with_verbose(false);
+        assert!(!quiet.verbose());
+        quiet.progress(|| panic!("must not format when quiet"));
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let tracer = Tracer::capturing();
+        let clone = tracer.clone();
+        clone.count("shared", 2);
+        assert_eq!(tracer.counter_value("shared"), 2);
+        let _span = clone.span("from-clone");
+        drop(_span);
+        assert_eq!(tracer.events_recorded(), 1);
+    }
+
+    #[test]
+    fn record_span_uses_current_depth() {
+        let tracer = Tracer::capturing();
+        let guard = tracer.span("outer");
+        tracer.record_span("measured", Vec::new(), Duration::from_micros(7));
+        drop(guard);
+        let log = tracer.finish();
+        assert_eq!(log.events[0].name, "measured");
+        assert_eq!(log.events[0].depth, 1);
+        assert_eq!(log.events[0].timing.duration_us, 7);
+    }
+}

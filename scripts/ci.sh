@@ -28,6 +28,10 @@ fi
 echo "==> serial vs parallel search equivalence"
 cargo test -q --offline -p muffin-integration-tests --test parallel_equivalence
 
+echo "==> golden snapshot + trace determinism"
+cargo test -q --offline -p muffin-integration-tests \
+    --test golden_snapshot --test trace_determinism
+
 echo "==> hermeticity: no external crates in any manifest"
 # Anchor to dependency-declaration lines ("<crate> = ..." or
 # "<crate> = { ... }") so comments, descriptions, or in-repo crate names

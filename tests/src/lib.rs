@@ -2,9 +2,11 @@
 //! workspace. The tests themselves live in this package's `tests/`
 //! directory.
 
+use muffin::{MuffinSearch, SearchConfig, SearchOutcome, WorkerPool};
 use muffin_data::{DatasetSplit, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
 use muffin_tensor::Rng64;
+use std::path::PathBuf;
 
 /// Builds a small, deterministic ISIC-like split plus a three-model pool —
 /// the shared fixture most integration tests start from.
@@ -22,4 +24,38 @@ pub fn small_fixture(seed: u64) -> (DatasetSplit, ModelPool, Rng64) {
         &mut rng,
     );
     (split, pool, rng)
+}
+
+/// Seed of the golden-snapshot recipe. Everything about the recipe is
+/// frozen: changing any part of it invalidates the committed snapshot.
+pub const GOLDEN_SEED: u64 = 20230717;
+
+/// The frozen search the golden snapshot captures: the `small_fixture`
+/// pool, two target attributes, 8 episodes with a REINFORCE batch of 3
+/// (so the snapshot also pins batched-update and partial-batch behaviour).
+pub fn golden_search() -> (MuffinSearch, Rng64) {
+    let (split, pool, rng) = small_fixture(GOLDEN_SEED);
+    let config = SearchConfig::fast(&["age", "site"])
+        .with_episodes(8)
+        .with_reinforce_batch(3);
+    let search = MuffinSearch::new(pool, split, config).expect("golden recipe is valid");
+    (search, rng)
+}
+
+/// Runs the golden recipe on `workers` and serialises the outcome exactly
+/// as [`SearchOutcome::save_json`] would write it.
+pub fn golden_outcome_json(workers: &WorkerPool) -> String {
+    let (search, rng) = golden_search();
+    let outcome: SearchOutcome = search
+        .run_with_pool(&mut rng.clone(), workers)
+        .expect("golden search runs");
+    muffin_json::to_string(&outcome)
+}
+
+/// Path of the committed golden snapshot
+/// (`tests/golden/search_outcome.json` from the repository root).
+pub fn golden_snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("search_outcome.json")
 }

@@ -1,0 +1,57 @@
+//! Golden-snapshot determinism suite: the serialised `SearchOutcome` of a
+//! frozen recipe is committed at `tests/golden/search_outcome.json`, and
+//! re-running the recipe — serially or on a four-worker pool — must
+//! reproduce it byte for byte.
+//!
+//! If an intentional behaviour change invalidates the snapshot, regenerate
+//! it with `scripts/regen-golden.sh` and commit the diff alongside the
+//! change that caused it.
+
+use muffin::WorkerPool;
+use muffin_integration_tests::{golden_outcome_json, golden_snapshot_path};
+
+fn committed_snapshot() -> String {
+    let path = golden_snapshot_path();
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read committed golden snapshot {}: {e}\n\
+             generate it with scripts/regen-golden.sh",
+            path.display()
+        )
+    })
+}
+
+fn assert_matches_snapshot(actual: &str, label: &str) {
+    let expected = committed_snapshot();
+    assert!(
+        actual == expected,
+        "{label} SearchOutcome diverged from tests/golden/search_outcome.json \
+         ({} vs {} bytes).\n\
+         If this change is intentional, refresh the snapshot with \
+         scripts/regen-golden.sh and commit the updated file.",
+        actual.len(),
+        expected.len()
+    );
+}
+
+#[test]
+fn serial_search_reproduces_the_committed_snapshot() {
+    assert_matches_snapshot(&golden_outcome_json(&WorkerPool::serial()), "serial");
+}
+
+#[test]
+fn four_worker_search_reproduces_the_committed_snapshot() {
+    assert_matches_snapshot(&golden_outcome_json(&WorkerPool::new(4)), "4-worker");
+}
+
+/// Regeneration path, invoked by `scripts/regen-golden.sh`:
+/// `cargo test ... -- --ignored regenerate_golden_snapshot`.
+#[test]
+#[ignore = "rewrites tests/golden/search_outcome.json; run via scripts/regen-golden.sh"]
+fn regenerate_golden_snapshot() {
+    let path = golden_snapshot_path();
+    std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+    let json = golden_outcome_json(&WorkerPool::serial());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+}
