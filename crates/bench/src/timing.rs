@@ -5,8 +5,8 @@
 //! 1. **warmup** — run the closure for a fixed wall-clock budget to fault in
 //!    caches and estimate the per-iteration cost;
 //! 2. **auto-batching** — pick an iteration count per sample so one sample
-//!    takes roughly [`Harness::target_sample_ms`], keeping timer overhead
-//!    negligible for nanosecond-scale closures;
+//!    takes roughly the harness's target sample time (10 ms by default),
+//!    keeping timer overhead negligible for nanosecond-scale closures;
 //! 3. **median-of-N** — report the median over [`Harness::sample_size`]
 //!    samples, which is robust to scheduler noise where a mean is not.
 //!
@@ -142,7 +142,11 @@ impl Harness {
         doc.insert("suite", muffin_json::Json::Str(self.suite.clone()));
         doc.insert("results", muffin_json::ToJson::to_json(&self.records));
         std::fs::write(&path, doc.to_string_pretty()).expect("write bench results");
-        println!("{}: {} benchmarks, results -> {path}", self.suite, self.records.len());
+        println!(
+            "{}: {} benchmarks, results -> {path}",
+            self.suite,
+            self.records.len()
+        );
     }
 }
 
@@ -164,7 +168,10 @@ mod tests {
 
     #[test]
     fn bench_produces_sane_record_and_json() {
-        std::env::set_var("MUFFIN_BENCH_OUT", std::env::temp_dir().join("mb-test").display().to_string());
+        std::env::set_var(
+            "MUFFIN_BENCH_OUT",
+            std::env::temp_dir().join("mb-test").display().to_string(),
+        );
         let mut h = Harness::new("smoke");
         h.sample_size(3);
         h.warmup_ms = 1;
@@ -178,8 +185,7 @@ mod tests {
         let path = std::env::temp_dir().join("mb-test").join("smoke.json");
         let text = std::fs::read_to_string(path).unwrap();
         let doc = muffin_json::parse(&text).unwrap();
-        let results: Vec<BenchRecord> =
-            doc.field("results").expect("results field decodes");
+        let results: Vec<BenchRecord> = doc.field("results").expect("results field decodes");
         assert_eq!(results[0].name, "noop_sum");
     }
 

@@ -2,7 +2,7 @@
 //!
 //! `muffin-check` replaces the external `proptest` dependency with a small,
 //! fully deterministic engine built on the workspace's own
-//! [`Rng64`](muffin_tensor::Rng64):
+//! [`Rng64`]:
 //!
 //! - every case is generated from a seed derived as `SplitMix64(run_seed,
 //!   case_index)`, so any failure is reproducible from the numbers in the
@@ -48,14 +48,21 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { cases: 64, seed: 0x4D55_4646_494E, max_shrinks: 2048 }
+        Self {
+            cases: 64,
+            seed: 0x4D55_4646_494E,
+            max_shrinks: 2048,
+        }
     }
 }
 
 impl Config {
     /// Convenience constructor matching the old `proptest` `cases` knob.
     pub fn cases(cases: u32) -> Self {
-        Self { cases, ..Self::default() }
+        Self {
+            cases,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with the given run seed.
@@ -68,8 +75,7 @@ impl Config {
 /// SplitMix64 finalizer: mixes a run seed with a case index into an
 /// independent per-case seed.
 fn case_seed(run_seed: u64, case: u32) -> u64 {
-    let mut z = run_seed
-        .wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = run_seed.wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -86,7 +92,9 @@ pub struct Gen {
 impl Gen {
     /// Creates a generator from an explicit seed (what `check` does per case).
     pub fn from_seed(seed: u64) -> Self {
-        Self { rng: Rng64::seed(seed) }
+        Self {
+            rng: Rng64::seed(seed),
+        }
     }
 
     /// Direct access to the underlying RNG for domain-specific sampling.
@@ -127,12 +135,7 @@ impl Gen {
     }
 
     /// Vector of uniform `f32` values with a length drawn from `len`.
-    pub fn vec_f32(
-        &mut self,
-        len: std::ops::RangeInclusive<usize>,
-        lo: f32,
-        hi: f32,
-    ) -> Vec<f32> {
+    pub fn vec_f32(&mut self, len: std::ops::RangeInclusive<usize>, lo: f32, hi: f32) -> Vec<f32> {
         let n = self.usize_in(len);
         (0..n).map(|_| self.f32_in(lo, hi)).collect()
     }
@@ -186,15 +189,16 @@ where
     // as much a counterexample as one that returns Err — catch it so the
     // report still carries the seed and the shrunk input.
     let mut prop = move |input: &T| -> Result<(), String> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(input)))
-            .unwrap_or_else(|payload| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(input))).unwrap_or_else(
+            |payload| {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic payload".to_owned());
                 Err(format!("property panicked: {msg}"))
-            })
+            },
+        )
     };
     for case in 0..config.cases {
         let seed = case_seed(config.seed, case);
@@ -327,25 +331,40 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let mut ran = 0u32;
-        check("count", Config::cases(17), |g| g.usize_in(0..=100), |_| {
-            ran += 1;
-            Ok(())
-        });
+        check(
+            "count",
+            Config::cases(17),
+            |g| g.usize_in(0..=100),
+            |_| {
+                ran += 1;
+                Ok(())
+            },
+        );
         assert_eq!(ran, 17);
     }
 
     #[test]
     fn same_seed_generates_identical_inputs() {
         let mut first: Vec<Vec<f32>> = Vec::new();
-        check("collect-a", Config::default(), |g| g.vec_f32(0..=8, -1.0, 1.0), |v| {
-            first.push(v.clone());
-            Ok(())
-        });
+        check(
+            "collect-a",
+            Config::default(),
+            |g| g.vec_f32(0..=8, -1.0, 1.0),
+            |v| {
+                first.push(v.clone());
+                Ok(())
+            },
+        );
         let mut second: Vec<Vec<f32>> = Vec::new();
-        check("collect-b", Config::default(), |g| g.vec_f32(0..=8, -1.0, 1.0), |v| {
-            second.push(v.clone());
-            Ok(())
-        });
+        check(
+            "collect-b",
+            Config::default(),
+            |g| g.vec_f32(0..=8, -1.0, 1.0),
+            |v| {
+                second.push(v.clone());
+                Ok(())
+            },
+        );
         assert_eq!(first, second);
     }
 
@@ -388,16 +407,24 @@ mod tests {
         let open = panic.find("minimal input: [").unwrap();
         let close = panic[open..].find(']').unwrap() + open;
         let inner = &panic[open + "minimal input: [".len()..close];
-        assert!(!inner.contains(','), "expected 1-element vec, got [{inner}]");
+        assert!(
+            !inner.contains(','),
+            "expected 1-element vec, got [{inner}]"
+        );
     }
 
     #[test]
     fn panicking_property_reports_seed_instead_of_escaping() {
         let result = std::panic::catch_unwind(|| {
-            check("panics-on-big", Config::cases(32), |g| g.usize_in(0..=50), |&n| {
-                assert!(n < 40, "boom {n}");
-                Ok(())
-            });
+            check(
+                "panics-on-big",
+                Config::cases(32),
+                |g| g.usize_in(0..=50),
+                |&n| {
+                    assert!(n < 40, "boom {n}");
+                    Ok(())
+                },
+            );
         });
         let panic = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(panic.contains("property panicked"), "{panic}");
@@ -407,12 +434,17 @@ mod tests {
 
     #[test]
     fn matrix_generator_respects_shape_bounds() {
-        check("matrix-shape", Config::cases(32), |g| g.matrix(1..=5, 2..=7, -1.0, 1.0), |m| {
-            let (r, c) = m.shape();
-            prop_assert!((1..=5).contains(&r));
-            prop_assert!((2..=7).contains(&c));
-            Ok(())
-        });
+        check(
+            "matrix-shape",
+            Config::cases(32),
+            |g| g.matrix(1..=5, 2..=7, -1.0, 1.0),
+            |m| {
+                let (r, c) = m.shape();
+                prop_assert!((1..=5).contains(&r));
+                prop_assert!((2..=7).contains(&c));
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 /// Options that are boolean flags: they take no value and parse as `true`
 /// when present. Everything else follows the strict `--key value` shape.
-const FLAG_OPTIONS: &[&str] = &["verbose"];
+const FLAG_OPTIONS: &[&str] = &["verbose", "resume"];
 
 /// Command groups: these subcommands take a second word naming the action
 /// (e.g. `muffin trace summarize`), parsed into a two-word command.
@@ -143,8 +143,7 @@ impl Args {
         }
     }
 
-    /// Whether a boolean flag (see [`FLAG_OPTIONS`], e.g. `--verbose`) was
-    /// supplied.
+    /// Whether a boolean flag (`--verbose` or `--resume`) was supplied.
     pub fn get_flag(&self, key: &str) -> bool {
         self.get(key).is_some()
     }
@@ -229,6 +228,17 @@ mod tests {
 
         let args = Args::parse_from(["search"]).expect("valid");
         assert!(!args.get_flag("verbose"));
+    }
+
+    #[test]
+    fn resume_flag_takes_no_value() {
+        let args =
+            Args::parse_from(["search", "--resume", "--checkpoint", "c.json"]).expect("valid");
+        assert!(args.get_flag("resume"));
+        assert_eq!(args.get("checkpoint"), Some("c.json"));
+        assert!(!Args::parse_from(["search"])
+            .expect("valid")
+            .get_flag("resume"));
     }
 
     #[test]

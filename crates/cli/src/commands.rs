@@ -1,7 +1,7 @@
 use crate::Args;
 use muffin::{
-    distill_student, summarize, DistillConfig, MuffinSearch, SearchConfig, SearchOutcome,
-    TextTable, TraceLog, Tracer,
+    distill_student, summarize, DistillConfig, MuffinError, MuffinSearch, PersistenceOptions,
+    SearchConfig, SearchOutcome, TextTable, TraceLog, Tracer, WorkerPool,
 };
 use muffin_data::{Dataset, FitzpatrickLike, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
@@ -43,6 +43,25 @@ COMMANDS:
               --trace-out FILE (optional: record a structured event log
                 of the run — spans, counters, latency histograms — as
                 deterministic JSON; timings live in an isolated field)
+              --checkpoint FILE (optional: write a resumable snapshot of
+                the run — RNG position, controller state, history and
+                the evaluation cache — atomically at REINFORCE batch
+                boundaries)
+              --checkpoint-every N (default 10: minimum episodes between
+                checkpoint writes; snapshots land on the next batch
+                boundary, and the final state is always written)
+              --resume (continue from --checkpoint instead of starting
+                fresh; the resumed outcome is byte-identical to an
+                uninterrupted run. The checkpoint must match the run's
+                seed, config, pool and data, or it is rejected)
+              --eval-cache FILE (optional: cross-run evaluation cache —
+                candidates already trained by an earlier run with the
+                same seed/config/pool/data are reused, counted on the
+                search.cache_hit_disk trace counter; the file is
+                rewritten with the merged cache afterwards)
+              --stop-after N (optional, needs --checkpoint: halt at the
+                first batch boundary at or past episode N, writing a
+                checkpoint — an operator drill for kill/resume)
               --verbose (print progress lines to stderr; without it the
                 run is silent apart from the result)
   report      Summarise a saved search outcome
@@ -190,6 +209,46 @@ fn search(args: &Args) -> Result<(), String> {
         // Fail before the (long) search if the log can't be written.
         std::fs::write(path, "").map_err(|e| format!("cannot write --trace-out {path}: {e}"))?;
     }
+
+    let checkpoint = args.get("checkpoint").map(std::path::PathBuf::from);
+    let checkpoint_every = args.get_u32("checkpoint-every", 10)?;
+    let resume = args.get_flag("resume");
+    let eval_cache = args.get("eval-cache").map(std::path::PathBuf::from);
+    let stop_after = match args.get("stop-after") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| format!("--stop-after expects an integer, got {v}"))?,
+        ),
+    };
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint".into());
+    }
+    if stop_after.is_some() && checkpoint.is_none() {
+        return Err("--stop-after requires --checkpoint".into());
+    }
+    if resume {
+        let path = checkpoint.as_ref().expect("validated above");
+        if !path.exists() {
+            return Err(format!(
+                "cannot resume: checkpoint {} does not exist",
+                path.display()
+            ));
+        }
+    }
+    // Fail fast on unwritable persistence paths — with a NON-truncating
+    // open: unlike the fresh --trace-out log, an existing checkpoint or
+    // warm eval cache is exactly the state we must not destroy.
+    for (flag, path) in [("--checkpoint", &checkpoint), ("--eval-cache", &eval_cache)] {
+        if let Some(path) = path {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot write {flag} {}: {e}", path.display()))?;
+        }
+    }
+
     let tracer = if trace_out.is_some() {
         Tracer::capturing()
     } else {
@@ -214,9 +273,39 @@ fn search(args: &Args) -> Result<(), String> {
             search.space().num_steps()
         )
     });
-    let outcome = search
-        .run_parallel(&mut Rng64::seed(seed), workers)
-        .map_err(|e| e.to_string())?;
+    let persistence = PersistenceOptions {
+        checkpoint: checkpoint.clone(),
+        checkpoint_every,
+        resume,
+        eval_cache,
+        halt_after: stop_after,
+    };
+    let outcome = match search.run_persistent(
+        &mut Rng64::seed(seed),
+        &WorkerPool::new(workers),
+        &persistence,
+    ) {
+        Ok(outcome) => outcome,
+        Err(MuffinError::Halted { episode }) => {
+            // Deliberate --stop-after halt: the checkpoint is on disk, so
+            // this is a success for the operator, not an error.
+            if let Some(path) = trace_out {
+                let log = search.tracer().finish();
+                log.save_json(path)?;
+                println!("trace log ({} events) written to {path}", log.events.len());
+            }
+            let ckpt = checkpoint
+                .as_ref()
+                .expect("--stop-after requires --checkpoint");
+            println!(
+                "search halted at episode {episode}; checkpoint written to {}; \
+                 rerun with --resume to continue",
+                ckpt.display()
+            );
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     outcome.save_json(out)?;
     if let Some(path) = trace_out {
         let log = search.tracer().finish();
@@ -461,6 +550,86 @@ mod tests {
         .expect("parse");
         let err = run(&args).unwrap_err();
         assert!(err.contains("--batch") && err.contains("lots"), "{err}");
+    }
+
+    #[test]
+    fn search_rejects_resume_and_stop_after_without_checkpoint() {
+        let base = [
+            "search", "--data", "x.json", "--pool", "p.json", "--attrs", "age", "--out", "o.json",
+        ];
+        let mut with_resume = base.to_vec();
+        with_resume.push("--resume");
+        let err = run(&Args::parse_from(with_resume).expect("parse")).unwrap_err();
+        assert!(
+            err.contains("--resume") && err.contains("--checkpoint"),
+            "{err}"
+        );
+
+        let mut with_stop = base.to_vec();
+        with_stop.extend(["--stop-after", "4"]);
+        let err = run(&Args::parse_from(with_stop).expect("parse")).unwrap_err();
+        assert!(
+            err.contains("--stop-after") && err.contains("--checkpoint"),
+            "{err}"
+        );
+
+        let mut bad_stop = base.to_vec();
+        bad_stop.extend(["--checkpoint", "c.json", "--stop-after", "soon"]);
+        let err = run(&Args::parse_from(bad_stop).expect("parse")).unwrap_err();
+        assert!(
+            err.contains("--stop-after") && err.contains("soon"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn search_rejects_resume_from_a_missing_checkpoint() {
+        let args = Args::parse_from([
+            "search",
+            "--data",
+            "x.json",
+            "--pool",
+            "p.json",
+            "--attrs",
+            "age",
+            "--out",
+            "o.json",
+            "--checkpoint",
+            "/nonexistent-dir/ckpt.json",
+            "--resume",
+        ])
+        .expect("parse");
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("cannot resume"), "{err}");
+    }
+
+    #[test]
+    fn search_writability_check_preserves_existing_persistence_files() {
+        // The fail-fast writability probe for --checkpoint/--eval-cache must
+        // not truncate: an existing warm cache is operator state.
+        let cache = tmp("warm_cache_probe.json");
+        std::fs::write(&cache, "{\"warm\":true}").expect("seed cache");
+        let args = Args::parse_from([
+            "search",
+            "--data",
+            "x.json",
+            "--pool",
+            "p.json",
+            "--attrs",
+            "age",
+            "--out",
+            "o.json",
+            "--eval-cache",
+            &cache,
+        ])
+        .expect("parse");
+        // Fails later (x.json missing), but only after the probe ran.
+        assert!(run(&args).is_err());
+        assert_eq!(
+            std::fs::read_to_string(&cache).expect("cache still readable"),
+            "{\"warm\":true}"
+        );
+        std::fs::remove_file(cache).ok();
     }
 
     #[test]

@@ -133,6 +133,338 @@ fn quiet_search_is_silent_on_stderr_and_verbose_is_not() {
     }
 }
 
+/// Generates the shared dataset + model pool used by the checkpoint/resume
+/// process tests exactly once per test binary run.
+fn fixture() -> (String, String) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(String, String)> = OnceLock::new();
+    FIXTURE
+        .get_or_init(|| {
+            let data = tmp("ckpt_data.json");
+            let pool = tmp("ckpt_pool.json");
+            let gen = muffin(&[
+                "generate",
+                "--samples",
+                "300",
+                "--seed",
+                "5",
+                "--out",
+                &data,
+            ]);
+            assert!(
+                gen.status.success(),
+                "generate failed: {}",
+                String::from_utf8_lossy(&gen.stderr)
+            );
+            let train = muffin(&[
+                "train-pool",
+                "--data",
+                &data,
+                "--archs",
+                "ResNet-18,DenseNet121",
+                "--epochs",
+                "2",
+                "--out",
+                &pool,
+            ]);
+            assert!(
+                train.status.success(),
+                "train-pool failed: {}",
+                String::from_utf8_lossy(&train.stderr)
+            );
+            (data, pool)
+        })
+        .clone()
+}
+
+/// `search` arguments for the shared fixture: 6 episodes, REINFORCE batch
+/// of 2, seed 11 — plus whatever `extra` flags the test needs.
+fn search_cmd(data: &str, pool: &str, out: &str, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "search",
+        "--data",
+        data,
+        "--pool",
+        pool,
+        "--attrs",
+        "age,site",
+        "--episodes",
+        "6",
+        "--batch",
+        "2",
+        "--seed",
+        "11",
+        "--out",
+        out,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+fn run_search(args: &[String]) -> Output {
+    muffin(&args.iter().map(String::as_str).collect::<Vec<_>>())
+}
+
+#[test]
+fn stop_after_then_resume_reproduces_a_clean_run_byte_for_byte() {
+    let (data, pool) = fixture();
+    let clean_out = tmp("stop_clean.json");
+    let halted_out = tmp("stop_halted.json");
+    let resumed_out = tmp("stop_resumed.json");
+    let ckpt = tmp("stop_ckpt.json");
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&halted_out).ok();
+
+    let clean = run_search(&search_cmd(&data, &pool, &clean_out, &["--workers", "1"]));
+    assert!(
+        clean.status.success(),
+        "clean search failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Halt at the first batch boundary at or past episode 2.
+    let halted = run_search(&search_cmd(
+        &data,
+        &pool,
+        &halted_out,
+        &["--workers", "2", "--checkpoint", &ckpt, "--stop-after", "2"],
+    ));
+    assert!(
+        halted.status.success(),
+        "halted search failed: {}",
+        String::from_utf8_lossy(&halted.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&halted.stdout);
+    assert!(stdout.contains("halted"), "missing halt notice: {stdout}");
+    assert!(stdout.contains("--resume"), "missing resume hint: {stdout}");
+    assert!(
+        !std::path::Path::new(&halted_out).exists(),
+        "a halted run must not write its outcome file"
+    );
+
+    // Resume on a different worker count: bytes must still match.
+    let resumed = run_search(&search_cmd(
+        &data,
+        &pool,
+        &resumed_out,
+        &["--workers", "4", "--checkpoint", &ckpt, "--resume"],
+    ));
+    assert!(
+        resumed.status.success(),
+        "resumed search failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean_out).expect("clean outcome"),
+        std::fs::read_to_string(&resumed_out).expect("resumed outcome"),
+        "halt + resume diverged from the uninterrupted run"
+    );
+
+    for f in [clean_out, resumed_out, ckpt] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn killing_a_checkpointed_search_mid_run_still_resumes_to_identical_bytes() {
+    let (data, pool) = fixture();
+    let clean_out = tmp("kill_clean.json");
+    let killed_out = tmp("kill_killed.json");
+    let resumed_out = tmp("kill_resumed.json");
+    let ckpt = tmp("kill_ckpt.json");
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&killed_out).ok();
+
+    let clean = run_search(&search_cmd(&data, &pool, &clean_out, &["--workers", "1"]));
+    assert!(
+        clean.status.success(),
+        "clean search failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Checkpoint every batch, then kill the process as soon as the first
+    // checkpoint lands on disk. Checkpoint writes are atomic (temp +
+    // rename), so whatever instant the kill hits, the file is complete.
+    let args = search_cmd(
+        &data,
+        &pool,
+        &killed_out,
+        &[
+            "--workers",
+            "2",
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "1",
+        ],
+    );
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_muffin"))
+        .args(&args)
+        .spawn()
+        .expect("spawn muffin binary");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        if std::fs::metadata(&ckpt)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            child.kill().ok();
+            break;
+        }
+        // If the run already finished, resuming is a no-op and the bytes
+        // still have to match — the race is benign either way.
+        if child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint appeared within 120s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    child.wait().expect("reap child");
+
+    let resumed = run_search(&search_cmd(
+        &data,
+        &pool,
+        &resumed_out,
+        &["--workers", "1", "--checkpoint", &ckpt, "--resume"],
+    ));
+    assert!(
+        resumed.status.success(),
+        "resumed search failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean_out).expect("clean outcome"),
+        std::fs::read_to_string(&resumed_out).expect("resumed outcome"),
+        "kill + resume diverged from the uninterrupted run"
+    );
+
+    for f in [clean_out, killed_out, resumed_out, ckpt] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn corrupt_or_mismatched_checkpoints_are_rejected_loudly() {
+    let (data, pool) = fixture();
+    let halted_out = tmp("reject_halted.json");
+    let resumed_out = tmp("reject_resumed.json");
+    let ckpt = tmp("reject_ckpt.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    let halted = run_search(&search_cmd(
+        &data,
+        &pool,
+        &halted_out,
+        &["--checkpoint", &ckpt, "--stop-after", "2"],
+    ));
+    assert!(
+        halted.status.success(),
+        "halted search failed: {}",
+        String::from_utf8_lossy(&halted.stderr)
+    );
+    let valid = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+
+    // A different seed no longer matches the checkpoint's fingerprint.
+    let mut mismatch_args = search_cmd(
+        &data,
+        &pool,
+        &resumed_out,
+        &["--checkpoint", &ckpt, "--resume"],
+    );
+    let seed_at = mismatch_args.iter().position(|a| a == "11").expect("seed");
+    mismatch_args[seed_at] = "12".to_string();
+    let mismatch = run_search(&mismatch_args);
+    assert!(!mismatch.status.success(), "seed mismatch must fail");
+    let stderr = String::from_utf8_lossy(&mismatch.stderr);
+    assert!(
+        stderr.contains("stale artifact") && stderr.contains("rng seed/state"),
+        "unhelpful mismatch error: {stderr}"
+    );
+
+    // A truncated checkpoint is rejected as corrupt, not silently ignored.
+    std::fs::write(&ckpt, &valid[..valid.len() / 2]).expect("truncate checkpoint");
+    let corrupt = run_search(&search_cmd(
+        &data,
+        &pool,
+        &resumed_out,
+        &["--checkpoint", &ckpt, "--resume"],
+    ));
+    assert!(!corrupt.status.success(), "corrupt checkpoint must fail");
+    let stderr = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(
+        stderr.contains("stale artifact"),
+        "unhelpful corruption error: {stderr}"
+    );
+
+    for f in [halted_out, resumed_out, ckpt] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn warm_eval_cache_reports_disk_hits_and_preserves_outcome_bytes() {
+    let (data, pool) = fixture();
+    let cold_out = tmp("cache_cold.json");
+    let warm_out = tmp("cache_warm.json");
+    let cache = tmp("cache_file.json");
+    let trace = tmp("cache_trace.json");
+    std::fs::remove_file(&cache).ok();
+
+    let cold = run_search(&search_cmd(
+        &data,
+        &pool,
+        &cold_out,
+        &["--eval-cache", &cache],
+    ));
+    assert!(
+        cold.status.success(),
+        "cold search failed: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+
+    let warm = run_search(&search_cmd(
+        &data,
+        &pool,
+        &warm_out,
+        &["--eval-cache", &cache, "--trace-out", &trace],
+    ));
+    assert!(
+        warm.status.success(),
+        "warm search failed: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&cold_out).expect("cold outcome"),
+        std::fs::read_to_string(&warm_out).expect("warm outcome"),
+        "a warm eval cache changed the outcome"
+    );
+
+    let log = TraceLog::load_json(&trace).expect("trace log parses");
+    let disk_hits: u64 = log
+        .events
+        .iter()
+        .filter(|e| e.name == "search.cache_hit_disk")
+        .map(|e| match e.data {
+            muffin_trace::EventData::Counter { value } => value,
+            _ => 0,
+        })
+        .sum();
+    assert!(
+        disk_hits >= 1,
+        "warm run reported no search.cache_hit_disk counter"
+    );
+
+    for f in [cold_out, warm_out, cache, trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
 #[test]
 fn bad_arguments_exit_with_usage_code() {
     let out = muffin(&["search", "--workers"]);

@@ -1,0 +1,482 @@
+//! Durable persistence for the search loop: checkpoints and the
+//! cross-run evaluation cache.
+//!
+//! The search (paper Sec. 3.2 ④) is the expensive phase of the pipeline —
+//! every distinct candidate trains a muffin head from scratch. This module
+//! makes that work durable in two layers:
+//!
+//! * [`SearchCheckpoint`] — a complete, versioned snapshot of a run in
+//!   flight: RNG stream position, controller parameters + optimizer
+//!   moments + EMA baseline, the episode history and the action-vector →
+//!   [`EpisodeRecord`] evaluation cache. Written atomically (temp file +
+//!   rename) at REINFORCE batch boundaries, so a killed run resumes
+//!   **bit-identically** — the resumed [`SearchOutcome`] is byte-equal to
+//!   an uninterrupted run at any worker count (enforced by the
+//!   golden-snapshot suite).
+//! * [`EvalCacheFile`] — just the evaluation cache, shared **across**
+//!   runs: a repeated search over the same space skips already-trained
+//!   candidates and reports each skip on the `search.cache_hit_disk`
+//!   trace counter.
+//!
+//! Both artifacts carry a [`SearchFingerprint`] identifying the exact
+//! run they belong to. Loading rejects loudly
+//! ([`MuffinError::StaleArtifact`]) on any mismatch rather than silently
+//! producing a drifted search.
+//!
+//! [`SearchOutcome`]: crate::SearchOutcome
+
+use crate::controller::ControllerState;
+use crate::search::{EpisodeRecord, SearchConfig};
+use crate::{MuffinError, SearchSpace};
+use std::path::Path;
+
+/// Format version written into every checkpoint and eval-cache file.
+/// Bumped whenever the serialised layout changes incompatibly; loading a
+/// file with a different version is a [`MuffinError::StaleArtifact`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The 64-bit FNV-1a hash, used to fingerprint the model pool and the
+/// dataset split without embedding them in the checkpoint.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Identity of a search run, for staleness detection.
+///
+/// Two runs share a fingerprint exactly when they are guaranteed to walk
+/// the same search trajectory prefix: same caller-RNG entry state, same
+/// configuration (modulo the episode budget — a longer run's trajectory
+/// extends a shorter one's, so cached evaluations stay valid), same
+/// decoded search space, and the same pool and dataset bytes.
+#[derive(Debug, Clone)]
+pub struct SearchFingerprint {
+    /// The caller's [`Rng64`](muffin_tensor::Rng64) state on entry to the
+    /// run, before the controller consumed anything.
+    pub rng_state: [u64; 4],
+    /// The search configuration with `episodes` normalised to zero.
+    pub config: SearchConfig,
+    /// The controller's decoded search space.
+    pub space: SearchSpace,
+    /// [`fnv1a64`] over the serialised model pool.
+    pub pool_hash: u64,
+    /// [`fnv1a64`] over the serialised train/val/test split.
+    pub data_hash: u64,
+}
+
+muffin_json::impl_json!(struct SearchFingerprint {
+    rng_state, config, space, pool_hash, data_hash,
+});
+
+impl SearchFingerprint {
+    /// Builds the fingerprint for a run. `config.episodes` is normalised
+    /// to zero so artifacts stay valid across episode-budget changes.
+    pub fn new(
+        rng_state: [u64; 4],
+        config: &SearchConfig,
+        space: &SearchSpace,
+        pool_json: &str,
+        split_json: &str,
+    ) -> Self {
+        let mut config = config.clone();
+        config.episodes = 0;
+        Self {
+            rng_state,
+            config,
+            space: space.clone(),
+            pool_hash: fnv1a64(pool_json.as_bytes()),
+            data_hash: fnv1a64(split_json.as_bytes()),
+        }
+    }
+
+    /// Names the first component differing from `other`, or `None` when
+    /// the fingerprints match. Field-by-field so rejection messages say
+    /// *what* went stale (reseeded run, edited config, retrained pool,
+    /// regenerated data) instead of a bare "mismatch".
+    pub fn mismatch(&self, other: &Self) -> Option<&'static str> {
+        if self.rng_state != other.rng_state {
+            return Some("rng seed/state");
+        }
+        if muffin_json::to_string(&self.config) != muffin_json::to_string(&other.config) {
+            return Some("search configuration");
+        }
+        if muffin_json::to_string(&self.space) != muffin_json::to_string(&other.space) {
+            return Some("search space");
+        }
+        if self.pool_hash != other.pool_hash {
+            return Some("model pool");
+        }
+        if self.data_hash != other.data_hash {
+            return Some("dataset split");
+        }
+        None
+    }
+}
+
+/// A complete snapshot of a search run at a REINFORCE batch boundary.
+///
+/// Everything the loop in
+/// [`MuffinSearch::run_persistent`](crate::MuffinSearch::run_persistent)
+/// carries across batches is here; restoring it and continuing produces
+/// the byte-identical [`SearchOutcome`](crate::SearchOutcome) an
+/// uninterrupted run would have returned.
+#[derive(Debug, Clone)]
+pub struct SearchCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Identity of the run this snapshot belongs to.
+    pub fingerprint: SearchFingerprint,
+    /// The episode budget of the interrupted run.
+    pub target_episodes: u32,
+    /// Completed episodes (always a batch boundary, except in the final
+    /// checkpoint of a finished run whose last batch was partial).
+    pub episode: u32,
+    /// The caller RNG's state at the boundary.
+    pub rng_state: [u64; 4],
+    /// Seed of the [`SplitMix64`](muffin_tensor::SplitMix64) stream the
+    /// per-episode head seeds are derived from (one draw off the caller
+    /// RNG at run start).
+    pub seed_stream_seed: u64,
+    /// The controller's learnable state.
+    pub controller: ControllerState,
+    /// One record per completed episode, in order.
+    pub history: Vec<EpisodeRecord>,
+    /// The evaluation cache, sorted by action vector for a deterministic
+    /// serialisation.
+    pub cache: Vec<EpisodeRecord>,
+}
+
+muffin_json::impl_json!(struct SearchCheckpoint {
+    version, fingerprint, target_episodes, episode, rng_state, seed_stream_seed,
+    controller, history, cache,
+});
+
+impl SearchCheckpoint {
+    /// Writes the checkpoint atomically: the JSON goes to a `.tmp`
+    /// sibling first and is renamed over `path`, so a crash mid-write
+    /// leaves the previous checkpoint intact rather than a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// [`MuffinError::Io`] naming the path on any filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuffinError> {
+        write_atomic(path.as_ref(), &muffin_json::to_string(self))
+    }
+
+    /// Loads and validates a checkpoint written by
+    /// [`SearchCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MuffinError::Io`] if the file cannot be read;
+    /// * [`MuffinError::StaleArtifact`] if it does not parse, its version
+    ///   is unsupported, or its fingerprint names a different run than
+    ///   `expected`.
+    pub fn load(path: impl AsRef<Path>, expected: &SearchFingerprint) -> Result<Self, MuffinError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            MuffinError::Io(format!("cannot read checkpoint {}: {e}", path.display()))
+        })?;
+        let ckpt: Self = muffin_json::from_str(&text).map_err(|e| {
+            MuffinError::StaleArtifact(format!(
+                "checkpoint {} is corrupt or truncated: {e}",
+                path.display()
+            ))
+        })?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(MuffinError::StaleArtifact(format!(
+                "checkpoint {} has version {}, this build reads version {CHECKPOINT_VERSION}",
+                path.display(),
+                ckpt.version
+            )));
+        }
+        if let Some(what) = expected.mismatch(&ckpt.fingerprint) {
+            return Err(MuffinError::StaleArtifact(format!(
+                "checkpoint {} belongs to a different run: {what} changed",
+                path.display()
+            )));
+        }
+        if ckpt.episode as usize != ckpt.history.len() {
+            return Err(MuffinError::StaleArtifact(format!(
+                "checkpoint {} records {} episodes but holds {} history entries",
+                path.display(),
+                ckpt.episode,
+                ckpt.history.len()
+            )));
+        }
+        Ok(ckpt)
+    }
+}
+
+/// The cross-run evaluation cache: trained-candidate metrics keyed by
+/// action vector, reusable by any run sharing the same
+/// [`SearchFingerprint`].
+///
+/// Because a matching fingerprint pins the whole search trajectory,
+/// every cached record is bit-identical to what a fresh evaluation would
+/// produce — loading the cache changes wall-clock time and the
+/// `search.cache_hit_disk` counter, never the
+/// [`SearchOutcome`](crate::SearchOutcome).
+#[derive(Debug, Clone)]
+pub struct EvalCacheFile {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Identity of the runs this cache serves.
+    pub fingerprint: SearchFingerprint,
+    /// Cached evaluations, sorted by action vector.
+    pub records: Vec<EpisodeRecord>,
+}
+
+muffin_json::impl_json!(struct EvalCacheFile { version, fingerprint, records });
+
+impl EvalCacheFile {
+    /// Writes the cache atomically (see [`SearchCheckpoint::save`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MuffinError::Io`] naming the path on any filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuffinError> {
+        write_atomic(path.as_ref(), &muffin_json::to_string(self))
+    }
+
+    /// Loads and validates an evaluation cache.
+    ///
+    /// A missing or empty file yields `Ok(None)` — a cold cache is the
+    /// normal first-run state, not an error. An unreadable, corrupt,
+    /// wrong-version or wrong-fingerprint file is rejected loudly so a
+    /// stale cache can never silently feed wrong metrics into a search.
+    ///
+    /// # Errors
+    ///
+    /// * [`MuffinError::Io`] if the file exists but cannot be read;
+    /// * [`MuffinError::StaleArtifact`] if it does not parse or does not
+    ///   match `expected`.
+    pub fn load(
+        path: impl AsRef<Path>,
+        expected: &SearchFingerprint,
+    ) -> Result<Option<Self>, MuffinError> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(MuffinError::Io(format!(
+                    "cannot read eval cache {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        if text.trim().is_empty() {
+            return Ok(None);
+        }
+        let cache: Self = muffin_json::from_str(&text).map_err(|e| {
+            MuffinError::StaleArtifact(format!(
+                "eval cache {} is corrupt or truncated: {e}",
+                path.display()
+            ))
+        })?;
+        if cache.version != CHECKPOINT_VERSION {
+            return Err(MuffinError::StaleArtifact(format!(
+                "eval cache {} has version {}, this build reads version {CHECKPOINT_VERSION}",
+                path.display(),
+                cache.version
+            )));
+        }
+        if let Some(what) = expected.mismatch(&cache.fingerprint) {
+            return Err(MuffinError::StaleArtifact(format!(
+                "eval cache {} belongs to a different run: {what} changed — \
+                 delete it or pass a fresh path",
+                path.display()
+            )));
+        }
+        Ok(Some(cache))
+    }
+}
+
+/// How [`MuffinSearch::run_persistent`](crate::MuffinSearch::run_persistent)
+/// persists its progress. The default persists nothing, which is exactly
+/// [`MuffinSearch::run_with_pool`](crate::MuffinSearch::run_with_pool).
+#[derive(Debug, Clone, Default)]
+pub struct PersistenceOptions {
+    /// Checkpoint file, written atomically during the run. `None`
+    /// disables checkpointing.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Minimum episodes between checkpoint writes. Checkpoints land on
+    /// the next REINFORCE batch boundary at or after this spacing; `0`
+    /// checkpoints at every boundary.
+    pub checkpoint_every: u32,
+    /// Resume from `checkpoint` instead of starting fresh. The file must
+    /// exist, parse, and fingerprint-match the current run.
+    pub resume: bool,
+    /// Cross-run evaluation cache file: loaded (if present) before the
+    /// run and rewritten with the merged cache afterwards.
+    pub eval_cache: Option<std::path::PathBuf>,
+    /// Stop at the first batch boundary ≥ this episode count, write a
+    /// checkpoint, and return [`MuffinError::Halted`]. Simulates a kill
+    /// deterministically; requires `checkpoint`.
+    pub halt_after: Option<u32>,
+}
+
+impl PersistenceOptions {
+    /// Options that checkpoint to `path` at every batch boundary.
+    pub fn checkpoint_to(path: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            checkpoint: Some(path.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the checkpoint spacing in episodes.
+    pub fn with_every(mut self, episodes: u32) -> Self {
+        self.checkpoint_every = episodes;
+        self
+    }
+
+    /// Enables resuming from the checkpoint file.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Sets the cross-run evaluation cache file.
+    pub fn with_eval_cache(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.eval_cache = Some(path.into());
+        self
+    }
+
+    /// Halts (with a checkpoint) at the first batch boundary ≥
+    /// `episodes`.
+    pub fn with_halt_after(mut self, episodes: u32) -> Self {
+        self.halt_after = Some(episodes);
+        self
+    }
+}
+
+/// Writes `contents` to a `.tmp` sibling of `path` and renames it into
+/// place — the old file survives any crash before the rename commits.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), MuffinError> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| MuffinError::Io(format!("{} has no file name", path.display())))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)
+        .map_err(|e| MuffinError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| MuffinError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    fn fingerprint(seed_word: u64) -> SearchFingerprint {
+        let config = SearchConfig::fast(&["age"]);
+        let space = SearchSpace::paper_default(3);
+        SearchFingerprint::new([seed_word, 1, 2, 3], &config, &space, "pool", "data")
+    }
+
+    #[test]
+    fn fingerprint_normalises_episodes_and_names_mismatches() {
+        let a = fingerprint(0);
+        // Same run with a different episode budget: identical fingerprint.
+        let mut config = SearchConfig::fast(&["age"]).with_episodes(5000);
+        let space = SearchSpace::paper_default(3);
+        let b = SearchFingerprint::new([0, 1, 2, 3], &config, &space, "pool", "data");
+        assert_eq!(a.mismatch(&b), None);
+
+        let c = fingerprint(9);
+        assert_eq!(a.mismatch(&c), Some("rng seed/state"));
+
+        config.reinforce_batch = 4;
+        let d = SearchFingerprint::new([0, 1, 2, 3], &config, &space, "pool", "data");
+        assert_eq!(a.mismatch(&d), Some("search configuration"));
+
+        let e = SearchFingerprint::new([0, 1, 2, 3], &a.config, &space, "other pool", "data");
+        assert_eq!(a.mismatch(&e), Some("model pool"));
+        let f = SearchFingerprint::new([0, 1, 2, 3], &a.config, &space, "pool", "other data");
+        assert_eq!(a.mismatch(&f), Some("dataset split"));
+    }
+
+    #[test]
+    fn missing_or_empty_eval_cache_is_cold_not_fatal() {
+        let fp = fingerprint(0);
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(EvalCacheFile::load(dir.join("absent.json"), &fp)
+            .expect("missing file is cold")
+            .is_none());
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "").expect("write");
+        assert!(EvalCacheFile::load(&empty, &fp)
+            .expect("empty file is cold")
+            .is_none());
+        std::fs::remove_file(empty).ok();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_artifacts_are_rejected_loudly() {
+        let fp = fingerprint(0);
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{\"version\": 1,").expect("write");
+        let err = EvalCacheFile::load(&corrupt, &fp).unwrap_err();
+        assert!(matches!(err, MuffinError::StaleArtifact(_)), "{err}");
+        let err = SearchCheckpoint::load(&corrupt, &fp).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+
+        let stale = dir.join("stale.json");
+        let cache = EvalCacheFile {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fingerprint(7),
+            records: vec![],
+        };
+        cache.save(&stale).expect("save");
+        let err = EvalCacheFile::load(&stale, &fp).unwrap_err();
+        assert!(err.to_string().contains("rng seed/state"), "{err}");
+
+        let old = dir.join("old_version.json");
+        let cache = EvalCacheFile {
+            version: 99,
+            fingerprint: fingerprint(0),
+            records: vec![],
+        };
+        cache.save(&old).expect("save");
+        let err = EvalCacheFile::load(&old, &fp).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        for f in ["corrupt.json", "stale.json", "old_version.json"] {
+            std::fs::remove_file(dir.join(f)).ok();
+        }
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_and_replaces_content() {
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("atomic.json");
+        write_atomic(&path, "first").expect("write");
+        write_atomic(&path, "second").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
+        assert!(
+            !dir.join("atomic.json.tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

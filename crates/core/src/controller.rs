@@ -52,16 +52,24 @@ impl SearchSpace {
             return Err(MuffinError::EmptyPool);
         }
         if num_slots == 0 {
-            return Err(MuffinError::InvalidConfig("num_slots must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "num_slots must be positive".into(),
+            ));
         }
         if depth_choices.is_empty() || depth_choices.contains(&0) {
-            return Err(MuffinError::InvalidConfig("depth choices must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "depth choices must be positive".into(),
+            ));
         }
         if width_choices.is_empty() || width_choices.contains(&0) {
-            return Err(MuffinError::InvalidConfig("width choices must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "width choices must be positive".into(),
+            ));
         }
         if activation_choices.is_empty() {
-            return Err(MuffinError::InvalidConfig("need at least one activation".into()));
+            return Err(MuffinError::InvalidConfig(
+                "need at least one activation".into(),
+            ));
         }
         Ok(Self {
             pool_size,
@@ -91,7 +99,9 @@ impl SearchSpace {
     /// 1–4 paired models).
     pub fn with_slots(mut self, num_slots: usize) -> Result<Self, MuffinError> {
         if num_slots == 0 {
-            return Err(MuffinError::InvalidConfig("num_slots must be positive".into()));
+            return Err(MuffinError::InvalidConfig(
+                "num_slots must be positive".into(),
+            ));
         }
         self.num_slots = num_slots;
         Ok(self)
@@ -131,7 +141,11 @@ impl SearchSpace {
 
     /// Maximum head depth.
     pub fn max_depth(&self) -> usize {
-        *self.depth_choices.iter().max().expect("validated non-empty")
+        *self
+            .depth_choices
+            .iter()
+            .max()
+            .expect("validated non-empty")
     }
 
     /// Number of decision steps in one episode.
@@ -143,14 +157,20 @@ impl SearchSpace {
     pub fn step_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![self.pool_size; self.num_slots];
         sizes.push(self.depth_choices.len());
-        sizes.extend(std::iter::repeat_n(self.width_choices.len(), self.max_depth()));
+        sizes.extend(std::iter::repeat_n(
+            self.width_choices.len(),
+            self.max_depth(),
+        ));
         sizes.push(self.activation_choices.len());
         sizes
     }
 
     /// The largest choice count over all steps.
     pub fn max_choices(&self) -> usize {
-        self.step_sizes().into_iter().max().expect("at least one step")
+        self.step_sizes()
+            .into_iter()
+            .max()
+            .expect("at least one step")
     }
 
     /// Decodes an action vector into a candidate structure.
@@ -179,7 +199,11 @@ impl SearchSpace {
             }
         }
         let mut model_indices: Vec<usize> = Vec::new();
-        for &m in self.required_models.iter().chain(&actions[..self.num_slots]) {
+        for &m in self
+            .required_models
+            .iter()
+            .chain(&actions[..self.num_slots])
+        {
             if !model_indices.contains(&m) {
                 model_indices.push(m);
             }
@@ -189,7 +213,10 @@ impl SearchSpace {
             .map(|l| self.width_choices[actions[self.num_slots + 1 + l]])
             .collect();
         let activation = self.activation_choices[actions[self.num_slots + 1 + self.max_depth()]];
-        Ok(Candidate { model_indices, head: HeadSpec::new(widths, activation) })
+        Ok(Candidate {
+            model_indices,
+            head: HeadSpec::new(widths, activation),
+        })
     }
 }
 
@@ -237,6 +264,29 @@ impl Default for ControllerConfig {
         }
     }
 }
+
+/// Serialisable snapshot of everything a trained [`RnnController`] has
+/// learned: the flattened parameter buffers (in [`Parameterized`]
+/// visitation order), the optimizer moments, the EMA reward baseline and
+/// the update counter.
+///
+/// Captured by [`RnnController::export_state`] and restored with
+/// [`RnnController::import_state`]; a restored controller continues
+/// training bit-identically, which is what lets a search checkpoint resume
+/// without drift.
+#[derive(Debug, Clone)]
+pub struct ControllerState {
+    /// Every parameter buffer, concatenated in visitation order.
+    pub params: Vec<f32>,
+    /// Optimizer hyper-parameters plus accumulated moments.
+    pub optimizer: Optimizer,
+    /// The EMA reward baseline `b` of Eq. 4 (`None` before any update).
+    pub baseline: Option<f32>,
+    /// Number of policy updates applied so far.
+    pub updates: u64,
+}
+
+muffin_json::impl_json!(struct ControllerState { params, optimizer, baseline, updates });
 
 /// One sampled episode: the action vector plus the forward caches the
 /// policy-gradient update needs.
@@ -357,11 +407,20 @@ impl RnnController {
             let probs = probs_matrix.row(0).to_vec();
             let action = pick(&probs);
             log_probs.push(probs[action].max(1e-20).ln());
-            caches.push(StepCache { rnn: rnn_cache, embed_input, probs, action });
+            caches.push(StepCache {
+                rnn: rnn_cache,
+                embed_input,
+                probs,
+                action,
+            });
             actions.push(action);
             prev_token = action;
         }
-        SampledEpisode { actions, log_probs, caches }
+        SampledEpisode {
+            actions,
+            log_probs,
+            caches,
+        }
     }
 
     /// Samples one episode from the current policy.
@@ -428,9 +487,7 @@ impl RnnController {
                     .sum::<f32>();
                 let mut dlogits = Matrix::zeros(1, cache.probs.len());
                 for (i, &p) in cache.probs.iter().enumerate() {
-                    let pg = discount
-                        * advantage
-                        * (p - if i == cache.action { 1.0 } else { 0.0 });
+                    let pg = discount * advantage * (p - if i == cache.action { 1.0 } else { 0.0 });
                     let ent = self.config.entropy_weight
                         * p
                         * (if p > 0.0 { p.ln() } else { 0.0 } + entropy);
@@ -451,6 +508,48 @@ impl RnnController {
         self.optimizer = opt;
         self.updates += 1;
         mean_advantage
+    }
+
+    /// Snapshots the controller's learnable state for serialisation.
+    ///
+    /// Takes `&mut self` because parameter visitation is defined on
+    /// mutable buffers; the state is not modified.
+    pub fn export_state(&mut self) -> ControllerState {
+        let mut params = Vec::new();
+        self.visit_params(&mut |p, _| params.extend_from_slice(p));
+        ControllerState {
+            params,
+            optimizer: self.optimizer.clone(),
+            baseline: self.baseline,
+            updates: self.updates,
+        }
+    }
+
+    /// Restores state captured by [`RnnController::export_state`] into a
+    /// structurally identical controller (same space and config).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::InvalidConfig`] if the flattened parameter
+    /// count does not match this controller's architecture — the loudest
+    /// available signal that the checkpoint belongs to a different space.
+    pub fn import_state(&mut self, state: ControllerState) -> Result<(), MuffinError> {
+        let expected = self.num_params();
+        if state.params.len() != expected {
+            return Err(MuffinError::InvalidConfig(format!(
+                "controller state has {} parameters, expected {expected}",
+                state.params.len()
+            )));
+        }
+        let mut offset = 0;
+        self.visit_params(&mut |p, _| {
+            p.copy_from_slice(&state.params[offset..offset + p.len()]);
+            offset += p.len();
+        });
+        self.optimizer = state.optimizer;
+        self.baseline = state.baseline;
+        self.updates = state.updates;
+        Ok(())
     }
 
     /// Probability vector of step `t` under the current policy, for
@@ -548,7 +647,10 @@ mod tests {
         let mut rng = Rng64::seed(2);
         let mut controller = RnnController::new(
             space(),
-            ControllerConfig { entropy_weight: 0.0, ..ControllerConfig::default() },
+            ControllerConfig {
+                entropy_weight: 0.0,
+                ..ControllerConfig::default()
+            },
             &mut rng,
         );
         // Reward only episodes whose first action is 3.
@@ -601,7 +703,10 @@ mod tests {
         // A batch of m identical episodes must produce the same update as
         // one episode at the same advantage (gradients average, not sum).
         let mut rng = Rng64::seed(7);
-        let config = ControllerConfig { entropy_weight: 0.0, ..ControllerConfig::default() };
+        let config = ControllerConfig {
+            entropy_weight: 0.0,
+            ..ControllerConfig::default()
+        };
         let mut single = RnnController::new(space(), config, &mut rng);
         let mut batched = single.clone();
         let e = single.sample(&mut Rng64::seed(9));
@@ -631,7 +736,10 @@ mod tests {
         let mut rng = Rng64::seed(10);
         let mut controller = RnnController::new(
             space(),
-            ControllerConfig { entropy_weight: 0.0, ..ControllerConfig::default() },
+            ControllerConfig {
+                entropy_weight: 0.0,
+                ..ControllerConfig::default()
+            },
             &mut rng,
         );
         let before = controller.step_probs(0, &[])[1];
@@ -654,7 +762,10 @@ mod tests {
         let mut rng = Rng64::seed(6);
         let mut with_entropy = RnnController::new(
             space(),
-            ControllerConfig { entropy_weight: 0.5, ..ControllerConfig::default() },
+            ControllerConfig {
+                entropy_weight: 0.5,
+                ..ControllerConfig::default()
+            },
             &mut rng,
         );
         // Hammer one action with reward.
@@ -664,7 +775,56 @@ mod tests {
             with_entropy.update(&e, reward);
         }
         let probs = with_entropy.step_probs(0, &[]);
-        assert!(probs.iter().all(|&p| p > 0.005), "entropy keeps support: {probs:?}");
+        assert!(
+            probs.iter().all(|&p| p > 0.005),
+            "entropy keeps support: {probs:?}"
+        );
+    }
+
+    #[test]
+    fn exported_state_resumes_training_bit_identically() {
+        let mut rng = Rng64::seed(11);
+        let mut original = RnnController::new(space(), ControllerConfig::default(), &mut rng);
+        for _ in 0..5 {
+            let e = original.sample(&mut rng);
+            original.update(&e, 1.0);
+        }
+        // Serialise, rebuild a fresh controller structure, restore.
+        let json = muffin_json::to_string(&original.export_state());
+        let state: ControllerState = muffin_json::from_str(&json).expect("parse");
+        let mut restored =
+            RnnController::new(space(), ControllerConfig::default(), &mut Rng64::seed(999));
+        restored.import_state(state).expect("shapes match");
+        assert_eq!(restored.baseline(), original.baseline());
+        assert_eq!(restored.updates(), original.updates());
+        // Continue training both on identical streams: must stay in
+        // lockstep down to the bit.
+        let mut rng_a = Rng64::seed(55);
+        let mut rng_b = Rng64::seed(55);
+        for _ in 0..4 {
+            let ea = original.sample(&mut rng_a);
+            let eb = restored.sample(&mut rng_b);
+            assert_eq!(ea.actions, eb.actions);
+            original.update(&ea, 0.5);
+            restored.update(&eb, 0.5);
+        }
+        let pa = original.step_probs(0, &[]);
+        let pb = restored.step_probs(0, &[]);
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_parameter_count() {
+        let mut rng = Rng64::seed(12);
+        let mut controller = RnnController::new(space(), ControllerConfig::default(), &mut rng);
+        let mut state = controller.export_state();
+        state.params.pop();
+        assert!(matches!(
+            controller.import_state(state),
+            Err(MuffinError::InvalidConfig(_))
+        ));
     }
 
     #[test]

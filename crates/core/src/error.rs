@@ -21,6 +21,20 @@ pub enum MuffinError {
     InvalidConfig(String),
     /// A requested attribute does not exist in the dataset schema.
     UnknownAttribute(String),
+    /// A checkpoint or evaluation-cache file failed an IO operation; the
+    /// message names the path and the underlying error.
+    Io(String),
+    /// A checkpoint or evaluation-cache file exists but cannot be used:
+    /// corrupt JSON, an unsupported version, or a fingerprint that does
+    /// not match the current run. The message says which.
+    StaleArtifact(String),
+    /// The search stopped early at a batch boundary because
+    /// `halt_after` was reached; a checkpoint covering `episode` episodes
+    /// was written before returning.
+    Halted {
+        /// Number of completed episodes at the stop point.
+        episode: u32,
+    },
 }
 
 impl fmt::Display for MuffinError {
@@ -32,6 +46,14 @@ impl fmt::Display for MuffinError {
             }
             MuffinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MuffinError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            MuffinError::Io(msg) => write!(f, "io error: {msg}"),
+            MuffinError::StaleArtifact(msg) => write!(f, "stale artifact: {msg}"),
+            MuffinError::Halted { episode } => {
+                write!(
+                    f,
+                    "search halted after {episode} episode(s); checkpoint written"
+                )
+            }
         }
     }
 }
@@ -48,7 +70,9 @@ mod tests {
         assert!(MuffinError::InvalidConfig("episodes must be > 0".into())
             .to_string()
             .contains("episodes"));
-        assert!(MuffinError::UnknownAttribute("tone".into()).to_string().contains("tone"));
+        assert!(MuffinError::UnknownAttribute("tone".into())
+            .to_string()
+            .contains("tone"));
     }
 
     #[test]

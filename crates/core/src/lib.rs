@@ -56,6 +56,7 @@
 //! ```
 
 mod analysis;
+mod checkpoint;
 mod controller;
 mod distill;
 mod error;
@@ -72,7 +73,13 @@ mod reward_variants;
 mod search;
 
 pub use analysis::{per_group_accuracy_table, DisagreementBreakdown, FusionComposition};
-pub use controller::{Candidate, ControllerConfig, RnnController, SampledEpisode, SearchSpace};
+pub use checkpoint::{
+    fnv1a64, EvalCacheFile, PersistenceOptions, SearchCheckpoint, SearchFingerprint,
+    CHECKPOINT_VERSION,
+};
+pub use controller::{
+    Candidate, ControllerConfig, ControllerState, RnnController, SampledEpisode, SearchSpace,
+};
 pub use distill::{distill_student, DistillConfig, DistilledStudent};
 pub use error::MuffinError;
 pub use explain::{TrustReport, TrustSlice};

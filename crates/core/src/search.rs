@@ -1,3 +1,6 @@
+use crate::checkpoint::{
+    EvalCacheFile, PersistenceOptions, SearchCheckpoint, SearchFingerprint, CHECKPOINT_VERSION,
+};
 use crate::{
     Candidate, ControllerConfig, FusingStructure, HeadTrainConfig, MuffinError, PrivilegeMap,
     ProxyDataset, RewardConfig, RewardKind, RnnController, SearchSpace,
@@ -7,7 +10,7 @@ use muffin_models::ModelPool;
 use muffin_par::WorkerPool;
 use muffin_tensor::{Rng64, SplitMix64};
 use muffin_trace::{Field, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Configuration of a full Muffin search.
@@ -546,13 +549,88 @@ impl MuffinSearch {
         rng: &mut Rng64,
         pool: &WorkerPool,
     ) -> Result<SearchOutcome, MuffinError> {
+        self.run_persistent(rng, pool, &PersistenceOptions::default())
+    }
+
+    /// Builds the staleness fingerprint of a run starting from the given
+    /// caller-RNG state: the exact identity a checkpoint or evaluation
+    /// cache must carry to be replayed into this search.
+    fn fingerprint(&self, rng_state: [u64; 4], space: &SearchSpace) -> SearchFingerprint {
+        SearchFingerprint::new(
+            rng_state,
+            &self.config,
+            space,
+            &muffin_json::to_string(&self.pool),
+            &muffin_json::to_string(&self.split),
+        )
+    }
+
+    /// Like [`MuffinSearch::run_with_pool`], with durable persistence.
+    ///
+    /// Depending on `opts`, the run additionally:
+    ///
+    /// * writes a [`SearchCheckpoint`] atomically at REINFORCE batch
+    ///   boundaries (`checkpoint` + `checkpoint_every`);
+    /// * **resumes** from such a checkpoint (`resume`), continuing the
+    ///   interrupted trajectory so the final [`SearchOutcome`] is
+    ///   byte-identical to an uninterrupted run at any worker count;
+    /// * loads and rewrites a cross-run [`EvalCacheFile`] (`eval_cache`),
+    ///   skipping head training for candidates already evaluated by an
+    ///   earlier run with the same fingerprint — each skipped evaluation
+    ///   is counted on the `search.cache_hit_disk` tracer counter;
+    /// * halts gracefully at the first batch boundary at or past
+    ///   `halt_after`, writing a checkpoint and returning
+    ///   [`MuffinError::Halted`] (deterministic kill simulation for
+    ///   tests and operator drills).
+    ///
+    /// Checkpoints are only taken at batch boundaries because the policy
+    /// update schedule is part of the trajectory: resuming mid-batch
+    /// under a different episode budget would realign the Eq. 4 update
+    /// boundaries and silently diverge. For the same reason a resumed
+    /// run must share the checkpoint's REINFORCE batch size, which the
+    /// fingerprint enforces.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`MuffinSearch::run`]'s errors:
+    ///
+    /// * [`MuffinError::InvalidConfig`] if `resume` or `halt_after` is
+    ///   set without a `checkpoint` path;
+    /// * [`MuffinError::Io`] / [`MuffinError::StaleArtifact`] for
+    ///   unreadable, corrupt or mismatched persistence files;
+    /// * [`MuffinError::Halted`] when `halt_after` stops the run early.
+    pub fn run_persistent(
+        &self,
+        rng: &mut Rng64,
+        pool: &WorkerPool,
+        opts: &PersistenceOptions,
+    ) -> Result<SearchOutcome, MuffinError> {
+        if opts.resume && opts.checkpoint.is_none() {
+            return Err(MuffinError::InvalidConfig(
+                "resume requires a checkpoint path".into(),
+            ));
+        }
+        if opts.halt_after.is_some() && opts.checkpoint.is_none() {
+            return Err(MuffinError::InvalidConfig(
+                "halt_after requires a checkpoint path".into(),
+            ));
+        }
         let space = self.space();
+        // Serialising the pool and split for hashing is not free; skip it
+        // entirely for plain in-memory runs.
+        let fingerprint = (opts.checkpoint.is_some() || opts.eval_cache.is_some())
+            .then(|| self.fingerprint(rng.state(), &space));
+
         let tracer = &self.tracer;
         let mut run_span = tracer.span("search.run");
         run_span.field("episodes", self.config.episodes as usize);
         run_span.field("slots", self.config.num_slots);
         run_span.field("pool_models", self.pool.len());
         run_span.field("reinforce_batch", self.config.reinforce_batch);
+        // The controller always consumes the caller's RNG first, resumed
+        // or not: on resume both its parameters and the RNG are then
+        // overwritten from the checkpoint, so construction order stays a
+        // frozen part of the stream contract.
         let mut controller = RnnController::new(space.clone(), self.config.controller, rng);
         let target_names: Vec<&str> = self
             .config
@@ -561,19 +639,89 @@ impl MuffinSearch {
             .map(String::as_str)
             .collect();
 
+        let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
+        let mut disk_origin: HashSet<Vec<usize>> = HashSet::new();
+        let seed_stream_seed: u64;
+        let mut history: Vec<EpisodeRecord>;
+        let mut episode: u32;
+        if opts.resume {
+            let path = opts.checkpoint.as_ref().expect("validated above");
+            let fp = fingerprint.as_ref().expect("checkpoint path set");
+            let ckpt = SearchCheckpoint::load(path, fp)?;
+            if ckpt.episode > self.config.episodes {
+                return Err(MuffinError::StaleArtifact(format!(
+                    "checkpoint {} already covers {} episodes, more than the requested {}",
+                    path.display(),
+                    ckpt.episode,
+                    self.config.episodes
+                )));
+            }
+            // A checkpoint ending mid-batch (the final snapshot of a
+            // finished run whose last batch was partial) can only stand
+            // in for a run with that same episode budget.
+            let on_boundary = ckpt.episode % self.config.reinforce_batch as u32 == 0;
+            if !on_boundary && ckpt.episode != self.config.episodes {
+                return Err(MuffinError::StaleArtifact(format!(
+                    "checkpoint {} ends mid-batch at episode {} (written by a {}-episode run); \
+                     it can only resume a run with that same episode budget",
+                    path.display(),
+                    ckpt.episode,
+                    ckpt.target_episodes
+                )));
+            }
+            controller.import_state(ckpt.controller)?;
+            *rng = Rng64::from_state(ckpt.rng_state);
+            seed_stream_seed = ckpt.seed_stream_seed;
+            episode = ckpt.episode;
+            history = ckpt.history;
+            for record in ckpt.cache {
+                cache.insert(record.actions.clone(), record);
+            }
+            tracer.progress(|| format!("resumed from {} at episode {episode}", path.display()));
+        } else {
+            seed_stream_seed = rng.next_u64();
+            episode = 0;
+            history = Vec::with_capacity(self.config.episodes as usize);
+        }
+
+        if let Some(path) = &opts.eval_cache {
+            let fp = fingerprint.as_ref().expect("eval cache path set");
+            if let Some(file) = EvalCacheFile::load(path, fp)? {
+                tracer.progress(|| {
+                    format!(
+                        "eval cache {}: {} record(s)",
+                        path.display(),
+                        file.records.len()
+                    )
+                });
+                for record in file.records {
+                    disk_origin.insert(record.actions.clone());
+                    // A resumed checkpoint's entry wins, though the two
+                    // are bit-identical whenever both exist.
+                    cache.entry(record.actions.clone()).or_insert(record);
+                }
+            }
+        }
+
         // Per-episode head seeds, pre-derived so evaluation order (and the
         // cache hit pattern) can never perturb the controller's stream.
-        let mut seed_stream = SplitMix64::new(rng.next_u64());
+        let mut seed_stream = SplitMix64::new(seed_stream_seed);
         let head_seeds: Vec<u64> = (0..self.config.episodes)
             .map(|_| seed_stream.next_u64())
             .collect();
 
-        let mut cache: HashMap<Vec<usize>, EpisodeRecord> = HashMap::new();
-        let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes as usize);
+        // Replay best-candidate tracking over the (possibly restored)
+        // history; identical to having tracked it live.
         let mut best_idx = 0usize;
         let mut best_reward = f32::MIN;
+        for (i, record) in history.iter().enumerate() {
+            if record.reward > best_reward {
+                best_reward = record.reward;
+                best_idx = i;
+            }
+        }
 
-        let mut episode = 0u32;
+        let mut last_checkpoint = episode;
         while episode < self.config.episodes {
             let mut batch_span = tracer.span("search.batch");
             let batch_len =
@@ -602,6 +750,16 @@ impl MuffinSearch {
             batch_span.field("jobs", jobs.len());
             tracer.count("search.cache_miss", jobs.len() as u64);
             tracer.count("search.cache_hit", (batch_len - jobs.len()) as u64);
+            // Episodes served by records loaded from --eval-cache. Only
+            // emitted when non-zero so cold runs keep their exact
+            // pre-persistence trace shape.
+            let disk_hits = sampled
+                .iter()
+                .filter(|s| disk_origin.contains(&s.actions))
+                .count() as u64;
+            if disk_hits > 0 {
+                tracer.count("search.cache_hit_disk", disk_hits);
+            }
 
             // Workers measure their own durations and record into per-job
             // forks; the forks are absorbed below in job order, so the
@@ -695,14 +853,71 @@ impl MuffinSearch {
                     jobs.len(),
                 )
             });
+
+            // The batch boundary is the only point the whole loop state
+            // is summarised by (rng, controller, history, cache) — the
+            // only point a checkpoint can resume from without drift.
+            let halting = opts
+                .halt_after
+                .is_some_and(|h| episode >= h && episode < self.config.episodes);
+            if let (Some(path), Some(fp)) = (&opts.checkpoint, &fingerprint) {
+                let due = episode - last_checkpoint >= opts.checkpoint_every
+                    || episode == self.config.episodes
+                    || halting;
+                if due {
+                    let mut cache_records: Vec<EpisodeRecord> = cache.values().cloned().collect();
+                    cache_records.sort_by(|a, b| a.actions.cmp(&b.actions));
+                    let ckpt = SearchCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        fingerprint: fp.clone(),
+                        target_episodes: self.config.episodes,
+                        episode,
+                        rng_state: rng.state(),
+                        seed_stream_seed,
+                        controller: controller.export_state(),
+                        history: history.clone(),
+                        cache: cache_records,
+                    };
+                    ckpt.save(path)?;
+                    last_checkpoint = episode;
+                    tracer.count("search.checkpoint_write", 1);
+                }
+            }
+            if halting {
+                self.write_eval_cache(opts, &fingerprint, &cache)?;
+                run_span.finish();
+                return Err(MuffinError::Halted { episode });
+            }
         }
         run_span.finish();
+        self.write_eval_cache(opts, &fingerprint, &cache)?;
 
         Ok(SearchOutcome {
             history,
             best_by_reward: best_idx,
             target_attributes: self.config.target_attributes.clone(),
         })
+    }
+
+    /// Rewrites the cross-run evaluation cache (when configured) with the
+    /// union of what was loaded and what this run evaluated.
+    fn write_eval_cache(
+        &self,
+        opts: &PersistenceOptions,
+        fingerprint: &Option<SearchFingerprint>,
+        cache: &HashMap<Vec<usize>, EpisodeRecord>,
+    ) -> Result<(), MuffinError> {
+        let (Some(path), Some(fp)) = (&opts.eval_cache, fingerprint) else {
+            return Ok(());
+        };
+        let mut records: Vec<EpisodeRecord> = cache.values().cloned().collect();
+        records.sort_by(|a, b| a.actions.cmp(&b.actions));
+        let file = EvalCacheFile {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fp.clone(),
+            records,
+        };
+        file.save(path)
     }
 }
 

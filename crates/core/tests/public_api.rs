@@ -4,10 +4,11 @@
 //! exist. Compile-time guarantees, checked once here.
 
 use muffin::{
-    Candidate, ControllerConfig, DisagreementBreakdown, EpisodeRecord, FusingStructure,
-    FusionComposition, HalvingConfig, HeadSpec, HeadTrainConfig, MuffinError, PrivilegeMap,
-    ProxyDataset, RewardConfig, RewardKind, RnnController, SearchConfig, SearchOutcome,
-    SearchSpace, TextTable, TrustReport,
+    Candidate, ControllerConfig, ControllerState, DisagreementBreakdown, EpisodeRecord,
+    EvalCacheFile, FusingStructure, FusionComposition, HalvingConfig, HeadSpec, HeadTrainConfig,
+    MuffinError, PersistenceOptions, PrivilegeMap, ProxyDataset, RewardConfig, RewardKind,
+    RnnController, SearchCheckpoint, SearchConfig, SearchFingerprint, SearchOutcome, SearchSpace,
+    TextTable, TrustReport, CHECKPOINT_VERSION,
 };
 
 fn assert_send_sync<T: Send + Sync>() {}
@@ -35,6 +36,11 @@ fn public_types_are_send_sync() {
     assert_send_sync::<TrustReport>();
     assert_send_sync::<DisagreementBreakdown>();
     assert_send_sync::<FusionComposition>();
+    assert_send_sync::<ControllerState>();
+    assert_send_sync::<SearchFingerprint>();
+    assert_send_sync::<SearchCheckpoint>();
+    assert_send_sync::<EvalCacheFile>();
+    assert_send_sync::<PersistenceOptions>();
 }
 
 #[test]
@@ -50,6 +56,13 @@ fn public_types_are_debuggable_and_cloneable() {
     assert_clone::<SearchConfig>();
     assert_clone::<SearchOutcome>();
     assert_clone::<RnnController>();
+    assert_debug::<SearchCheckpoint>();
+    assert_debug::<PersistenceOptions>();
+    assert_clone::<ControllerState>();
+    assert_clone::<SearchFingerprint>();
+    assert_clone::<SearchCheckpoint>();
+    assert_clone::<EvalCacheFile>();
+    assert_clone::<PersistenceOptions>();
 }
 
 #[test]
@@ -70,10 +83,16 @@ fn default_configs_are_consistent() {
     assert!(controller.gamma > 0.0 && controller.gamma <= 1.0);
     assert!((0.0..1.0).contains(&controller.baseline_decay));
     let halving = HalvingConfig::default();
-    halving.validate().expect("default halving config must be valid");
+    halving
+        .validate()
+        .expect("default halving config must be valid");
     let head = HeadTrainConfig::default();
     assert!(head.epochs > 0 && head.batch_size > 0);
     let paper = SearchConfig::paper(&["age"]);
     assert_eq!(paper.episodes, 500, "the paper's episode count");
     assert_eq!(paper.num_slots, 2, "the paper's paired-model count");
+    let persistence = PersistenceOptions::default();
+    assert!(persistence.checkpoint.is_none() && persistence.eval_cache.is_none());
+    assert!(!persistence.resume && persistence.halt_after.is_none());
+    assert_eq!(CHECKPOINT_VERSION, 1, "bump only with a format change");
 }

@@ -48,7 +48,10 @@ impl FromJson for bool {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         match json {
             Json::Bool(b) => Ok(*b),
-            other => Err(JsonError::decode(format!("expected bool, found {}", other.kind()))),
+            other => Err(JsonError::decode(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -69,7 +72,10 @@ impl FromJson for String {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         match json {
             Json::Str(s) => Ok(s.clone()),
-            other => Err(JsonError::decode(format!("expected string, found {}", other.kind()))),
+            other => Err(JsonError::decode(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -196,8 +202,44 @@ impl<T: FromJson> FromJson for Vec<T> {
                     T::from_json(item).map_err(|e| e.in_context(&format!("index {i}")))
                 })
                 .collect(),
-            other => Err(JsonError::decode(format!("expected array, found {}", other.kind()))),
+            other => Err(JsonError::decode(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = match json {
+            Json::Arr(items) if items.len() == N => items,
+            Json::Arr(items) => {
+                return Err(JsonError::decode(format!(
+                    "expected {N}-element array, found {} elements",
+                    items.len()
+                )))
+            }
+            other => {
+                return Err(JsonError::decode(format!(
+                    "expected array, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let mut decoded = Vec::with_capacity(N);
+        for (i, item) in items.iter().enumerate() {
+            decoded.push(T::from_json(item).map_err(|e| e.in_context(&format!("index {i}")))?);
+        }
+        decoded
+            .try_into()
+            .map_err(|_| JsonError::decode("array length changed during decode"))
     }
 }
 

@@ -36,8 +36,8 @@
 //! (normally the defining module), exactly like a derive.
 
 /// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson)
-/// from a field list. See the [module documentation](self) for the four
-/// accepted shapes.
+/// from a field list. Four shapes are accepted: `struct`, `tuple`,
+/// `unit_enum` and `tagged` (see the examples in `src/macros.rs`).
 #[macro_export]
 macro_rules! impl_json {
     (struct $ty:ident { $($field:ident),* $(,)? }) => {

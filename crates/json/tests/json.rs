@@ -6,7 +6,11 @@ use muffin_json::{impl_json, parse, FromJson, Json, JsonError, ToJson};
 
 fn parse_err(text: &str) -> (usize, usize, String) {
     match parse(text) {
-        Err(JsonError::Parse { line, column, message }) => (line, column, message),
+        Err(JsonError::Parse {
+            line,
+            column,
+            message,
+        }) => (line, column, message),
         other => panic!("expected parse error for {text:?}, got {other:?}"),
     }
 }
@@ -171,6 +175,19 @@ fn containers_round_trip() {
 }
 
 #[test]
+fn fixed_arrays_round_trip_and_check_length() {
+    // The checkpoint stores the xoshiro256++ state as a [u64; 4].
+    let state: [u64; 4] = [u64::MAX, 0, 0x9E37_79B9_7F4A_7C15, 42];
+    let text = muffin_json::to_string(&state);
+    let back: [u64; 4] = muffin_json::from_str(&text).unwrap();
+    assert_eq!(back, state);
+
+    let err = muffin_json::from_str::<[u64; 4]>("[1,2,3]").unwrap_err();
+    assert!(err.to_string().contains("4-element"), "{err}");
+    assert!(muffin_json::from_str::<[u64; 2]>("7").is_err());
+}
+
+#[test]
 fn decode_errors_name_the_field_path() {
     #[derive(Debug, PartialEq)]
     struct Inner {
@@ -184,8 +201,8 @@ fn decode_errors_name_the_field_path() {
     }
     impl_json!(struct Outer { items });
 
-    let err = muffin_json::from_str::<Outer>(r#"{"items": [{"value": 1.0}, {"wrong": 2}]}"#)
-        .unwrap_err();
+    let err =
+        muffin_json::from_str::<Outer>(r#"{"items": [{"value": 1.0}, {"wrong": 2}]}"#).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("items"), "{msg}");
     assert!(msg.contains("index 1"), "{msg}");
@@ -210,9 +227,17 @@ fn macro_struct_and_newtype_round_trip() {
     }
     impl_json!(struct Record { id, name, scores, note });
 
-    let r = Record { id: Id(9), name: "r".into(), scores: vec![0.5, 1.5], note: None };
+    let r = Record {
+        id: Id(9),
+        name: "r".into(),
+        scores: vec![0.5, 1.5],
+        note: None,
+    };
     let text = muffin_json::to_string(&r);
-    assert_eq!(text, r#"{"id":9,"name":"r","scores":[0.5,1.5],"note":null}"#);
+    assert_eq!(
+        text,
+        r#"{"id":9,"name":"r","scores":[0.5,1.5],"note":null}"#
+    );
     assert_eq!(muffin_json::from_str::<Record>(&text).unwrap(), r);
 }
 
@@ -223,10 +248,18 @@ fn macro_enums_round_trip() {
         Fast,
         Slow,
     }
-    impl_json!(enum Mode { Fast, Slow });
+    impl_json!(
+        enum Mode {
+            Fast,
+            Slow,
+        }
+    );
 
     assert_eq!(muffin_json::to_string(&Mode::Slow), r#""Slow""#);
-    assert_eq!(muffin_json::from_str::<Mode>(r#""Fast""#).unwrap(), Mode::Fast);
+    assert_eq!(
+        muffin_json::from_str::<Mode>(r#""Fast""#).unwrap(),
+        Mode::Fast
+    );
     assert!(muffin_json::from_str::<Mode>(r#""Medium""#).is_err());
 
     #[derive(Debug, Clone, PartialEq)]

@@ -1,4 +1,3 @@
-
 /// A model whose flat parameter/gradient buffers can be visited in a stable
 /// order.
 ///
@@ -70,7 +69,10 @@ muffin_json::impl_json!(struct SgdConfig { momentum, weight_decay });
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { momentum: 0.9, weight_decay: 0.0 }
+        Self {
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -104,16 +106,33 @@ pub enum Optimizer {
     },
 }
 
+// Serialised so a search checkpoint can persist the controller's Adam
+// moments and resume with bit-identical updates.
+muffin_json::impl_json!(tagged Optimizer {
+    Sgd { config, velocity },
+    Adam { beta1, beta2, eps, m, v, t },
+});
+
 impl Optimizer {
     /// Creates an SGD optimizer.
     pub fn sgd(config: SgdConfig) -> Self {
-        Optimizer::Sgd { config, velocity: Vec::new() }
+        Optimizer::Sgd {
+            config,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates an Adam optimizer with the usual defaults
     /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
     pub fn adam() -> Self {
-        Optimizer::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Applies one update with learning rate `lr` to `model`'s parameters
@@ -138,7 +157,14 @@ impl Optimizer {
                     idx += 1;
                 });
             }
-            Optimizer::Adam { beta1, beta2, eps, m, v, t } => {
+            Optimizer::Adam {
+                beta1,
+                beta2,
+                eps,
+                m,
+                v,
+                t,
+            } => {
                 *t += 1;
                 let t_f = *t as f32;
                 let bias1 = 1.0 - beta1.powf(t_f);
@@ -178,7 +204,10 @@ mod tests {
 
     impl Bowl {
         fn new(start: f32) -> Self {
-            Self { p: vec![start], g: vec![0.0] }
+            Self {
+                p: vec![start],
+                g: vec![0.0],
+            }
         }
 
         fn compute_grad(&mut self) {
@@ -195,7 +224,10 @@ mod tests {
     #[test]
     fn sgd_converges_on_quadratic() {
         let mut bowl = Bowl::new(0.0);
-        let mut opt = Optimizer::sgd(SgdConfig { momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Optimizer::sgd(SgdConfig {
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
         for _ in 0..200 {
             bowl.compute_grad();
             opt.step(&mut bowl, 0.1);
@@ -206,7 +238,10 @@ mod tests {
     #[test]
     fn sgd_with_momentum_converges() {
         let mut bowl = Bowl::new(-5.0);
-        let mut opt = Optimizer::sgd(SgdConfig { momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Optimizer::sgd(SgdConfig {
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         for _ in 0..300 {
             bowl.compute_grad();
             opt.step(&mut bowl, 0.02);
@@ -230,7 +265,10 @@ mod tests {
         let mut bowl = Bowl::new(3.0);
         // Gradient of the bowl is zero at 3.0, so with weight decay the
         // equilibrium shifts below 3.
-        let mut opt = Optimizer::sgd(SgdConfig { momentum: 0.0, weight_decay: 0.5 });
+        let mut opt = Optimizer::sgd(SgdConfig {
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
         for _ in 0..500 {
             bowl.compute_grad();
             opt.step(&mut bowl, 0.05);
@@ -268,5 +306,39 @@ mod tests {
     fn num_params_counts_scalars() {
         let mut bowl = Bowl::new(0.0);
         assert_eq!(bowl.num_params(), 1);
+    }
+
+    #[test]
+    fn optimizer_state_round_trips_bit_exact() {
+        // Warm up an Adam state so the moments are non-trivial floats.
+        let mut bowl = Bowl::new(10.0);
+        let mut opt = Optimizer::adam();
+        for _ in 0..7 {
+            bowl.compute_grad();
+            opt.step(&mut bowl, 0.05);
+        }
+        let text = muffin_json::to_string(&opt);
+        let restored: Optimizer = muffin_json::from_str(&text).expect("parse");
+        // Stepping both from identical state must produce identical
+        // parameters — the property checkpoint/resume relies on.
+        let mut resumed_bowl = Bowl {
+            p: bowl.p.clone(),
+            g: bowl.g.clone(),
+        };
+        let mut resumed_opt = restored;
+        for _ in 0..5 {
+            bowl.compute_grad();
+            opt.step(&mut bowl, 0.05);
+            resumed_bowl.compute_grad();
+            resumed_opt.step(&mut resumed_bowl, 0.05);
+        }
+        assert_eq!(bowl.p[0].to_bits(), resumed_bowl.p[0].to_bits());
+
+        let sgd = Optimizer::sgd(SgdConfig::default());
+        let text = muffin_json::to_string(&sgd);
+        assert!(matches!(
+            muffin_json::from_str::<Optimizer>(&text).expect("parse"),
+            Optimizer::Sgd { .. }
+        ));
     }
 }

@@ -30,13 +30,17 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+#![deny(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// Number of hardware threads, falling back to 1 where it cannot be
 /// queried (the value `--workers` defaults to in the CLI).
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Splits `len` items into at most `chunks` contiguous, balanced ranges.
@@ -86,7 +90,9 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// A pool running `workers` threads per map (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self {
+            workers: workers.max(1),
+        }
     }
 
     /// The single-threaded pool: `map` runs inline on the calling thread.
@@ -127,7 +133,11 @@ impl WorkerPool {
     {
         let n = items.len();
         if self.workers == 1 || n <= 1 {
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -257,7 +267,10 @@ mod tests {
                 let mut covered = 0;
                 for (i, r) in ranges.iter().enumerate() {
                     assert_eq!(r.start, covered, "ranges must be contiguous");
-                    assert!(!r.is_empty(), "range {i} empty for len={len} chunks={chunks}");
+                    assert!(
+                        !r.is_empty(),
+                        "range {i} empty for len={len} chunks={chunks}"
+                    );
                     covered = r.end;
                 }
                 assert_eq!(covered, len);

@@ -74,7 +74,27 @@ impl Rng64 {
         // xoshiro's 256-bit state from a 64-bit seed: consecutive or even
         // all-zero seeds still yield well-mixed, distinct states.
         let mut sm = SplitMix64::new(seed);
-        Self { state: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Self {
+            state: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Restores a generator from a snapshot taken with [`Rng64::state`].
+    ///
+    /// The reconstructed generator continues the original stream exactly
+    /// where the snapshot was taken — the hook checkpoint/resume uses to
+    /// replay a search's RNG position bit-for-bit.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        Self { state }
+    }
+
+    /// The raw 256-bit generator state, for serialisation.
+    ///
+    /// Feed the value back through [`Rng64::from_state`] to resume the
+    /// stream. The words are xoshiro256++ internals, not seeds: passing
+    /// them to [`Rng64::seed`] would start a different stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.state
     }
 
     /// Produces the next raw 64-bit output (xoshiro256++).
@@ -254,6 +274,19 @@ impl Init {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut rng = Rng64::seed(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snapshot = rng.state();
+        let tail: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let mut resumed = Rng64::from_state(snapshot);
+        let replayed: Vec<u64> = (0..8).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, replayed);
+    }
 
     #[test]
     fn splitmix_matches_reference_vector() {

@@ -40,6 +40,8 @@
 //! println!("{}", summarize(&log));
 //! ```
 
+#![deny(missing_docs)]
+
 mod event;
 mod summary;
 mod tracer;

@@ -32,6 +32,13 @@ echo "==> golden snapshot + trace determinism"
 cargo test -q --offline -p muffin-integration-tests \
     --test golden_snapshot --test trace_determinism
 
+echo "==> checkpoint/resume + persistent eval cache"
+cargo test -q --offline -p muffin-integration-tests --test checkpoint_resume
+cargo test -q --offline -p muffin-cli --test cli_process
+
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
 echo "==> hermeticity: no external crates in any manifest"
 # Anchor to dependency-declaration lines ("<crate> = ..." or
 # "<crate> = { ... }") so comments, descriptions, or in-repo crate names

@@ -2,7 +2,9 @@
 //! workspace. The tests themselves live in this package's `tests/`
 //! directory.
 
-use muffin::{MuffinSearch, SearchConfig, SearchOutcome, WorkerPool};
+use muffin::{
+    MuffinError, MuffinSearch, PersistenceOptions, SearchConfig, SearchOutcome, WorkerPool,
+};
 use muffin_data::{DatasetSplit, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
 use muffin_tensor::Rng64;
@@ -58,4 +60,44 @@ pub fn golden_snapshot_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("golden")
         .join("search_outcome.json")
+}
+
+/// Runs the golden recipe **interrupted**: the first run halts (with a
+/// checkpoint) at the first batch boundary at or past `halt_after`, a
+/// second run resumes from that checkpoint, and the resumed outcome is
+/// serialised exactly as [`SearchOutcome::save_json`] would write it.
+///
+/// `tag` keeps concurrent tests' checkpoint files apart.
+pub fn golden_outcome_json_resumed(workers: &WorkerPool, halt_after: u32, tag: &str) -> String {
+    let dir = std::env::temp_dir().join("muffin_golden_resume");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join(format!(
+        "ckpt_{tag}_{halt_after}_w{}.json",
+        workers.workers()
+    ));
+    std::fs::remove_file(&ckpt).ok();
+
+    let (search, rng) = golden_search();
+    let interrupted = search
+        .run_persistent(
+            &mut rng.clone(),
+            workers,
+            &PersistenceOptions::checkpoint_to(&ckpt).with_halt_after(halt_after),
+        )
+        .expect_err("halted run must not complete");
+    assert!(
+        matches!(interrupted, MuffinError::Halted { .. }),
+        "expected Halted, got {interrupted}"
+    );
+
+    let (search, rng) = golden_search();
+    let outcome = search
+        .run_persistent(
+            &mut rng.clone(),
+            workers,
+            &PersistenceOptions::checkpoint_to(&ckpt).with_resume(true),
+        )
+        .expect("resumed golden search runs");
+    std::fs::remove_file(&ckpt).ok();
+    muffin_json::to_string(&outcome)
 }

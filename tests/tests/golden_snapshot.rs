@@ -8,7 +8,9 @@
 //! change that caused it.
 
 use muffin::WorkerPool;
-use muffin_integration_tests::{golden_outcome_json, golden_snapshot_path};
+use muffin_integration_tests::{
+    golden_outcome_json, golden_outcome_json_resumed, golden_snapshot_path,
+};
 
 fn committed_snapshot() -> String {
     let path = golden_snapshot_path();
@@ -42,6 +44,36 @@ fn serial_search_reproduces_the_committed_snapshot() {
 #[test]
 fn four_worker_search_reproduces_the_committed_snapshot() {
     assert_matches_snapshot(&golden_outcome_json(&WorkerPool::new(4)), "4-worker");
+}
+
+// The golden recipe runs 8 episodes with a REINFORCE batch of 3, so the
+// interruptible batch boundaries are episodes 3 and 6. Killing at either
+// and resuming must reproduce the committed snapshot byte for byte — the
+// checkpoint/resume path may not perturb the trajectory at any worker
+// count.
+
+#[test]
+fn kill_at_first_boundary_and_resume_reproduces_the_snapshot() {
+    assert_matches_snapshot(
+        &golden_outcome_json_resumed(&WorkerPool::serial(), 3, "serial"),
+        "serial kill-at-3 + resume",
+    );
+}
+
+#[test]
+fn kill_at_second_boundary_and_resume_reproduces_the_snapshot() {
+    assert_matches_snapshot(
+        &golden_outcome_json_resumed(&WorkerPool::serial(), 6, "serial"),
+        "serial kill-at-6 + resume",
+    );
+}
+
+#[test]
+fn four_worker_kill_and_resume_reproduces_the_snapshot() {
+    assert_matches_snapshot(
+        &golden_outcome_json_resumed(&WorkerPool::new(4), 3, "par"),
+        "4-worker kill-at-3 + resume",
+    );
 }
 
 /// Regeneration path, invoked by `scripts/regen-golden.sh`:
