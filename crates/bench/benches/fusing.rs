@@ -71,6 +71,14 @@ fn bench_prediction_gating_ablation(h: &mut Harness) {
     h.bench("fused_prediction/head_always", || {
         black_box(fusing.predict(&pool, split.test.features()))
     });
+    fusing.set_consensus_gating(true);
+    // The search hot path: body outputs computed once up front, every
+    // candidate prediction served from the cache.
+    let cache = muffin::BodyOutputCache::new(&pool, split.test.features().clone());
+    black_box(fusing.predict_cached(&cache)); // warm the slots
+    h.bench("fused_prediction/body_cached", || {
+        black_box(fusing.predict_cached(&cache))
+    });
 }
 
 fn bench_proxy_build(h: &mut Harness) {

@@ -11,6 +11,16 @@ fn bench_matmul(h: &mut Harness) {
         let b = Matrix::random(n, n, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
         h.bench(&format!("matmul/square/{n}"), || black_box(a.matmul(&b)));
     }
+    // The allocation-free variant the training loop uses: same kernel,
+    // output buffer reused across calls.
+    let mut rng = Rng64::seed(1);
+    let a = Matrix::random(128, 128, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    let b = Matrix::random(128, 128, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    let mut out = Matrix::zeros(128, 128);
+    h.bench("matmul_into/square/128", || {
+        a.matmul_into(&b, &mut out);
+        black_box(out.as_slice()[0])
+    });
 }
 
 fn bench_matmul_transposed_variants(h: &mut Harness) {

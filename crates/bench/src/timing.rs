@@ -44,6 +44,13 @@ muffin_json::impl_json!(struct BenchRecord {
 pub struct Harness {
     suite: String,
     sample_size: u32,
+    /// Global override parsed from `MUFFIN_BENCH_SAMPLES` at construction.
+    /// Wins over the per-bench [`Harness::sample_size`] knob so CI smoke
+    /// runs can clamp every suite, but loses to an explicit
+    /// [`Harness::samples`] builder call.
+    env_samples: Option<u32>,
+    forced_samples: Option<u32>,
+    out_dir: Option<String>,
     warmup_ms: u64,
     target_sample_ms: u64,
     records: Vec<BenchRecord>,
@@ -53,28 +60,60 @@ impl Harness {
     /// Creates a harness for the named suite with default settings
     /// (10 samples, 30 ms warmup, ~10 ms per sample).
     ///
-    /// `MUFFIN_BENCH_SAMPLES` overrides the sample count globally — useful
-    /// to crank precision up locally or down in CI smoke runs.
+    /// The environment supplies *defaults* only: `MUFFIN_BENCH_SAMPLES`
+    /// overrides per-bench [`Harness::sample_size`] tuning (so CI smoke
+    /// runs shrink every suite at once), and `MUFFIN_BENCH_OUT` picks the
+    /// JSON output directory. Both lose to the explicit
+    /// [`Harness::samples`] / [`Harness::out_dir`] builder calls.
     pub fn new(suite: &str) -> Self {
-        let sample_size = std::env::var("MUFFIN_BENCH_SAMPLES")
+        let env_samples = std::env::var("MUFFIN_BENCH_SAMPLES")
             .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(10);
+            .and_then(|s| s.parse().ok());
         Self {
             suite: suite.to_owned(),
-            sample_size,
+            sample_size: 10,
+            env_samples,
+            forced_samples: None,
+            out_dir: None,
             warmup_ms: 30,
             target_sample_ms: 10,
             records: Vec::new(),
         }
     }
 
+    /// Forces the sample count for every subsequent [`Harness::bench`]
+    /// call, taking precedence over both `MUFFIN_BENCH_SAMPLES` and
+    /// [`Harness::sample_size`]. Intended for tests and tooling that must
+    /// not depend on ambient process state.
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.forced_samples = Some(samples.max(2));
+        self
+    }
+
+    /// Directs the JSON dump of [`Harness::finish`] to `dir`, taking
+    /// precedence over `MUFFIN_BENCH_OUT`.
+    pub fn out_dir(mut self, dir: impl Into<String>) -> Self {
+        self.out_dir = Some(dir.into());
+        self
+    }
+
     /// Sets the number of timed samples for subsequent [`Harness::bench`]
     /// calls (the `criterion` `sample_size` knob; use small values for
-    /// expensive closures like whole search episodes).
+    /// expensive closures like whole search episodes). Overridden by
+    /// `MUFFIN_BENCH_SAMPLES` and by [`Harness::samples`].
     pub fn sample_size(&mut self, samples: u32) -> &mut Self {
         self.sample_size = samples.max(2);
         self
+    }
+
+    /// The sample count the next [`Harness::bench`] call will use, after
+    /// applying the precedence chain: [`Harness::samples`] builder, then
+    /// `MUFFIN_BENCH_SAMPLES`, then [`Harness::sample_size`].
+    fn effective_samples(&self) -> u32 {
+        self.forced_samples
+            .or(self.env_samples)
+            .unwrap_or(self.sample_size)
+            .max(2)
     }
 
     /// Times `f` and records the result under `name`.
@@ -92,7 +131,8 @@ impl Harness {
         let target_ns = (self.target_sample_ms as f64) * 1e6;
         let iters = ((target_ns / est_ns) as u64).clamp(1, 1_000_000);
 
-        let mut per_iter: Vec<f64> = (0..self.sample_size)
+        let samples = self.effective_samples();
+        let mut per_iter: Vec<f64> = (0..samples)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
@@ -106,8 +146,8 @@ impl Harness {
         let record = BenchRecord {
             name: name.to_owned(),
             iters_per_sample: iters,
-            samples: self.sample_size,
-            median_ns: per_iter[per_iter.len() / 2],
+            samples,
+            median_ns: median(&per_iter),
             min_ns: per_iter[0],
             max_ns: per_iter[per_iter.len() - 1],
         };
@@ -133,8 +173,10 @@ impl Harness {
         // `cargo bench` runs with the package dir as CWD, so a relative
         // default would land in a stray `crates/bench/target/`; anchor it
         // to the workspace target dir instead.
-        let dir = std::env::var("MUFFIN_BENCH_OUT").unwrap_or_else(|_| {
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/muffin-bench").to_owned()
+        let dir = self.out_dir.clone().unwrap_or_else(|| {
+            std::env::var("MUFFIN_BENCH_OUT").unwrap_or_else(|_| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/muffin-bench").to_owned()
+            })
         });
         std::fs::create_dir_all(&dir).expect("create bench output dir");
         let path = format!("{dir}/{}.json", self.suite);
@@ -147,6 +189,19 @@ impl Harness {
             self.suite,
             self.records.len()
         );
+    }
+}
+
+/// Median of an already-sorted sample list. For an even count the two
+/// middle samples are averaged — picking `sorted[len / 2]` alone biases
+/// the reported median high whenever the upper half is slower.
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "median of an empty sample list");
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     }
 }
 
@@ -168,17 +223,17 @@ mod tests {
 
     #[test]
     fn bench_produces_sane_record_and_json() {
-        std::env::set_var(
-            "MUFFIN_BENCH_OUT",
-            std::env::temp_dir().join("mb-test").display().to_string(),
-        );
-        let mut h = Harness::new("smoke");
-        h.sample_size(3);
+        // The builder overrides keep this test hermetic: no mutation of
+        // process-global environment (`set_var` is unsound with threaded
+        // test runners and leaked into sibling tests).
+        let dir = std::env::temp_dir().join("mb-test").display().to_string();
+        let mut h = Harness::new("smoke").samples(3).out_dir(&dir);
         h.warmup_ms = 1;
         h.target_sample_ms = 1;
         h.bench("noop_sum", || (0..100u64).sum::<u64>());
         assert_eq!(h.records.len(), 1);
         let r = h.records[0].clone();
+        assert_eq!(r.samples, 3);
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
         h.finish();
@@ -187,6 +242,34 @@ mod tests {
         let doc = muffin_json::parse(&text).unwrap();
         let results: Vec<BenchRecord> = doc.field("results").expect("results field decodes");
         assert_eq!(results[0].name, "noop_sum");
+    }
+
+    #[test]
+    fn median_averages_middle_pair_for_even_counts() {
+        // Odd count: the single middle element.
+        assert_eq!(median(&[1.0, 2.0, 100.0]), 2.0);
+        assert_eq!(median(&[5.0]), 5.0);
+        // Even count: mean of the two middle elements, not the upper one.
+        assert_eq!(median(&[1.0, 2.0, 4.0, 100.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn samples_builder_beats_sample_size_knob() {
+        let mut h = Harness::new("precedence").samples(4);
+        h.sample_size(9);
+        assert_eq!(h.effective_samples(), 4);
+
+        let mut h = Harness::new("precedence");
+        h.sample_size(9);
+        // Without a forced override the per-bench knob applies (unless the
+        // process carries MUFFIN_BENCH_SAMPLES, which wins over the knob).
+        assert_eq!(h.effective_samples(), h.env_samples.unwrap_or(9));
+        // Simulate the env override without touching the real environment.
+        h.env_samples = Some(3);
+        assert_eq!(h.effective_samples(), 3);
+        h = h.samples(6);
+        assert_eq!(h.effective_samples(), 6);
     }
 
     #[test]

@@ -293,7 +293,6 @@ impl FusingStructure {
         rng: &mut Rng64,
         tracer: &Tracer,
     ) {
-        let start = std::time::Instant::now();
         let features = source.features().select_rows(proxy.indices());
         let labels: Vec<usize> = proxy
             .indices()
@@ -301,13 +300,33 @@ impl FusingStructure {
             .map(|&i| source.labels()[i])
             .collect();
         let inputs = self.head_inputs(pool, &features);
+        self.train_head_on_inputs_traced(&inputs, &labels, proxy.weights(), config, rng, tracer);
+    }
+
+    /// Trains the head directly on precomputed head inputs (concatenated
+    /// body probabilities), e.g. from a [`crate::BodyOutputCache`].
+    ///
+    /// Records the same `fusing.train_head` span as
+    /// [`FusingStructure::train_head_traced`] and draws identically from
+    /// `rng`, so the trained head is bit-identical to the uncached path
+    /// when the inputs are.
+    pub fn train_head_on_inputs_traced(
+        &mut self,
+        inputs: &Matrix,
+        labels: &[usize],
+        weights: &[f32],
+        config: &HeadTrainConfig,
+        rng: &mut Rng64,
+        tracer: &Tracer,
+    ) {
+        let start = std::time::Instant::now();
         let trainer =
             ClassifierTrainer::new(config.epochs, config.batch_size).with_schedule(config.schedule);
         let report = trainer.fit_traced(
             &mut self.head,
-            &inputs,
-            &labels,
-            Some(proxy.weights()),
+            inputs,
+            labels,
+            Some(weights),
             config.loss,
             rng,
             tracer,
@@ -319,7 +338,7 @@ impl FusingStructure {
                     muffin_trace::Field::new("epochs", config.epochs as usize),
                     muffin_trace::Field::new("steps", report.steps as usize),
                     muffin_trace::Field::new("final_loss", report.final_loss().unwrap_or(f32::NAN)),
-                    muffin_trace::Field::new("samples", proxy.indices().len()),
+                    muffin_trace::Field::new("samples", labels.len()),
                 ],
                 start.elapsed(),
             );
@@ -328,18 +347,45 @@ impl FusingStructure {
 
     /// Predicts classes for `features`: consensus where the body agrees,
     /// head output where it disagrees.
+    ///
+    /// Each body model runs a **single** forward pass: hard predictions
+    /// come from the logits and the head inputs from the softmax of those
+    /// same logits, byte-identical to the former double-forward path.
     pub fn predict(&self, pool: &ModelPool, features: &Matrix) -> Vec<usize> {
-        let body_preds: Vec<Vec<usize>> = self
+        let mut probs: Vec<Matrix> = Vec::with_capacity(self.model_indices.len());
+        let mut body_preds: Vec<Vec<usize>> = Vec::with_capacity(self.model_indices.len());
+        for &i in &self.model_indices {
+            let (p, preds) = pool.get(i).expect("validated index").outputs(features);
+            probs.push(p);
+            body_preds.push(preds);
+        }
+        let refs: Vec<&Matrix> = probs.iter().collect();
+        let inputs = Matrix::hcat(&refs).expect("equal row counts by construction");
+        let head_preds = self.head.predict(&inputs);
+        self.gated(&body_preds, head_preds)
+    }
+
+    /// Predicts classes using cached body outputs instead of running the
+    /// backbones; identical to [`FusingStructure::predict`] on the cache's
+    /// feature matrix.
+    pub fn predict_cached(&self, cache: &crate::BodyOutputCache<'_>) -> Vec<usize> {
+        let body_preds: Vec<&[usize]> = self
             .model_indices
             .iter()
-            .map(|&i| pool.get(i).expect("validated index").predict(features))
+            .map(|&i| cache.predictions(i))
             .collect();
-        let inputs = self.head_inputs(pool, features);
+        let inputs = cache.head_inputs(&self.model_indices);
         let head_preds = self.head.predict(&inputs);
-        (0..features.rows())
+        self.gated(&body_preds, head_preds)
+    }
+
+    /// Applies consensus gating: unanimous body predictions pass through,
+    /// the head arbitrates disagreements.
+    fn gated<P: AsRef<[usize]>>(&self, body_preds: &[P], head_preds: Vec<usize>) -> Vec<usize> {
+        (0..head_preds.len())
             .map(|s| {
-                let first = body_preds[0][s];
-                if self.consensus_gating && body_preds.iter().all(|p| p[s] == first) {
+                let first = body_preds[0].as_ref()[s];
+                if self.consensus_gating && body_preds.iter().all(|p| p.as_ref()[s] == first) {
                     first
                 } else {
                     head_preds[s]
@@ -399,6 +445,22 @@ impl FusingStructure {
     ) -> muffin_models::ModelEvaluation {
         let preds =
             self.predict_with_traced(pool, dataset.features(), &WorkerPool::serial(), tracer);
+        self.evaluation_of(&preds, pool, dataset)
+    }
+
+    /// Like [`FusingStructure::evaluate_traced`], predicting from cached
+    /// body outputs. `cache` must have been built over `dataset`'s
+    /// features; the result is then identical to the uncached evaluation.
+    pub fn evaluate_cached_traced(
+        &self,
+        pool: &ModelPool,
+        cache: &crate::BodyOutputCache<'_>,
+        dataset: &Dataset,
+        tracer: &Tracer,
+    ) -> muffin_models::ModelEvaluation {
+        let start = std::time::Instant::now();
+        let preds = self.predict_cached(cache);
+        tracer.observe("fusing.predict_batch", start.elapsed());
         self.evaluation_of(&preds, pool, dataset)
     }
 
@@ -622,6 +684,37 @@ mod tests {
                 fusing.predict_with(&pool, split.test.features(), &WorkerPool::new(workers));
             assert_eq!(serial, parallel, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn cached_prediction_matches_uncached() {
+        let (pool, split, proxy, mut rng) = setup();
+        let mut fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![16, 12], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        fusing.train_head(
+            &pool,
+            &split.train,
+            &proxy,
+            &HeadTrainConfig::fast(),
+            &mut rng,
+        );
+        let cache = crate::BodyOutputCache::new(&pool, split.test.features().clone());
+        let uncached = fusing.predict(&pool, split.test.features());
+        assert_eq!(fusing.predict_cached(&cache), uncached);
+        let eval = fusing.evaluate_cached_traced(&pool, &cache, &split.test, &Tracer::noop());
+        let direct = fusing.evaluate(&pool, &split.test);
+        assert_eq!(eval.accuracy.to_bits(), direct.accuracy.to_bits());
+        // Gating off must flow through the cached path too.
+        fusing.set_consensus_gating(false);
+        assert_eq!(
+            fusing.predict_cached(&cache),
+            fusing.predict(&pool, split.test.features())
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! ```
 
 mod analysis;
+mod body_cache;
 mod checkpoint;
 mod controller;
 mod distill;
@@ -73,6 +74,7 @@ mod reward_variants;
 mod search;
 
 pub use analysis::{per_group_accuracy_table, DisagreementBreakdown, FusionComposition};
+pub use body_cache::BodyOutputCache;
 pub use checkpoint::{
     fnv1a64, EvalCacheFile, PersistenceOptions, SearchCheckpoint, SearchFingerprint,
     CHECKPOINT_VERSION,

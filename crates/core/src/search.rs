@@ -303,6 +303,17 @@ pub struct MuffinSearch {
     privilege: PrivilegeMap,
     proxy: ProxyDataset,
     tracer: Tracer,
+    body_cache: bool,
+}
+
+/// The per-run [`BodyOutputCache`]s a search shares across all candidate
+/// evaluations: one over the proxy subset of the training features (head
+/// training inputs) and one over the validation features (candidate
+/// evaluation), plus the proxy labels both paths need.
+struct RunBodyCaches<'p> {
+    proxy: crate::BodyOutputCache<'p>,
+    val: crate::BodyOutputCache<'p>,
+    proxy_labels: Vec<usize>,
 }
 
 impl MuffinSearch {
@@ -358,6 +369,7 @@ impl MuffinSearch {
             privilege,
             proxy,
             tracer: Tracer::noop(),
+            body_cache: true,
         })
     }
 
@@ -384,6 +396,7 @@ impl MuffinSearch {
             privilege,
             proxy,
             tracer: Tracer::noop(),
+            body_cache: true,
         })
     }
 
@@ -402,6 +415,27 @@ impl MuffinSearch {
     /// [`MuffinSearch::with_tracer`] was used).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Enables or disables the per-run [`crate::BodyOutputCache`]
+    /// (default: enabled).
+    ///
+    /// With the cache on, each frozen body model runs its forward pass
+    /// over the proxy and validation features **once per run** instead of
+    /// once per candidate, and per-batch `fusing.body_cache_hit` /
+    /// `fusing.body_cache_miss` counters are recorded. The
+    /// [`SearchOutcome`] is bit-identical either way (enforced by the
+    /// body-cache equivalence suite), so disabling it is only useful for
+    /// A/B benchmarking. Deliberately **not** part of [`SearchConfig`]:
+    /// checkpoint fingerprints must not depend on a pure optimisation.
+    pub fn with_body_cache(mut self, enabled: bool) -> Self {
+        self.body_cache = enabled;
+        self
+    }
+
+    /// Whether the per-run body-output cache is enabled.
+    pub fn body_cache(&self) -> bool {
+        self.body_cache
     }
 
     /// The model pool being searched over.
@@ -467,6 +501,40 @@ impl MuffinSearch {
             tracer,
         );
         let eval = fusing.evaluate_traced(&self.pool, eval_on, tracer);
+        Ok((fusing, eval))
+    }
+
+    /// Like [`MuffinSearch::evaluate_candidate_traced`] but with all body
+    /// forward passes served from the run's shared [`crate::BodyOutputCache`]s.
+    ///
+    /// Draws from the head RNG in exactly the same order as the uncached
+    /// path (seed → head init → training), so the trained structure and
+    /// its evaluation are bit-identical.
+    fn evaluate_candidate_cached(
+        &self,
+        candidate: &Candidate,
+        caches: &RunBodyCaches<'_>,
+        eval_on: &Dataset,
+        head_seed: u64,
+        tracer: &Tracer,
+    ) -> Result<(FusingStructure, muffin_models::ModelEvaluation), MuffinError> {
+        let mut head_rng = Rng64::seed(head_seed);
+        let mut fusing = FusingStructure::new(
+            candidate.model_indices.clone(),
+            candidate.head.clone(),
+            &self.pool,
+            &mut head_rng,
+        )?;
+        let inputs = caches.proxy.head_inputs(&candidate.model_indices);
+        fusing.train_head_on_inputs_traced(
+            &inputs,
+            &caches.proxy_labels,
+            self.proxy.weights(),
+            &self.config.head,
+            &mut head_rng,
+            tracer,
+        );
+        let eval = fusing.evaluate_cached_traced(&self.pool, &caches.val, eval_on, tracer);
         Ok((fusing, eval))
     }
 
@@ -710,6 +778,28 @@ impl MuffinSearch {
             .map(|_| seed_stream.next_u64())
             .collect();
 
+        // Frozen-body outputs never change within a run: compute each
+        // (model × split) forward once, lazily, and share the results
+        // read-only across all candidate evaluations and workers.
+        let body_caches = self.body_cache.then(|| RunBodyCaches {
+            proxy: crate::BodyOutputCache::new(
+                &self.pool,
+                self.split
+                    .train
+                    .features()
+                    .select_rows(self.proxy.indices()),
+            ),
+            val: crate::BodyOutputCache::new(&self.pool, self.split.val.features().clone()),
+            proxy_labels: self
+                .proxy
+                .indices()
+                .iter()
+                .map(|&i| self.split.train.labels()[i])
+                .collect(),
+        });
+        let mut last_body_hits = 0u64;
+        let mut last_body_misses = 0u64;
+
         // Replay best-candidate tracking over the (possibly restored)
         // history; identical to having tracked it live.
         let mut best_idx = 0usize;
@@ -767,10 +857,34 @@ impl MuffinSearch {
             let forks: Vec<Tracer> = jobs.iter().map(|_| tracer.fork()).collect();
             let evaluated = pool.map(&jobs, |idx, (_, candidate, seed)| {
                 let eval_start = Instant::now();
-                let result =
-                    self.evaluate_candidate_traced(candidate, &self.split.val, *seed, &forks[idx]);
+                let result = match &body_caches {
+                    Some(caches) => self.evaluate_candidate_cached(
+                        candidate,
+                        caches,
+                        &self.split.val,
+                        *seed,
+                        &forks[idx],
+                    ),
+                    None => self.evaluate_candidate_traced(
+                        candidate,
+                        &self.split.val,
+                        *seed,
+                        &forks[idx],
+                    ),
+                };
                 (result, eval_start.elapsed())
             });
+            // All evaluations are done (pool.map is a barrier), so the
+            // per-batch hit/miss deltas are deterministic at any worker
+            // count; emitted from this thread to keep the log shape fixed.
+            if let Some(caches) = &body_caches {
+                let hits = caches.proxy.hits() + caches.val.hits();
+                let misses = caches.proxy.misses() + caches.val.misses();
+                tracer.count("fusing.body_cache_hit", hits - last_body_hits);
+                tracer.count("fusing.body_cache_miss", misses - last_body_misses);
+                last_body_hits = hits;
+                last_body_misses = misses;
+            }
             let mut eval_time: HashMap<Vec<usize>, Duration> = HashMap::new();
             for ((&(k, ref candidate, seed), (result, took)), fork) in
                 jobs.iter().zip(evaluated).zip(&forks)

@@ -93,6 +93,14 @@ impl FrozenModel {
         self.mlp.predict(&self.project(features))
     }
 
+    /// Class probabilities and hard predictions from a **single** backbone
+    /// forward pass — byte-identical to calling [`FrozenModel::predict_proba`]
+    /// and [`FrozenModel::predict`] separately (predictions come from the
+    /// logits, so no softmax tie-breaking is involved).
+    pub fn outputs(&self, features: &Matrix) -> (Matrix, Vec<usize>) {
+        self.mlp.predict_outputs(&self.project(features))
+    }
+
     /// Evaluates accuracy and per-attribute unfairness on `dataset`.
     pub fn evaluate(&self, dataset: &Dataset) -> ModelEvaluation {
         ModelEvaluation::of(&self.predict(dataset.features()), dataset, self.name.clone())
@@ -130,6 +138,17 @@ mod tests {
         let probs = model.predict_proba(split.test.features());
         let preds = model.predict(split.test.features());
         assert_eq!(probs.argmax_rows(), preds);
+    }
+
+    #[test]
+    fn outputs_match_separate_calls_bit_for_bit() {
+        let (model, split) = trained();
+        let (probs, preds) = model.outputs(split.test.features());
+        assert_eq!(preds, model.predict(split.test.features()));
+        let separate = model.predict_proba(split.test.features());
+        for (x, y) in probs.as_slice().iter().zip(separate.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

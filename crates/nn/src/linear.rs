@@ -76,9 +76,20 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.weight);
-        out.add_row_in_place(&self.bias);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// [`Linear::forward`] writing into `out`, reusing its allocation.
+    /// Byte-identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight, out);
+        out.add_row_in_place(&self.bias);
     }
 
     /// Backward pass for the batch whose forward input was `input`.
@@ -90,16 +101,47 @@ impl Linear {
     ///
     /// Panics if shapes are inconsistent with the forward pass.
     pub fn backward(&mut self, input: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut dw = Matrix::zeros(0, 0);
+        let mut db = Vec::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(input, grad_out, &mut dw, &mut db, &mut grad_in);
+        grad_in
+    }
+
+    /// [`Linear::backward`] writing `∂L/∂input` into `grad_in` and using
+    /// `dw`/`db` as scratch, reusing all three allocations. Accumulation
+    /// order matches `backward` exactly, so gradients are byte-identical.
+    pub fn backward_into(
+        &mut self,
+        input: &Matrix,
+        grad_out: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+        grad_in: &mut Matrix,
+    ) {
+        self.accumulate_grads(input, grad_out, dw, db);
+        // dX = grad_out . W^T
+        grad_out.matmul_nt_into(&self.weight, grad_in);
+    }
+
+    /// Accumulates `∂L/∂W` and `∂L/∂b` without computing `∂L/∂input`
+    /// (the input gradient of the first layer is never consumed).
+    pub fn accumulate_grads(
+        &mut self,
+        input: &Matrix,
+        grad_out: &Matrix,
+        dw: &mut Matrix,
+        db: &mut Vec<f32>,
+    ) {
         debug_assert_eq!(input.rows(), grad_out.rows());
         // dW = input^T . grad_out
-        let dw = input.matmul_tn(grad_out);
-        self.grad_weight.axpy(1.0, &dw);
+        input.matmul_tn_into(grad_out, dw);
+        self.grad_weight.axpy(1.0, dw);
         // db = column sums of grad_out
-        for (gb, g) in self.grad_bias.iter_mut().zip(grad_out.col_sums()) {
+        grad_out.col_sums_into(db);
+        for (gb, &g) in self.grad_bias.iter_mut().zip(db.iter()) {
             *gb += g;
         }
-        // dX = grad_out . W^T
-        grad_out.matmul_nt(&self.weight)
     }
 }
 

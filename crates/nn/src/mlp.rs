@@ -80,12 +80,54 @@ impl MlpSpec {
 }
 
 /// Per-layer forward caches needed for backpropagation.
+///
+/// The cache owns reusable buffers: feeding it to
+/// [`Mlp::forward_train_into`] and [`Mlp::backward_in_place`] across many
+/// mini-batches performs no per-batch heap allocation once the buffers have
+/// reached their steady-state sizes.
 #[derive(Debug, Clone)]
 pub struct MlpCache {
     /// Input to each linear layer (first entry is the network input).
     inputs: Vec<Matrix>,
     /// Pre-activation output of each linear layer.
     pre_activations: Vec<Matrix>,
+    /// Ping/pong gradient buffers for the backward sweep.
+    grad: Matrix,
+    grad_next: Matrix,
+    /// Per-layer weight/bias gradient scratch.
+    dw: Matrix,
+    db: Vec<f32>,
+}
+
+impl Default for MlpCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MlpCache {
+    /// An empty cache; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self {
+            inputs: Vec::new(),
+            pre_activations: Vec::new(),
+            grad: Matrix::zeros(0, 0),
+            grad_next: Matrix::zeros(0, 0),
+            dw: Matrix::zeros(0, 0),
+            db: Vec::new(),
+        }
+    }
+
+    /// Logits of the most recent [`Mlp::forward_train_into`] pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated the cache yet.
+    pub fn logits(&self) -> &Matrix {
+        self.pre_activations
+            .last()
+            .expect("MlpCache::logits before any forward pass")
+    }
 }
 
 /// A feed-forward multi-layer perceptron with manual backpropagation.
@@ -149,29 +191,45 @@ impl Mlp {
     }
 
     /// Forward pass that also returns the caches needed by [`Mlp::backward`].
+    ///
+    /// Allocates a fresh [`MlpCache`]; hot loops should hold one cache and
+    /// call [`Mlp::forward_train_into`] instead.
     pub fn forward_train(&self, x: &Matrix) -> (Matrix, MlpCache) {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut pre_activations = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
-        let last = self.layers.len() - 1;
+        let mut cache = MlpCache::new();
+        self.forward_train_into(x, &mut cache);
+        (cache.logits().clone(), cache)
+    }
+
+    /// Forward pass writing every per-layer cache into `cache`, reusing its
+    /// buffers. The logits are available as [`MlpCache::logits`].
+    /// Byte-identical to [`Mlp::forward_train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != spec.input_dim()`.
+    pub fn forward_train_into(&self, x: &Matrix, cache: &mut MlpCache) {
+        let n = self.layers.len();
+        cache.inputs.resize(n, Matrix::zeros(0, 0));
+        cache.pre_activations.resize(n, Matrix::zeros(0, 0));
+        cache.inputs[0].copy_from(x);
+        let act = self.spec.activation;
+        let last = n - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(h.clone());
-            let z = layer.forward(&h);
-            pre_activations.push(z.clone());
-            h = if i < last {
-                let act = self.spec.activation;
-                let mut a = z;
-                a.map_in_place(|v| act.apply(v));
-                a
-            } else {
-                z
-            };
+            layer.forward_into(&cache.inputs[i], &mut cache.pre_activations[i]);
+            if i < last {
+                // Input to the next layer is the activated pre-activation.
+                let next = &mut cache.inputs[i + 1];
+                next.copy_from(&cache.pre_activations[i]);
+                next.map_in_place(|v| act.apply(v));
+            }
         }
-        (h, MlpCache { inputs, pre_activations })
     }
 
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the network input.
+    ///
+    /// Allocates per layer; hot loops should call
+    /// [`Mlp::backward_in_place`] instead.
     ///
     /// # Panics
     ///
@@ -192,6 +250,42 @@ impl Mlp {
         grad
     }
 
+    /// Backward pass reusing the scratch buffers inside `cache`.
+    ///
+    /// Accumulates parameter gradients exactly like [`Mlp::backward`]
+    /// (byte-identical floats) but performs no per-call allocation and
+    /// skips the never-consumed input gradient of the first layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was not populated by [`Mlp::forward_train_into`]
+    /// with a matching batch shape.
+    pub fn backward_in_place(&mut self, cache: &mut MlpCache, grad_logits: &Matrix) {
+        let MlpCache {
+            inputs,
+            pre_activations,
+            grad,
+            grad_next,
+            dw,
+            db,
+        } = cache;
+        grad.copy_from(grad_logits);
+        let act = self.spec.activation;
+        let last = self.layers.len() - 1;
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                // Chain through the activation of layer i.
+                grad.zip_apply(&pre_activations[i], |g, zv| g * act.derivative(zv));
+            }
+            if i > 0 {
+                self.layers[i].backward_into(&inputs[i], grad, dw, db, grad_next);
+                std::mem::swap(grad, grad_next);
+            } else {
+                self.layers[i].accumulate_grads(&inputs[i], grad, dw, db);
+            }
+        }
+    }
+
     /// Softmax class probabilities for each row of `x`.
     pub fn predict_proba(&self, x: &Matrix) -> Matrix {
         self.forward(x).softmax_rows()
@@ -200,6 +294,16 @@ impl Mlp {
     /// Hard class predictions (argmax of the logits).
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
         self.forward(x).argmax_rows()
+    }
+
+    /// Class probabilities and hard predictions from a **single** forward
+    /// pass. Byte-identical to calling [`Mlp::predict_proba`] and
+    /// [`Mlp::predict`] separately: predictions are the argmax of the raw
+    /// logits, not of the softmax output.
+    pub fn predict_outputs(&self, x: &Matrix) -> (Matrix, Vec<usize>) {
+        let logits = self.forward(x);
+        let preds = logits.argmax_rows();
+        (logits.softmax_rows(), preds)
     }
 }
 
@@ -336,6 +440,42 @@ mod tests {
         let (final_loss, _) = cross_entropy_loss(&logits, &labels);
         assert!(final_loss < initial_loss * 0.2, "{initial_loss} -> {final_loss}");
         assert_eq!(mlp.predict(&x), labels);
+    }
+
+    #[test]
+    fn in_place_paths_match_allocating_paths_bit_for_bit() {
+        let mut rng = Rng64::seed(6);
+        let spec = MlpSpec::new(4, &[7, 5], 3).with_activation(Activation::Tanh);
+        let mlp = Mlp::new(&spec, &mut rng);
+        let mut cache = MlpCache::new();
+        // Reuse the same cache across batches of different sizes: results
+        // must stay byte-identical to the allocating path every time.
+        for batch in [6usize, 2, 9] {
+            let x = Matrix::random(batch, 4, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+            let labels: Vec<usize> = (0..batch).map(|i| i % 3).collect();
+
+            let (logits, alloc_cache) = mlp.forward_train(&x);
+            mlp.forward_train_into(&x, &mut cache);
+            assert_eq!(cache.logits(), &logits);
+
+            let (_, grad) = cross_entropy_loss(&logits, &labels);
+            let mut a = mlp.clone();
+            a.zero_grad();
+            a.backward(&alloc_cache, &grad);
+            let mut b = mlp.clone();
+            b.zero_grad();
+            b.backward_in_place(&mut cache, &grad);
+
+            let mut grads_a = Vec::new();
+            a.visit_params(&mut |_, g| grads_a.push(g.to_vec()));
+            let mut grads_b = Vec::new();
+            b.visit_params(&mut |_, g| grads_b.push(g.to_vec()));
+            for (ga, gb) in grads_a.iter().zip(grads_b.iter()) {
+                for (x, y) in ga.iter().zip(gb.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::loss::{one_hot, weighted_cross_entropy_loss, weighted_mse_loss, LossKind};
-use crate::{LrSchedule, Mlp, Optimizer, Parameterized, SgdConfig};
+use crate::{LrSchedule, Mlp, MlpCache, Optimizer, Parameterized, SgdConfig};
 use muffin_tensor::{Matrix, Rng64};
 use muffin_trace::{Field, Tracer};
 
@@ -224,6 +224,14 @@ impl ClassifierTrainer {
         let mut epochs_since_best = 0u32;
         let mut stopped_early = false;
         let mut steps = 0u32;
+        // One set of buffers reused across every mini-batch of every epoch:
+        // the loop below performs no per-batch heap allocation once these
+        // reach steady-state size.
+        let mut cache = MlpCache::new();
+        let mut bx = Matrix::zeros(0, 0);
+        let mut bt = Matrix::zeros(0, 0);
+        let mut by: Vec<usize> = Vec::new();
+        let mut bw: Vec<f32> = Vec::new();
 
         for epoch in 0..self.epochs {
             let epoch_start = std::time::Instant::now();
@@ -232,28 +240,31 @@ impl ClassifierTrainer {
             let mut epoch_loss = 0.0;
             let mut batches = 0u32;
             for chunk in indices.chunks(self.batch_size) {
-                let bx = x.select_rows(chunk);
-                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
-                let bw: Vec<f32> = match sample_weights {
-                    Some(w) => chunk.iter().map(|&i| w[i]).collect(),
-                    None => vec![1.0; chunk.len()],
-                };
+                x.select_rows_into(chunk, &mut bx);
+                by.clear();
+                by.extend(chunk.iter().map(|&i| y[i]));
+                bw.clear();
+                match sample_weights {
+                    Some(w) => bw.extend(chunk.iter().map(|&i| w[i])),
+                    None => bw.resize(chunk.len(), 1.0),
+                }
                 if bw.iter().sum::<f32>() <= 0.0 {
                     continue; // batch carries no training signal
                 }
-                let (logits, cache) = mlp.forward_train(&bx);
+                mlp.forward_train_into(&bx, &mut cache);
+                let logits = cache.logits();
                 let (batch_loss, grad) = match loss {
-                    LossKind::CrossEntropy => weighted_cross_entropy_loss(&logits, &by, None),
+                    LossKind::CrossEntropy => weighted_cross_entropy_loss(logits, &by, None),
                     LossKind::WeightedCrossEntropy => {
-                        weighted_cross_entropy_loss(&logits, &by, Some(&bw))
+                        weighted_cross_entropy_loss(logits, &by, Some(&bw))
                     }
                     LossKind::WeightedMse => {
-                        let bt = targets.select_rows(chunk);
-                        weighted_mse_loss(&logits, &bt, &bw)
+                        targets.select_rows_into(chunk, &mut bt);
+                        weighted_mse_loss(logits, &bt, &bw)
                     }
                 };
                 mlp.zero_grad();
-                mlp.backward(&cache, &grad);
+                mlp.backward_in_place(&mut cache, &grad);
                 if let Some(clip) = self.grad_clip {
                     mlp.clip_grad_norm(clip);
                 }

@@ -196,6 +196,24 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Reshapes to `rows`×`cols` and sets every element to zero, reusing
+    /// the existing allocation whenever its capacity suffices.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with the shape and contents of `src`, reusing the
+    /// existing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self · other`.
     ///
     /// Uses an `i-k-j` loop order so the inner loop streams over contiguous
@@ -205,21 +223,38 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing the product into `out`, reusing its
+    /// allocation. Accumulation order is identical to `matmul`, so the
+    /// result is byte-for-byte the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize_zeroed(self.rows, other.cols);
         // Skipping `a == 0` rows of the inner product is only sound when
         // `other` is all-finite: `0 · NaN` and `0 · ∞` are NaN and must
-        // propagate, exactly as they do in `matmul_nt`.
-        let skip_zeros = other.data.iter().all(|x| x.is_finite());
+        // propagate, exactly as they do in `matmul_nt`. The finiteness scan
+        // is O(rows·cols), so it is evaluated lazily — once, and only if a
+        // zero is actually hit — instead of being paid on every call.
+        let mut skip_zeros: Option<bool> = None;
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if skip_zeros && a == 0.0 {
+                if a == 0.0
+                    && *skip_zeros.get_or_insert_with(|| other.data.iter().all(|x| x.is_finite()))
+                {
                     continue;
                 }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -228,7 +263,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Matrix product `selfᵀ · other` without materialising the transpose.
@@ -237,20 +271,36 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing the product into `out`, reusing its
+    /// allocation. Accumulation order is identical to `matmul_tn`, so the
+    /// result is byte-for-byte the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})^T . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        // Same finiteness guard as `matmul`: the zero-skip must not swallow
-        // NaN/∞ contributions from `other`.
-        let skip_zeros = other.data.iter().all(|x| x.is_finite());
+        out.resize_zeroed(self.cols, other.cols);
+        // Same lazy finiteness guard as `matmul_into`: the zero-skip must
+        // not swallow NaN/∞ contributions from `other`, and the scan only
+        // runs if a zero is actually hit.
+        let mut skip_zeros: Option<bool> = None;
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
             for (i, &a) in a_row.iter().enumerate() {
-                if skip_zeros && a == 0.0 {
+                if a == 0.0
+                    && *skip_zeros.get_or_insert_with(|| other.data.iter().all(|x| x.is_finite()))
+                {
                     continue;
                 }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
@@ -259,7 +309,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self · otherᵀ` without materialising the transpose.
@@ -268,12 +317,25 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing the product into `out`, reusing its
+    /// allocation. Accumulation order is identical to `matmul_nt`, so the
+    /// result is byte-for-byte the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} . ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize_zeroed(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..other.rows {
@@ -282,7 +344,6 @@ impl Matrix {
                 out.data[i * other.rows + j] = dot;
             }
         }
-        out
     }
 
     /// Returns the transpose.
@@ -319,6 +380,18 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place variant of [`Matrix::zip_map`]: `self[i] = f(self[i], other[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_apply shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
         }
     }
 
@@ -378,13 +451,21 @@ impl Matrix {
 
     /// Column-wise sums (length `cols`).
     pub fn col_sums(&self) -> Vec<f32> {
-        let mut sums = vec![0.0; self.cols];
+        let mut sums = Vec::new();
+        self.col_sums_into(&mut sums);
+        sums
+    }
+
+    /// [`Matrix::col_sums`] writing into `out`, reusing its allocation.
+    /// Accumulation order is identical to `col_sums`.
+    pub fn col_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.data.chunks_exact(self.cols.max(1)) {
-            for (s, &x) in sums.iter_mut().zip(row.iter()) {
+            for (s, &x) in out.iter_mut().zip(row.iter()) {
                 *s += x;
             }
         }
-        sums
     }
 
     /// Index of the maximum element in each row.
@@ -419,11 +500,24 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] writing into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
-            data.extend_from_slice(self.row(i));
+            out.data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
     }
 
     /// Horizontally concatenates matrices with equal row counts.
@@ -434,13 +528,17 @@ impl Matrix {
     pub fn hcat(parts: &[&Matrix]) -> Result<Matrix, ShapeError> {
         let first = parts.first().ok_or_else(|| ShapeError::new("hcat", (1, 1), (0, 0)))?;
         let rows = first.rows;
+        // Validate every part once up front so a mismatch can't cost a
+        // full-size allocation plus a partial copy.
+        for m in parts {
+            if m.rows != rows {
+                return Err(ShapeError::new("hcat", (rows, m.cols), m.shape()));
+            }
+        }
         let total_cols: usize = parts.iter().map(|m| m.cols).sum();
         let mut data = Vec::with_capacity(rows * total_cols);
         for r in 0..rows {
             for m in parts {
-                if m.rows != rows {
-                    return Err(ShapeError::new("hcat", (rows, m.cols), m.shape()));
-                }
                 data.extend_from_slice(m.row(r));
             }
         }
@@ -707,6 +805,69 @@ mod tests {
         let a = Matrix::zeros(2, 1);
         let b = Matrix::zeros(3, 1);
         assert!(Matrix::hcat(&[&a, &b]).is_err());
+        // The mismatch is caught even when it sits in the last part.
+        let c = Matrix::zeros(2, 4);
+        assert!(Matrix::hcat(&[&a, &c, &b]).is_err());
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = m(2, 3, &[0.0, 2.0, f32::NAN, 1.0, 0.0, 3.0]);
+        let b = m(3, 2, &[1., 2., 0., 4., 5., 6.]);
+        let mut out = Matrix::zeros(7, 7); // wrong shape on purpose
+        a.matmul_into(&b, &mut out);
+        let expect = a.matmul(&b);
+        assert_eq!(out.shape(), expect.shape());
+        for (x, y) in out.as_slice().iter().zip(expect.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_tn_into_and_nt_into_match_allocating_variants() {
+        let a = m(3, 2, &[1., 0., -2., 4., 0., 6.]);
+        let b = m(3, 2, &[0.5, 2., 3., f32::INFINITY, 5., 6.]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_tn_into(&b, &mut out);
+        assert_eq!(out, a.matmul_tn(&b));
+        let c = m(2, 2, &[1., 2., 3., 4.]);
+        c.matmul_nt_into(&c, &mut out);
+        assert_eq!(out, c.matmul_nt(&c));
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let mut out = Matrix::zeros(9, 9);
+        a.select_rows_into(&[2, 0, 2], &mut out);
+        assert_eq!(out, a.select_rows(&[2, 0, 2]));
+    }
+
+    #[test]
+    fn zip_apply_matches_zip_map() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[5., 6., 7., 8.]);
+        let mut c = a.clone();
+        c.zip_apply(&b, |x, y| x * y - 1.0);
+        assert_eq!(c, a.zip_map(&b, |x, y| x * y - 1.0));
+    }
+
+    #[test]
+    fn resize_zeroed_and_copy_from_reshape() {
+        let mut a = m(2, 2, &[1., 2., 3., 4.]);
+        a.resize_zeroed(1, 3);
+        assert_eq!(a, Matrix::zeros(1, 3));
+        let src = m(3, 1, &[7., 8., 9.]);
+        a.copy_from(&src);
+        assert_eq!(a, src);
+    }
+
+    #[test]
+    fn col_sums_into_matches_col_sums() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let mut out = vec![9.0; 7];
+        a.col_sums_into(&mut out);
+        assert_eq!(out, a.col_sums());
     }
 
     #[test]

@@ -147,6 +147,58 @@ fn select_rows_picks_expected_rows() {
 }
 
 #[test]
+fn matmul_into_is_byte_identical_to_matmul() {
+    check(
+        "matmul_into == matmul bytes (zeros and non-finites included)",
+        config(),
+        |g| {
+            let rows = g.usize_in(1..=6);
+            let inner = g.usize_in(1..=6);
+            let cols = g.usize_in(1..=6);
+            let mut a = g.matrix_exact(rows, inner, -5.0, 5.0);
+            let mut b = g.matrix_exact(inner, cols, -5.0, 5.0);
+            // Sprinkle zeros into `a` (exercises the lazy skip-zeros guard)
+            // and occasionally a NaN/∞ into `b` (exercises its slow path).
+            for x in a.as_mut_slice() {
+                if g.bool(0.4) {
+                    *x = 0.0;
+                }
+            }
+            for x in b.as_mut_slice() {
+                if g.bool(0.05) {
+                    *x = if g.bool(0.5) { f32::NAN } else { f32::INFINITY };
+                }
+            }
+            (a, b)
+        },
+        |(a, b)| {
+            let mut out = Matrix::zeros(3, 3); // stale shape, must be reset
+            a.matmul_into(b, &mut out);
+            let fresh = a.matmul(b);
+            prop_assert_eq!(out.shape(), fresh.shape());
+            for (x, y) in out.as_slice().iter().zip(fresh.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+
+            // The transposed variants share the contract.
+            let mut tn = Matrix::zeros(0, 0);
+            a.transpose().matmul_tn_into(b, &mut tn);
+            let tn_fresh = a.transpose().matmul_tn(b);
+            for (x, y) in tn.as_slice().iter().zip(tn_fresh.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            let mut nt = Matrix::zeros(1, 1);
+            a.matmul_nt_into(&b.transpose(), &mut nt);
+            let nt_fresh = a.matmul_nt(&b.transpose());
+            for (x, y) in nt.as_slice().iter().zip(nt_fresh.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn scaled_by_zero_is_zero() {
     check("scaling by zero zeroes", config(), |g| gen_matrix(g, 6), |m| {
         let z = m.scaled(0.0);

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Compare two directories of muffin-bench suite JSONs and print the
+# median-time delta for every benchmark present in both.
+#
+# Usage: scripts/bench-compare.sh BEFORE_DIR AFTER_DIR
+#
+# Each directory is expected to hold the `<suite>.json` files written by
+# `Harness::finish` (see `MUFFIN_BENCH_OUT`). Output is one line per
+# benchmark: suite/name, before and after medians in a human unit, and
+# the percentage change (negative = faster). POSIX sh + awk only.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 BEFORE_DIR AFTER_DIR" >&2
+    exit 2
+fi
+before_dir=$1
+after_dir=$2
+[ -d "$before_dir" ] || { echo "error: $before_dir is not a directory" >&2; exit 2; }
+[ -d "$after_dir" ] || { echo "error: $after_dir is not a directory" >&2; exit 2; }
+
+# Flatten one suite JSON into "suite/name<TAB>median_ns" lines. The dump
+# is pretty-printed one field per line, so a tiny awk state machine over
+# the "name" / "median_ns" pairs is enough — no JSON parser needed.
+extract() {
+    for f in "$1"/*.json; do
+        [ -f "$f" ] || continue
+        suite=$(basename "$f" .json)
+        awk -v suite="$suite" '
+            /"name":/ {
+                line = $0
+                sub(/^.*"name":[ \t]*"/, "", line)
+                sub(/".*$/, "", line)
+                name = line
+            }
+            /"median_ns":/ {
+                line = $0
+                sub(/^.*"median_ns":[ \t]*/, "", line)
+                sub(/[,}].*$/, "", line)
+                if (name != "") {
+                    printf "%s/%s\t%s\n", suite, name, line
+                    name = ""
+                }
+            }
+        ' "$f"
+    done
+}
+
+before_tmp=$(mktemp)
+after_tmp=$(mktemp)
+trap 'rm -f "$before_tmp" "$after_tmp"' EXIT
+extract "$before_dir" > "$before_tmp"
+extract "$after_dir" > "$after_tmp"
+
+awk -F '\t' '
+    function fmt(ns) {
+        if (ns < 1e3) return sprintf("%.0f ns", ns)
+        if (ns < 1e6) return sprintf("%.2f us", ns / 1e3)
+        if (ns < 1e9) return sprintf("%.2f ms", ns / 1e6)
+        return sprintf("%.3f s", ns / 1e9)
+    }
+    NR == FNR { before[$1] = $2; order[++n] = $1; next }
+    { after[$1] = $2 }
+    END {
+        printf "%-52s %12s %12s %9s\n", "benchmark", "before", "after", "delta"
+        for (i = 1; i <= n; i++) {
+            key = order[i]
+            if (!(key in after)) { only_before[++ob] = key; continue }
+            b = before[key] + 0
+            a = after[key] + 0
+            pct = b > 0 ? (a - b) / b * 100 : 0
+            printf "%-52s %12s %12s %+8.1f%%\n", key, fmt(b), fmt(a), pct
+        }
+        for (key in after) if (!(key in before)) printf "%-52s %12s %12s %9s\n", key, "-", fmt(after[key] + 0), "new"
+        for (i = 1; i <= ob; i++) printf "%-52s %12s %12s %9s\n", only_before[i], fmt(before[only_before[i]] + 0), "-", "gone"
+    }
+' "$before_tmp" "$after_tmp"

@@ -36,6 +36,15 @@ echo "==> checkpoint/resume + persistent eval cache"
 cargo test -q --offline -p muffin-integration-tests --test checkpoint_resume
 cargo test -q --offline -p muffin-cli --test cli_process
 
+echo "==> body-output cache equivalence"
+cargo test -q --offline -p muffin-integration-tests --test body_cache_equivalence
+
+echo "==> bench smoke (3 samples per bench)"
+# Absolute path: `cargo bench` runs each bench with the package dir as
+# CWD, so a relative MUFFIN_BENCH_OUT would land in crates/bench/.
+MUFFIN_BENCH_SAMPLES=3 MUFFIN_BENCH_OUT="$PWD/target/muffin-bench-smoke" \
+    cargo bench --offline -p muffin-bench
+
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 

@@ -1,0 +1,116 @@
+//! The body-output cache is a pure optimisation: a search run with the
+//! cache enabled (the default) must produce a [`SearchOutcome`] that is
+//! **byte-identical** to a run with it disabled, at every worker count,
+//! while recording deterministic hit/miss counters.
+
+use muffin::{MuffinSearch, SearchConfig, SearchOutcome, Tracer, WorkerPool};
+use muffin_integration_tests::small_fixture;
+
+fn search_with_cache(enabled: bool) -> (MuffinSearch, muffin_tensor::Rng64) {
+    let (split, pool, rng) = small_fixture(4242);
+    let config = SearchConfig::fast(&["age", "site"])
+        .with_episodes(8)
+        .with_reinforce_batch(3);
+    let search = MuffinSearch::new(pool, split, config)
+        .expect("valid search")
+        .with_body_cache(enabled);
+    (search, rng)
+}
+
+fn outcome_json(enabled: bool, workers: &WorkerPool) -> String {
+    let (search, rng) = search_with_cache(enabled);
+    let outcome: SearchOutcome = search
+        .run_with_pool(&mut rng.clone(), workers)
+        .expect("search runs");
+    muffin_json::to_string(&outcome)
+}
+
+#[test]
+fn cached_outcome_is_byte_identical_to_uncached_serial() {
+    let serial = WorkerPool::serial();
+    assert_eq!(outcome_json(true, &serial), outcome_json(false, &serial));
+}
+
+#[test]
+fn cached_outcome_is_byte_identical_to_uncached_with_4_workers() {
+    let four = WorkerPool::new(4);
+    assert_eq!(outcome_json(true, &four), outcome_json(false, &four));
+    // And the parallel cached run matches the serial cached run.
+    assert_eq!(
+        outcome_json(true, &four),
+        outcome_json(true, &WorkerPool::serial())
+    );
+}
+
+#[test]
+fn body_cache_counters_appear_in_stripped_traces_and_are_deterministic() {
+    let run_traced = |workers: &WorkerPool| {
+        let (search, rng) = search_with_cache(true);
+        let tracer = Tracer::capturing();
+        let search = search.with_tracer(tracer.clone());
+        let outcome = search
+            .run_with_pool(&mut rng.clone(), workers)
+            .expect("traced run");
+        (outcome, tracer.finish())
+    };
+    let (outcome, serial_log) = run_traced(&WorkerPool::serial());
+    let (_, parallel_log) = run_traced(&WorkerPool::new(4));
+
+    // The counters exist and carry the expected totals: one miss per
+    // (model × split) forward actually run, everything else hits.
+    let counter = |log: &muffin::TraceLog, name: &str| {
+        log.events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .data
+            .clone()
+    };
+    let hit = counter(&serial_log, "fusing.body_cache_hit");
+    let miss = counter(&serial_log, "fusing.body_cache_miss");
+    let miss_total = match miss {
+        muffin_trace::EventData::Counter { value } => value,
+        other => panic!("miss counter has wrong shape: {other:?}"),
+    };
+    // 3 pool models × 2 splits (proxy + val) is the ceiling; at least one
+    // model must have been evaluated on both splits.
+    assert!(
+        (2..=6).contains(&miss_total),
+        "miss total {miss_total} outside [2, 6]"
+    );
+    let hit_total = match hit {
+        muffin_trace::EventData::Counter { value } => value,
+        other => panic!("hit counter has wrong shape: {other:?}"),
+    };
+    // Every distinct candidate trains (proxy accesses) and evaluates (val
+    // accesses); with 8 episodes there are far more accesses than slots.
+    assert!(
+        hit_total > miss_total,
+        "hits {hit_total} vs misses {miss_total}"
+    );
+
+    // Stripped logs (timings removed) are byte-identical across worker
+    // counts — including the new counters.
+    assert_eq!(
+        muffin_json::to_string(&serial_log.stripped()),
+        muffin_json::to_string(&parallel_log.stripped()),
+    );
+
+    // Disabling the cache removes the counters entirely (pre-cache trace
+    // shape) without changing the outcome.
+    let (search, rng) = search_with_cache(false);
+    let tracer = Tracer::capturing();
+    let search = search.with_tracer(tracer.clone());
+    let uncached = search
+        .run_with_pool(&mut rng.clone(), &WorkerPool::serial())
+        .expect("uncached traced run");
+    let uncached_log = tracer.finish();
+    assert!(uncached_log
+        .events
+        .iter()
+        .all(|e| !e.name.starts_with("fusing.body_cache")));
+    assert_eq!(
+        muffin_json::to_string(&outcome),
+        muffin_json::to_string(&uncached)
+    );
+}
