@@ -19,7 +19,43 @@ fn bench_matmul(h: &mut Harness) {
     let mut out = Matrix::zeros(128, 128);
     h.bench("matmul_into/square/128", || {
         a.matmul_into(&b, &mut out);
-        black_box(out.as_slice()[0])
+        black_box(out.get(0, 0))
+    });
+}
+
+/// Rows exercising the cache-blocked kernels on the shapes the tiling is
+/// for: tile-aligned squares, ragged widths that force a padded stride,
+/// and the transposed variants at a size where blocking matters.
+fn bench_matmul_blocked(h: &mut Harness) {
+    let mut rng = Rng64::seed(4);
+    let mut out = Matrix::zeros(0, 0);
+
+    // 100 is not a multiple of the lane width (stride pads 100 → 104) nor
+    // of the 64-wide tiles, so this row covers the ragged-edge code paths.
+    let a = Matrix::random(100, 100, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    let b = Matrix::random(100, 100, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    h.bench("matmul_blocked/ragged/100", || {
+        a.matmul_into(&b, &mut out);
+        black_box(out.get(0, 0))
+    });
+
+    // Batch-shaped product (tall-skinny times small), the head-training shape.
+    let x = Matrix::random(512, 64, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    let w = Matrix::random(64, 32, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    h.bench("matmul_blocked/tall/512x64x32", || {
+        x.matmul_into(&w, &mut out);
+        black_box(out.get(0, 0))
+    });
+
+    let s = Matrix::random(128, 128, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    let t = Matrix::random(128, 128, Init::ScaledNormal { std_dev: 1.0 }, &mut rng);
+    h.bench("matmul_blocked/tn/128", || {
+        s.matmul_tn_into(&t, &mut out);
+        black_box(out.get(0, 0))
+    });
+    h.bench("matmul_blocked/nt/128", || {
+        s.matmul_nt_into(&t, &mut out);
+        black_box(out.get(0, 0))
     });
 }
 
@@ -42,6 +78,7 @@ fn bench_softmax(h: &mut Harness) {
 fn main() {
     let mut h = Harness::new("tensor_ops");
     bench_matmul(&mut h);
+    bench_matmul_blocked(&mut h);
     bench_matmul_transposed_variants(&mut h);
     bench_softmax(&mut h);
     h.finish();

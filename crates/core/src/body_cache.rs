@@ -182,7 +182,7 @@ mod tests {
             let model = pool.get(i).unwrap();
             assert_eq!(cache.predictions(i), model.predict(split.val.features()));
             let direct = model.predict_proba(split.val.features());
-            for (x, y) in cache.probs(i).as_slice().iter().zip(direct.as_slice()) {
+            for (x, y) in cache.probs(i).iter_rows().flatten().zip(direct.iter_rows().flatten()) {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }

@@ -534,7 +534,11 @@ impl RnnController {
     /// count does not match this controller's architecture — the loudest
     /// available signal that the checkpoint belongs to a different space.
     pub fn import_state(&mut self, state: ControllerState) -> Result<(), MuffinError> {
-        let expected = self.num_params();
+        // The flat checkpoint mirrors `visit_params` buffers verbatim
+        // (including matrix padding lanes), so the expected length is the
+        // visited total, not the logical `num_params` count.
+        let mut expected = 0;
+        self.visit_params(&mut |p, _| expected += p.len());
         if state.params.len() != expected {
             return Err(MuffinError::InvalidConfig(format!(
                 "controller state has {} parameters, expected {expected}",

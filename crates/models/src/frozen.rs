@@ -146,7 +146,7 @@ mod tests {
         let (probs, preds) = model.outputs(split.test.features());
         assert_eq!(preds, model.predict(split.test.features()));
         let separate = model.predict_proba(split.test.features());
-        for (x, y) in probs.as_slice().iter().zip(separate.as_slice()) {
+        for (x, y) in probs.iter_rows().flatten().zip(separate.iter_rows().flatten()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }

@@ -198,16 +198,30 @@ impl GruCell {
 }
 
 impl Parameterized for GruCell {
+    // Weight visits hand out padded backing stores; padding stays zero
+    // under every optimizer update (see `Linear::visit_params`).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        f(self.wxr.as_mut_slice(), self.grad_wxr.as_mut_slice());
-        f(self.whr.as_mut_slice(), self.grad_whr.as_mut_slice());
+        f(self.wxr.padded_data_mut(), self.grad_wxr.padded_data_mut());
+        f(self.whr.padded_data_mut(), self.grad_whr.padded_data_mut());
         f(&mut self.br, &mut self.grad_br);
-        f(self.wxz.as_mut_slice(), self.grad_wxz.as_mut_slice());
-        f(self.whz.as_mut_slice(), self.grad_whz.as_mut_slice());
+        f(self.wxz.padded_data_mut(), self.grad_wxz.padded_data_mut());
+        f(self.whz.padded_data_mut(), self.grad_whz.padded_data_mut());
         f(&mut self.bz, &mut self.grad_bz);
-        f(self.wxn.as_mut_slice(), self.grad_wxn.as_mut_slice());
-        f(self.whn.as_mut_slice(), self.grad_whn.as_mut_slice());
+        f(self.wxn.padded_data_mut(), self.grad_wxn.padded_data_mut());
+        f(self.whn.padded_data_mut(), self.grad_whn.padded_data_mut());
         f(&mut self.bn, &mut self.grad_bn);
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.wxr.len()
+            + self.whr.len()
+            + self.br.len()
+            + self.wxz.len()
+            + self.whz.len()
+            + self.bz.len()
+            + self.wxn.len()
+            + self.whn.len()
+            + self.bn.len()
     }
 }
 
@@ -224,7 +238,7 @@ mod tests {
             .map(|v| v.clamp(-1.0, 1.0));
         let (h1, _) = cell.forward(&x, &h);
         // h' is a convex combination of tanh output and the (bounded) h.
-        assert!(h1.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(h1.iter_rows().flatten().all(|&v| (-1.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -146,9 +146,17 @@ impl Linear {
 }
 
 impl Parameterized for Linear {
+    // The weight visit hands out the full padded backing store (see
+    // `Matrix::padded_data`): padding params and padding grads are both
+    // zero, which every update rule maps back to zero, so the optimizer
+    // can treat the buffer as flat without ever perturbing the padding.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        f(self.weight.as_mut_slice(), self.grad_weight.as_mut_slice());
+        f(self.weight.padded_data_mut(), self.grad_weight.padded_data_mut());
         f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.param_count()
     }
 }
 

@@ -313,6 +313,10 @@ impl Parameterized for Mlp {
             layer.visit_params(f);
         }
     }
+
+    fn num_params(&mut self) -> usize {
+        self.param_count()
+    }
 }
 
 #[cfg(test)]

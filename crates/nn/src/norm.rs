@@ -237,6 +237,6 @@ mod tests {
     fn constant_rows_stay_finite() {
         let ln = LayerNorm::new(3);
         let (y, _) = ln.forward(&Matrix::filled(2, 3, 7.0));
-        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(y.iter_rows().flatten().all(|v| v.is_finite()));
     }
 }

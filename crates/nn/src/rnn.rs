@@ -108,10 +108,16 @@ impl RnnCell {
 }
 
 impl Parameterized for RnnCell {
+    // Weight visits hand out padded backing stores; padding stays zero
+    // under every optimizer update (see `Linear::visit_params`).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        f(self.wx.as_mut_slice(), self.grad_wx.as_mut_slice());
-        f(self.wh.as_mut_slice(), self.grad_wh.as_mut_slice());
+        f(self.wx.padded_data_mut(), self.grad_wx.padded_data_mut());
+        f(self.wh.padded_data_mut(), self.grad_wh.padded_data_mut());
         f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.wx.len() + self.wh.len() + self.bias.len()
     }
 }
 
@@ -126,7 +132,7 @@ mod tests {
         let x = Matrix::random(2, 3, Init::ScaledNormal { std_dev: 5.0 }, &mut rng);
         let h = Matrix::random(2, 5, Init::ScaledNormal { std_dev: 5.0 }, &mut rng);
         let (h1, _) = cell.forward(&x, &h);
-        assert!(h1.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(h1.iter_rows().flatten().all(|&v| (-1.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -135,7 +141,7 @@ mod tests {
         let mut cell = RnnCell::new(2, 3, &mut rng);
         cell.visit_params(&mut |p, _| p.fill(0.0));
         let (h1, _) = cell.forward(&Matrix::filled(1, 2, 1.0), &Matrix::filled(1, 3, 1.0));
-        assert!(h1.as_slice().iter().all(|&v| v == 0.0));
+        assert!(h1.iter_rows().flatten().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -26,14 +26,14 @@ fn linear_forward_is_affine() {
             // f(x + y) − f(y) == f(x) − f(0)  (affine maps differ by constant)
             let lhs = &layer.forward(&(&x + &y)) - &layer.forward(&y);
             let rhs = &layer.forward(&x) - &layer.forward(&Matrix::zeros(5, 4));
-            for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            for (a, b) in lhs.iter_rows().flatten().zip(rhs.iter_rows().flatten()) {
                 prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
             }
             // Scaling the zero-bias part is homogeneous.
             let f0 = layer.forward(&Matrix::zeros(5, 4));
             let fx = &layer.forward(&x) - &f0;
             let fsx = &layer.forward(&x.scaled(scale)) - &f0;
-            for (a, b) in fsx.as_slice().iter().zip(fx.as_slice()) {
+            for (a, b) in fsx.iter_rows().flatten().zip(fx.iter_rows().flatten()) {
                 prop_assert!((a - b * scale).abs() < 1e-2 * scale.max(1.0));
             }
             Ok(())
@@ -54,7 +54,7 @@ fn cross_entropy_is_nonnegative_and_finite() {
             let (loss, grad) = cross_entropy_loss(&logits, &labels);
             prop_assert!(loss >= 0.0);
             prop_assert!(loss.is_finite());
-            prop_assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+            prop_assert!(grad.iter_rows().flatten().all(|g| g.is_finite()));
             // Gradient rows sum to zero: softmax minus one-hot.
             for row in grad.iter_rows() {
                 let s: f32 = row.iter().sum();
@@ -82,7 +82,7 @@ fn weighted_mse_scales_linearly_with_weights() {
             let (l1, g1) = weighted_mse_loss(&pred, &targets, &w1);
             let (l2, g2) = weighted_mse_loss(&pred, &targets, &w2);
             prop_assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
-            for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            for (a, b) in g1.iter_rows().flatten().zip(g2.iter_rows().flatten()) {
                 prop_assert!((a - b).abs() < 1e-5);
             }
             Ok(())

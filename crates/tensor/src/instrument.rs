@@ -1,0 +1,33 @@
+//! Timing-free instrumentation hooks for the tensor kernels.
+//!
+//! The matmul kernels guard their zero-skip fast path with a finiteness
+//! pre-scan of the right-hand operand (see [`crate::Matrix::matmul_into`]).
+//! That scan is required to run **exactly once per operand per call** — a
+//! regression to per-element or per-zero-hit re-scanning would be invisible
+//! to equivalence tests (the floats stay identical) and only show up as a
+//! quadratic slowdown. The counter below makes the contract testable
+//! without timers: tests snapshot [`finiteness_scans`] around a kernel call
+//! and pin the delta.
+//!
+//! Counters are thread-local so parallel test runners and `muffin-par`
+//! workers never race; the cost is one `Cell` increment per kernel call,
+//! which is noise next to the scan itself.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FINITENESS_SCANS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of finiteness pre-scans run by matmul kernels on this thread.
+///
+/// Monotonically increasing; take a snapshot before and after the call
+/// under test and compare deltas rather than absolute values.
+pub fn finiteness_scans() -> u64 {
+    FINITENESS_SCANS.with(|c| c.get())
+}
+
+/// Records one finiteness pre-scan (called by the kernels).
+pub(crate) fn record_finiteness_scan() {
+    FINITENESS_SCANS.with(|c| c.set(c.get() + 1));
+}

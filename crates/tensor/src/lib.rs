@@ -25,10 +25,11 @@
 
 mod error;
 mod init;
+pub mod instrument;
 mod matrix;
 mod ops;
 
 pub use error::ShapeError;
 pub use init::{Init, Rng64, SplitMix64};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, LANE_WIDTH};
 pub use ops::{argmax, logsumexp, softmax_in_place};

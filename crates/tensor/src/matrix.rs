@@ -3,11 +3,42 @@ use muffin_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-/// A dense, row-major `f32` matrix.
+/// Number of `f32` lanes in one 32-byte SIMD register; rows are padded to a
+/// multiple of this so every row starts on a 32-byte boundary.
+pub const LANE_WIDTH: usize = 8;
+
+/// One 32-byte-aligned group of [`LANE_WIDTH`] floats. Backing the matrix
+/// store with a `Vec<Lane>` (instead of `Vec<f32>`) is what guarantees the
+/// allocation itself is 32-byte aligned without a custom allocator.
+#[derive(Clone, Copy)]
+#[repr(C, align(32))]
+struct Lane([f32; LANE_WIDTH]);
+
+const ZERO_LANE: Lane = Lane([0.0; LANE_WIDTH]);
+
+/// Row stride (in `f32`s) for a logical column count: `cols` rounded up to
+/// the SIMD lane width. Zero iff `cols` is zero.
+#[inline]
+fn padded_stride(cols: usize) -> usize {
+    (cols + LANE_WIDTH - 1) / LANE_WIDTH * LANE_WIDTH
+}
+
+/// Row-block size for the matmul kernels (outer-loop tiling only).
+const I_BLOCK: usize = 64;
+/// Shared-dimension block size for the matmul kernels.
+const K_BLOCK: usize = 64;
+/// Column-block size for `matmul_nt_into`'s dot-product tiling.
+const J_BLOCK: usize = 64;
+
+/// A dense, row-major `f32` matrix over an aligned, padded backing store.
 ///
 /// This is the single tensor type used throughout the Muffin workspace.
-/// Row-major layout means `data[r * cols + c]` addresses element `(r, c)`;
-/// rows usually index samples and columns index features or logits.
+/// Logically the matrix is row-major: element `(r, c)` lives at
+/// `r * stride + c` where `stride` is `cols` rounded up to [`LANE_WIDTH`]
+/// (so every row begins on a 32-byte boundary and whole rows autovectorize
+/// cleanly). The padding lanes between `cols` and `stride` are storage
+/// only: no accessor, kernel, or serializer ever reads them, and the JSON
+/// format carries the logical shape alone.
 ///
 /// Hot-path operations (`matmul`, element-wise arithmetic) panic on shape
 /// mismatch — they sit inside training loops where a mismatch is a
@@ -27,22 +58,30 @@ use std::ops::{Add, Mul, Sub};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    /// Distance in `f32`s between consecutive row starts; `cols` rounded up
+    /// to [`LANE_WIDTH`]. Zero iff `cols` is zero.
+    stride: usize,
+    data: Vec<Lane>,
 }
 
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        let stride = padded_stride(cols);
+        Self { rows, cols, stride, data: vec![ZERO_LANE; rows * stride / LANE_WIDTH] }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        let mut m = Self::zeros(rows, cols);
+        for row in m.iter_rows_mut() {
+            row.fill(value);
+        }
+        m
     }
 
     /// Creates the `n`×`n` identity matrix.
@@ -63,7 +102,11 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
         }
-        Ok(Self { rows, cols, data })
+        let mut m = Self::zeros(rows, cols);
+        for (dst, src) in m.iter_rows_mut().zip(data.chunks_exact(cols.max(1))) {
+            dst.copy_from_slice(src);
+        }
+        Ok(m)
     }
 
     /// Creates a matrix from a slice of row slices.
@@ -74,25 +117,28 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
         let n_rows = rows.len();
         let n_cols = rows.first().map_or(0, |r| r.len());
-        let mut data = Vec::with_capacity(n_rows * n_cols);
         for row in rows {
             if row.len() != n_cols {
                 return Err(ShapeError::new("from_rows", (n_rows, n_cols), (n_rows, row.len())));
             }
-            data.extend_from_slice(row);
         }
-        Ok(Self { rows: n_rows, cols: n_cols, data })
+        let mut m = Self::zeros(n_rows, n_cols);
+        for (dst, src) in m.iter_rows_mut().zip(rows.iter()) {
+            dst.copy_from_slice(src);
+        }
+        Ok(m)
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut m = Self::zeros(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
+            let row = m.row_mut(r);
+            for (c, x) in row.iter_mut().enumerate() {
+                *x = f(r, c);
             }
         }
-        Self { rows, cols, data }
+        m
     }
 
     /// Creates a randomly initialised matrix using scheme `init`.
@@ -120,14 +166,58 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
-    /// Total number of elements.
-    pub fn len(&self) -> usize {
-        self.data.len()
+    /// Row stride of the backing store in `f32`s: [`Matrix::cols`] rounded
+    /// up to [`LANE_WIDTH`]. Equal to `cols` when the column count is
+    /// already a lane multiple.
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
-    /// Whether the matrix has zero elements.
+    /// Total number of **logical** elements (`rows * cols`; padding lanes
+    /// are storage, not elements).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the matrix has zero logical elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// The full backing store including padding lanes, row-major with
+    /// stride [`Matrix::stride`].
+    ///
+    /// The padding lanes (`cols..stride` of each row) carry no meaning:
+    /// kernels and serializers never read them. This accessor exists for
+    /// whole-buffer consumers that tolerate them — optimizer parameter
+    /// visits (padding stays zero under every update rule that maps zero
+    /// gradient and zero value to zero delta) and tests that deliberately
+    /// poison padding to prove nothing reads it.
+    pub fn padded_data(&self) -> &[f32] {
+        self.buf()
+    }
+
+    /// Mutable view of the full backing store including padding lanes.
+    ///
+    /// See [`Matrix::padded_data`] for the contract on padding lanes.
+    pub fn padded_data_mut(&mut self) -> &mut [f32] {
+        self.buf_mut()
+    }
+
+    /// Copies the logical elements into a compact row-major vector of
+    /// length `rows * cols` (padding lanes are dropped).
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len());
+        for row in self.iter_rows() {
+            out.extend_from_slice(row);
+        }
+        out
+    }
+
+    /// Consumes the matrix and returns its logical elements as a compact
+    /// row-major vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.to_vec()
     }
 
     /// Element at `(r, c)`.
@@ -138,7 +228,7 @@ impl Matrix {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
-        self.data[r * self.cols + c]
+        self.buf()[r * self.stride + c]
     }
 
     /// Sets the element at `(r, c)`.
@@ -149,10 +239,11 @@ impl Matrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.stride + c;
+        self.buf_mut()[idx] = v;
     }
 
-    /// Borrow of row `r` as a slice.
+    /// Borrow of row `r` as a slice (logical columns only, no padding).
     ///
     /// # Panics
     ///
@@ -160,10 +251,11 @@ impl Matrix {
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        let start = r * self.stride;
+        &self.buf()[start..start + self.cols]
     }
 
-    /// Mutable borrow of row `r`.
+    /// Mutable borrow of row `r` (logical columns only, no padding).
     ///
     /// # Panics
     ///
@@ -171,38 +263,34 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
-        let start = r * self.cols;
+        let start = r * self.stride;
         let end = start + self.cols;
-        &mut self.data[start..end]
+        &mut self.buf_mut()[start..end]
     }
 
-    /// View of the underlying row-major data.
-    pub fn as_slice(&self) -> &[f32] {
-        &self.data
-    }
-
-    /// Mutable view of the underlying row-major data.
-    pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
-    }
-
-    /// Consumes the matrix and returns the underlying data vector.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
-    }
-
-    /// Iterator over rows as slices.
+    /// Iterator over logical rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        self.buf().chunks_exact(self.stride.max(1)).map(move |chunk| &chunk[..cols])
     }
 
-    /// Reshapes to `rows`×`cols` and sets every element to zero, reusing
-    /// the existing allocation whenever its capacity suffices.
+    /// Iterator over logical rows as mutable slices.
+    pub fn iter_rows_mut(&mut self) -> impl Iterator<Item = &mut [f32]> {
+        let cols = self.cols;
+        let stride = self.stride.max(1);
+        self.buf_mut().chunks_exact_mut(stride).map(move |chunk| &mut chunk[..cols])
+    }
+
+    /// Reshapes to `rows`×`cols` and sets every element (and every padding
+    /// lane) to zero, reusing the existing allocation whenever its capacity
+    /// suffices.
     pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
+        self.stride = padded_stride(cols);
+        let lanes = rows * self.stride / LANE_WIDTH;
         self.data.clear();
-        self.data.resize(rows * cols, 0.0);
+        self.data.resize(lanes, ZERO_LANE);
     }
 
     /// Overwrites `self` with the shape and contents of `src`, reusing the
@@ -210,14 +298,48 @@ impl Matrix {
     pub fn copy_from(&mut self, src: &Matrix) {
         self.rows = src.rows;
         self.cols = src.cols;
+        self.stride = src.stride;
         self.data.clear();
         self.data.extend_from_slice(&src.data);
     }
 
+    /// View of the backing store as a flat `f32` slice (including padding).
+    #[inline]
+    fn buf(&self) -> &[f32] {
+        // SAFETY: `Lane` is `repr(C)` over `[f32; LANE_WIDTH]`, so a
+        // `Vec<Lane>` is layout-compatible with a contiguous run of
+        // `len * LANE_WIDTH` floats at alignment 32 >= 4.
+        unsafe {
+            std::slice::from_raw_parts(self.data.as_ptr().cast::<f32>(), self.data.len() * LANE_WIDTH)
+        }
+    }
+
+    /// Mutable view of the backing store as a flat `f32` slice.
+    #[inline]
+    fn buf_mut(&mut self) -> &mut [f32] {
+        // SAFETY: see `buf`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.data.as_mut_ptr().cast::<f32>(),
+                self.data.len() * LANE_WIDTH,
+            )
+        }
+    }
+
+    /// Finiteness pre-scan of the logical elements, run **once per operand
+    /// per kernel call** (counted by [`crate::instrument::finiteness_scans`]).
+    fn all_finite_logical(&self) -> bool {
+        crate::instrument::record_finiteness_scan();
+        self.iter_rows().all(|row| row.iter().all(|x| x.is_finite()))
+    }
+
     /// Matrix product `self · other`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams over contiguous
-    /// memory in both operands.
+    /// The kernel is cache-blocked over the two outer loops (64×64 row and
+    /// shared-dimension tiles) while the inner
+    /// accumulation runs over each output row in ascending `k` order — the
+    /// same per-element operation sequence as the naive `i-k-j` triple
+    /// loop, so results are byte-for-byte identical to it.
     ///
     /// # Panics
     ///
@@ -241,31 +363,59 @@ impl Matrix {
             "matmul shape mismatch: {}x{} . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.resize_zeroed(self.rows, other.cols);
-        // Skipping `a == 0` rows of the inner product is only sound when
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.resize_zeroed(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        // Skipping `a == 0` terms of the inner product is only sound when
         // `other` is all-finite: `0 · NaN` and `0 · ∞` are NaN and must
-        // propagate, exactly as they do in `matmul_nt`. The finiteness scan
-        // is O(rows·cols), so it is evaluated lazily — once, and only if a
-        // zero is actually hit — instead of being paid on every call.
-        let mut skip_zeros: Option<bool> = None;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0
-                    && *skip_zeros.get_or_insert_with(|| other.data.iter().all(|x| x.is_finite()))
-                {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        // propagate, exactly as they do in `matmul_nt`. The scan is hoisted
+        // out of the loops and runs exactly once per call (the instrument
+        // counter pins this); it touches logical elements only.
+        let skip_zeros = other.all_finite_logical();
+        let (sa, sb, so) = (self.stride, other.stride, out.stride);
+        let (abuf, bbuf) = (self.buf(), other.buf());
+        let obuf = out.buf_mut();
+        for ii in (0..m).step_by(I_BLOCK) {
+            let i_end = (ii + I_BLOCK).min(m);
+            for kk in (0..k).step_by(K_BLOCK) {
+                let k_end = (kk + K_BLOCK).min(k);
+                for i in ii..i_end {
+                    let a_row = &abuf[i * sa + kk..i * sa + k_end];
+                    let out_row = &mut obuf[i * so..i * so + n];
+                    let mut dk = 0;
+                    while dk + 4 <= a_row.len() {
+                        let kb = kk + dk;
+                        let a4 = [a_row[dk], a_row[dk + 1], a_row[dk + 2], a_row[dk + 3]];
+                        let b4 = [
+                            &bbuf[kb * sb..kb * sb + n],
+                            &bbuf[(kb + 1) * sb..(kb + 1) * sb + n],
+                            &bbuf[(kb + 2) * sb..(kb + 2) * sb + n],
+                            &bbuf[(kb + 3) * sb..(kb + 3) * sb + n],
+                        ];
+                        rank4_update(out_row, a4, b4, skip_zeros);
+                        dk += 4;
+                    }
+                    while dk < a_row.len() {
+                        let a = a_row[dk];
+                        let kb = kk + dk;
+                        if !(a == 0.0 && skip_zeros) {
+                            rank1_update(out_row, a, &bbuf[kb * sb..kb * sb + n]);
+                        }
+                        dk += 1;
+                    }
                 }
             }
         }
     }
 
     /// Matrix product `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Cache-blocked like [`Matrix::matmul`] (shared-dimension and column
+    /// tiles on the two outer loops); per output element the shared
+    /// dimension is accumulated in ascending order, byte-identical to the
+    /// naive loop.
     ///
     /// # Panics
     ///
@@ -289,29 +439,57 @@ impl Matrix {
             "matmul_tn shape mismatch: ({}x{})^T . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.resize_zeroed(self.cols, other.cols);
-        // Same lazy finiteness guard as `matmul_into`: the zero-skip must
-        // not swallow NaN/∞ contributions from `other`, and the scan only
-        // runs if a zero is actually hit.
-        let mut skip_zeros: Option<bool> = None;
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0
-                    && *skip_zeros.get_or_insert_with(|| other.data.iter().all(|x| x.is_finite()))
-                {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        let (r_dim, c_dim, n) = (self.rows, self.cols, other.cols);
+        out.resize_zeroed(c_dim, n);
+        if r_dim == 0 || c_dim == 0 || n == 0 {
+            return;
+        }
+        // Same hoisted pre-scan as `matmul_into`: one scan of `other` per
+        // call guards the zero-skip path against swallowing NaN/∞.
+        let skip_zeros = other.all_finite_logical();
+        let (sa, sb, so) = (self.stride, other.stride, out.stride);
+        let (abuf, bbuf) = (self.buf(), other.buf());
+        let obuf = out.buf_mut();
+        for rr in (0..r_dim).step_by(K_BLOCK) {
+            let r_end = (rr + K_BLOCK).min(r_dim);
+            for ii in (0..c_dim).step_by(I_BLOCK) {
+                let i_end = (ii + I_BLOCK).min(c_dim);
+                for i in ii..i_end {
+                    let out_row = &mut obuf[i * so..i * so + n];
+                    let mut r = rr;
+                    while r + 4 <= r_end {
+                        let a4 = [
+                            abuf[r * sa + i],
+                            abuf[(r + 1) * sa + i],
+                            abuf[(r + 2) * sa + i],
+                            abuf[(r + 3) * sa + i],
+                        ];
+                        let b4 = [
+                            &bbuf[r * sb..r * sb + n],
+                            &bbuf[(r + 1) * sb..(r + 1) * sb + n],
+                            &bbuf[(r + 2) * sb..(r + 2) * sb + n],
+                            &bbuf[(r + 3) * sb..(r + 3) * sb + n],
+                        ];
+                        rank4_update(out_row, a4, b4, skip_zeros);
+                        r += 4;
+                    }
+                    while r < r_end {
+                        let a = abuf[r * sa + i];
+                        if !(a == 0.0 && skip_zeros) {
+                            rank1_update(out_row, a, &bbuf[r * sb..r * sb + n]);
+                        }
+                        r += 1;
+                    }
                 }
             }
         }
     }
 
     /// Matrix product `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Cache-blocked over row and column tiles; each dot product folds the
+    /// shared dimension sequentially from zero, byte-identical to the naive
+    /// `iter().zip().map().sum()` formulation.
     ///
     /// # Panics
     ///
@@ -335,13 +513,58 @@ impl Matrix {
             "matmul_nt shape mismatch: {}x{} . ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.resize_zeroed(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let dot: f32 = a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
-                out.data[i * other.rows + j] = dot;
+        let (m, k, p) = (self.rows, self.cols, other.rows);
+        out.resize_zeroed(m, p);
+        if m == 0 || k == 0 || p == 0 {
+            return;
+        }
+        let (sa, sb, so) = (self.stride, other.stride, out.stride);
+        let (abuf, bbuf) = (self.buf(), other.buf());
+        let obuf = out.buf_mut();
+        for ii in (0..m).step_by(I_BLOCK) {
+            let i_end = (ii + I_BLOCK).min(m);
+            for jj in (0..p).step_by(J_BLOCK) {
+                let j_end = (jj + J_BLOCK).min(p);
+                for i in ii..i_end {
+                    let a_row = &abuf[i * sa..i * sa + k];
+                    let out_row = &mut obuf[i * so..i * so + p];
+                    let mut j = jj;
+                    // Four independent dot products share each `a` load.
+                    // Accumulators start at -0.0 — the IEEE additive
+                    // identity `Iterator::sum` folds from (`x + -0.0 == x`
+                    // bitwise for every x, which +0.0 is not: `-0.0 + 0.0`
+                    // flips to +0.0) — so each dot is bitwise `.sum()`.
+                    while j + 4 <= j_end {
+                        let b0 = &bbuf[j * sb..j * sb + k];
+                        let b1 = &bbuf[(j + 1) * sb..(j + 1) * sb + k];
+                        let b2 = &bbuf[(j + 2) * sb..(j + 2) * sb + k];
+                        let b3 = &bbuf[(j + 3) * sb..(j + 3) * sb + k];
+                        let (mut d0, mut d1, mut d2, mut d3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
+                        for (&a, (((&v0, &v1), &v2), &v3)) in a_row
+                            .iter()
+                            .zip(b0.iter().zip(b1.iter()).zip(b2.iter()).zip(b3.iter()))
+                        {
+                            d0 += a * v0;
+                            d1 += a * v1;
+                            d2 += a * v2;
+                            d3 += a * v3;
+                        }
+                        out_row[j] = d0;
+                        out_row[j + 1] = d1;
+                        out_row[j + 2] = d2;
+                        out_row[j + 3] = d3;
+                        j += 4;
+                    }
+                    while j < j_end {
+                        let b_row = &bbuf[j * sb..j * sb + k];
+                        let mut dot = -0.0f32;
+                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                            dot += a * b;
+                        }
+                        out_row[j] = dot;
+                        j += 1;
+                    }
+                }
             }
         }
     }
@@ -349,23 +572,33 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let so = out.stride;
+        let obuf = out.buf_mut();
+        for (r, row) in self.iter_rows().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                obuf[c * so + r] = v;
             }
         }
         out
     }
 
-    /// Applies `f` to every element, returning a new matrix.
+    /// Applies `f` to every logical element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (dst, src) in out.iter_rows_mut().zip(self.iter_rows()) {
+            for (o, &x) in dst.iter_mut().zip(src.iter()) {
+                *o = f(x);
+            }
+        }
+        out
     }
 
-    /// Applies `f` to every element in place.
+    /// Applies `f` to every logical element in place (padding untouched).
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+        for row in self.iter_rows_mut() {
+            for x in row.iter_mut() {
+                *x = f(*x);
+            }
         }
     }
 
@@ -376,11 +609,15 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((dst, a_row), b_row) in
+            out.iter_rows_mut().zip(self.iter_rows()).zip(other.iter_rows())
+        {
+            for ((o, &a), &b) in dst.iter_mut().zip(a_row.iter()).zip(b_row.iter()) {
+                *o = f(a, b);
+            }
         }
+        out
     }
 
     /// In-place variant of [`Matrix::zip_map`]: `self[i] = f(self[i], other[i])`.
@@ -390,8 +627,10 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(f32, f32) -> f32) {
         assert_eq!(self.shape(), other.shape(), "zip_apply shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a = f(*a, b);
+        for (dst, src) in self.iter_rows_mut().zip(other.iter_rows()) {
+            for (a, &b) in dst.iter_mut().zip(src.iter()) {
+                *a = f(*a, b);
+            }
         }
     }
 
@@ -416,8 +655,10 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn axpy(&mut self, s: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += s * b;
+        for (dst, src) in self.iter_rows_mut().zip(other.iter_rows()) {
+            for (a, &b) in dst.iter_mut().zip(src.iter()) {
+                *a += s * b;
+            }
         }
     }
 
@@ -428,24 +669,30 @@ impl Matrix {
     /// Panics if `bias.len() != cols`.
     pub fn add_row_in_place(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols, "bias length {} != cols {}", bias.len(), self.cols);
-        for row in self.data.chunks_exact_mut(self.cols) {
+        for row in self.iter_rows_mut() {
             for (x, &b) in row.iter_mut().zip(bias.iter()) {
                 *x += b;
             }
         }
     }
 
-    /// Sum of every element.
+    /// Sum of every logical element (row-major fold, padding excluded).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        let mut s = 0.0f32;
+        for row in self.iter_rows() {
+            for &x in row {
+                s += x;
+            }
+        }
+        s
     }
 
     /// Mean of every element, or `0.0` for an empty matrix.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
@@ -461,7 +708,7 @@ impl Matrix {
     pub fn col_sums_into(&self, out: &mut Vec<f32>) {
         out.clear();
         out.resize(self.cols, 0.0);
-        for row in self.data.chunks_exact(self.cols.max(1)) {
+        for row in self.iter_rows() {
             for (s, &x) in out.iter_mut().zip(row.iter()) {
                 *s += x;
             }
@@ -476,7 +723,7 @@ impl Matrix {
     /// Applies a numerically stable softmax to each row, returning a new matrix.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(out.cols.max(1)) {
+        for row in out.iter_rows_mut() {
             crate::ops::softmax_in_place(row);
         }
         out
@@ -485,7 +732,7 @@ impl Matrix {
     /// Row-wise log-softmax, numerically stable.
     pub fn log_softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(out.cols.max(1)) {
+        for row in out.iter_rows_mut() {
             let lse = crate::ops::logsumexp(row);
             for x in row.iter_mut() {
                 *x -= lse;
@@ -511,12 +758,10 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
-        out.rows = indices.len();
-        out.cols = self.cols;
-        out.data.clear();
-        out.data.reserve(indices.len() * self.cols);
-        for &i in indices {
-            out.data.extend_from_slice(self.row(i));
+        out.resize_zeroed(indices.len(), self.cols);
+        for (dst, &i) in (0..indices.len()).zip(indices.iter()) {
+            let src = self.row(i);
+            out.row_mut(dst).copy_from_slice(src);
         }
     }
 
@@ -536,18 +781,86 @@ impl Matrix {
             }
         }
         let total_cols: usize = parts.iter().map(|m| m.cols).sum();
-        let mut data = Vec::with_capacity(rows * total_cols);
+        let mut out = Matrix::zeros(rows, total_cols);
         for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
             for m in parts {
-                data.extend_from_slice(m.row(r));
+                dst[off..off + m.cols].copy_from_slice(m.row(r));
+                off += m.cols;
             }
         }
-        Ok(Matrix { rows, cols: total_cols, data })
+        Ok(out)
     }
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        let mut sq = 0.0f32;
+        for row in self.iter_rows() {
+            for &x in row {
+                sq += x * x;
+            }
+        }
+        sq.sqrt()
+    }
+}
+
+/// `out_row[j] += a * b_row[j]` over one logical row.
+#[inline]
+fn rank1_update(out_row: &mut [f32], a: f32, b_row: &[f32]) {
+    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+        *o += a * b;
+    }
+}
+
+/// Applies four consecutive shared-dimension steps to `out_row`, each as
+/// `o += a[t] * b[t][j]` in ascending `t` — the exact operation sequence of
+/// four [`rank1_update`] passes, with 4× fewer loads/stores of `out_row`.
+///
+/// When `skip_zeros` is set and any coefficient is exactly zero, the group
+/// falls back to per-step updates so zero terms are skipped under the same
+/// condition the naive kernel used (preserving `-0.0` accumulator bits).
+#[inline]
+fn rank4_update(out_row: &mut [f32], a: [f32; 4], b: [&[f32]; 4], skip_zeros: bool) {
+    if skip_zeros && (a[0] == 0.0 || a[1] == 0.0 || a[2] == 0.0 || a[3] == 0.0) {
+        for t in 0..4 {
+            if a[t] != 0.0 {
+                rank1_update(out_row, a[t], b[t]);
+            }
+        }
+        return;
+    }
+    let [b0, b1, b2, b3] = b;
+    for (o, (((&v0, &v1), &v2), &v3)) in
+        out_row.iter_mut().zip(b0.iter().zip(b1.iter()).zip(b2.iter()).zip(b3.iter()))
+    {
+        let mut acc = *o;
+        acc += a[0] * v0;
+        acc += a[1] * v1;
+        acc += a[2] * v2;
+        acc += a[3] * v3;
+        *o = acc;
+    }
+}
+
+impl PartialEq for Matrix {
+    /// Logical equality: shapes match and every logical element compares
+    /// equal (`NaN != NaN`, as for raw `f32`). Padding lanes never
+    /// participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.iter_rows().zip(other.iter_rows()).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data", &self.to_vec())
+            .finish()
     }
 }
 
@@ -556,7 +869,7 @@ impl ToJson for Matrix {
         let mut obj = Json::object();
         obj.insert("rows", self.rows.to_json());
         obj.insert("cols", self.cols.to_json());
-        obj.insert("data", self.data.to_json());
+        obj.insert("data", self.to_vec().to_json());
         obj
     }
 }
@@ -634,6 +947,27 @@ mod tests {
     fn from_rows_rejects_ragged_input() {
         let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
         assert_eq!(err.op(), "from_rows");
+    }
+
+    #[test]
+    fn storage_is_aligned_and_padded() {
+        let a = Matrix::zeros(3, 5);
+        assert_eq!(a.stride(), LANE_WIDTH);
+        assert_eq!(a.padded_data().len(), 3 * LANE_WIDTH);
+        assert_eq!(a.padded_data().as_ptr() as usize % 32, 0);
+        // Lane-multiple widths stay unpadded.
+        let b = Matrix::zeros(2, 16);
+        assert_eq!(b.stride(), 16);
+        assert_eq!(b.len(), 32);
+    }
+
+    #[test]
+    fn len_counts_logical_elements_only() {
+        let a = Matrix::zeros(4, 3);
+        assert_eq!(a.len(), 12);
+        assert!(a.padded_data().len() > a.len());
+        assert!(!a.is_empty());
+        assert!(Matrix::zeros(0, 7).is_empty());
     }
 
     #[test]
@@ -818,7 +1152,7 @@ mod tests {
         a.matmul_into(&b, &mut out);
         let expect = a.matmul(&b);
         assert_eq!(out.shape(), expect.shape());
-        for (x, y) in out.as_slice().iter().zip(expect.as_slice()) {
+        for (x, y) in out.to_vec().iter().zip(expect.to_vec().iter()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }
@@ -885,6 +1219,14 @@ mod tests {
     fn display_is_nonempty() {
         let a = Matrix::zeros(1, 1);
         assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn to_vec_round_trips_through_from_vec() {
+        let a = m(3, 5, &(0..15).map(|x| x as f32).collect::<Vec<_>>());
+        let v = a.to_vec();
+        assert_eq!(v.len(), 15);
+        assert_eq!(Matrix::from_vec(3, 5, v).unwrap(), a);
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn matmul_distributes_over_addition() {
         |(a, b, c)| {
             let lhs = a.matmul(&(b + c));
             let rhs = &a.matmul(b) + &a.matmul(c);
-            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            for (x, y) in lhs.iter_rows().flatten().zip(rhs.iter_rows().flatten()) {
                 prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
             }
             Ok(())
@@ -67,7 +67,7 @@ fn matmul_tn_agrees_with_naive() {
         |(a, b)| {
             let fast = a.matmul_tn(b);
             let slow = a.transpose().matmul(b);
-            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            for (x, y) in fast.iter_rows().flatten().zip(slow.iter_rows().flatten()) {
                 prop_assert!((x - y).abs() < 1e-4);
             }
             Ok(())
@@ -159,12 +159,12 @@ fn matmul_into_is_byte_identical_to_matmul() {
             let mut b = g.matrix_exact(inner, cols, -5.0, 5.0);
             // Sprinkle zeros into `a` (exercises the lazy skip-zeros guard)
             // and occasionally a NaN/∞ into `b` (exercises its slow path).
-            for x in a.as_mut_slice() {
+            for x in a.iter_rows_mut().flatten() {
                 if g.bool(0.4) {
                     *x = 0.0;
                 }
             }
-            for x in b.as_mut_slice() {
+            for x in b.iter_rows_mut().flatten() {
                 if g.bool(0.05) {
                     *x = if g.bool(0.5) { f32::NAN } else { f32::INFINITY };
                 }
@@ -176,7 +176,7 @@ fn matmul_into_is_byte_identical_to_matmul() {
             a.matmul_into(b, &mut out);
             let fresh = a.matmul(b);
             prop_assert_eq!(out.shape(), fresh.shape());
-            for (x, y) in out.as_slice().iter().zip(fresh.as_slice()) {
+            for (x, y) in out.iter_rows().flatten().zip(fresh.iter_rows().flatten()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
 
@@ -184,13 +184,13 @@ fn matmul_into_is_byte_identical_to_matmul() {
             let mut tn = Matrix::zeros(0, 0);
             a.transpose().matmul_tn_into(b, &mut tn);
             let tn_fresh = a.transpose().matmul_tn(b);
-            for (x, y) in tn.as_slice().iter().zip(tn_fresh.as_slice()) {
+            for (x, y) in tn.iter_rows().flatten().zip(tn_fresh.iter_rows().flatten()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
             let mut nt = Matrix::zeros(1, 1);
             a.matmul_nt_into(&b.transpose(), &mut nt);
             let nt_fresh = a.matmul_nt(&b.transpose());
-            for (x, y) in nt.as_slice().iter().zip(nt_fresh.as_slice()) {
+            for (x, y) in nt.iter_rows().flatten().zip(nt_fresh.iter_rows().flatten()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
             Ok(())
@@ -202,7 +202,7 @@ fn matmul_into_is_byte_identical_to_matmul() {
 fn scaled_by_zero_is_zero() {
     check("scaling by zero zeroes", config(), |g| gen_matrix(g, 6), |m| {
         let z = m.scaled(0.0);
-        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        prop_assert!(z.iter_rows().flatten().all(|&x| x == 0.0));
         Ok(())
     });
 }

@@ -2,16 +2,26 @@
 # Compare two directories of muffin-bench suite JSONs and print the
 # median-time delta for every benchmark present in both.
 #
-# Usage: scripts/bench-compare.sh BEFORE_DIR AFTER_DIR
+# Usage: scripts/bench-compare.sh [--fail-above PCT] BEFORE_DIR AFTER_DIR
 #
 # Each directory is expected to hold the `<suite>.json` files written by
 # `Harness::finish` (see `MUFFIN_BENCH_OUT`). Output is one line per
 # benchmark: suite/name, before and after medians in a human unit, and
 # the percentage change (negative = faster). POSIX sh + awk only.
+#
+# With --fail-above PCT, exits 1 if any benchmark present in both
+# directories regressed by more than PCT percent — the CI regression gate.
 set -eu
 
+fail_above=""
+if [ "${1-}" = "--fail-above" ]; then
+    [ "$#" -ge 2 ] || { echo "error: --fail-above needs a percentage" >&2; exit 2; }
+    fail_above=$2
+    shift 2
+fi
+
 if [ "$#" -ne 2 ]; then
-    echo "usage: $0 BEFORE_DIR AFTER_DIR" >&2
+    echo "usage: $0 [--fail-above PCT] BEFORE_DIR AFTER_DIR" >&2
     exit 2
 fi
 before_dir=$1
@@ -52,7 +62,7 @@ trap 'rm -f "$before_tmp" "$after_tmp"' EXIT
 extract "$before_dir" > "$before_tmp"
 extract "$after_dir" > "$after_tmp"
 
-awk -F '\t' '
+awk -F '\t' -v fail_above="$fail_above" '
     function fmt(ns) {
         if (ns < 1e3) return sprintf("%.0f ns", ns)
         if (ns < 1e6) return sprintf("%.2f us", ns / 1e3)
@@ -63,6 +73,7 @@ awk -F '\t' '
     { after[$1] = $2 }
     END {
         printf "%-52s %12s %12s %9s\n", "benchmark", "before", "after", "delta"
+        regressions = 0
         for (i = 1; i <= n; i++) {
             key = order[i]
             if (!(key in after)) { only_before[++ob] = key; continue }
@@ -70,8 +81,16 @@ awk -F '\t' '
             a = after[key] + 0
             pct = b > 0 ? (a - b) / b * 100 : 0
             printf "%-52s %12s %12s %+8.1f%%\n", key, fmt(b), fmt(a), pct
+            if (fail_above != "" && pct > fail_above + 0) {
+                regressed[++regressions] = sprintf("%s (%+.1f%% > +%s%%)", key, pct, fail_above)
+            }
         }
         for (key in after) if (!(key in before)) printf "%-52s %12s %12s %9s\n", key, "-", fmt(after[key] + 0), "new"
         for (i = 1; i <= ob; i++) printf "%-52s %12s %12s %9s\n", only_before[i], fmt(before[only_before[i]] + 0), "-", "gone"
+        if (regressions > 0) {
+            printf "\nFAIL: %d benchmark(s) regressed beyond the --fail-above threshold:\n", regressions > "/dev/stderr"
+            for (i = 1; i <= regressions; i++) printf "  %s\n", regressed[i] > "/dev/stderr"
+            exit 1
+        }
     }
 ' "$before_tmp" "$after_tmp"

@@ -25,6 +25,10 @@ else
     echo "==> rustfmt not installed, skipping format check"
 fi
 
+echo "==> kernel equivalence + stride awareness (blocked matmul vs naive oracle)"
+cargo test -q --offline -p muffin-tensor \
+    --test kernel_equivalence --test stride_awareness
+
 echo "==> serial vs parallel search equivalence"
 cargo test -q --offline -p muffin-integration-tests --test parallel_equivalence
 

@@ -98,7 +98,7 @@ fn generated_datasets_are_structurally_valid() {
         prop_assert_eq!(ds.len(), cfg.num_samples);
         prop_assert_eq!(ds.feature_dim(), cfg.feature_dim);
         prop_assert!(ds.labels().iter().all(|&l| l < cfg.num_classes));
-        prop_assert!(ds.features().as_slice().iter().all(|x| x.is_finite()));
+        prop_assert!(ds.features().iter_rows().flatten().all(|x| x.is_finite()));
         let attr = ds.schema().by_name("a").expect("attribute a");
         let num_groups = ds.schema().get(attr).expect("a").num_groups();
         prop_assert!(ds.groups(attr).iter().all(|&g| (g as usize) < num_groups));
