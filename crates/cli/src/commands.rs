@@ -5,7 +5,9 @@ use muffin::{
 };
 use muffin_data::{Dataset, FitzpatrickLike, IsicLike};
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_serve::{run_loadgen, serve_scoped, LoadgenConfig, ServeConfig, ServeEngine};
 use muffin_tensor::Rng64;
+use std::time::Duration;
 
 /// Usage text printed by `muffin help` and on argument errors.
 pub const USAGE: &str = "\
@@ -64,6 +66,27 @@ COMMANDS:
                 checkpoint — an operator drill for kill/resume)
               --verbose (print progress lines to stderr; without it the
                 run is silent apart from the result)
+  serve       Serve the demo fused model over stdin, one request per line
+              --seed S (default 7: demo pool/head training seed)
+              --queue-depth N (default 64)  --batch N (default 16)
+              --workers N (default 2)
+              Each input line is comma-separated feature values; each
+              output line is `ok <class>` or `error: ...`. EOF shuts the
+              server down cleanly and prints admission statistics.
+  loadgen     Closed-loop load generator against the demo fused model
+              --seed S (default 7)        --clients N (default 4)
+              --requests N (default 200: issued per client)
+              --queue-depth N (default 64) --batch N (default 16)
+              --workers N (default 2)
+              --worker-delay-us N (default 0: artificial per-batch
+                service delay, for load-shedding drills)
+              --out FILE (optional: write the throughput/latency report
+                as a bench-suite JSON that scripts/bench-compare.sh can
+                diff and gate)
+              --trace-out FILE (optional: record the serving event log;
+                the serve.request histogram carries bucketed p50/p99)
+              Shed requests are reported, never fatal: the exit code
+              stays 0 under saturation.
   report      Summarise a saved search outcome
               --outcome FILE (required)   --top N (default 5)
   trace summarize
@@ -87,6 +110,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         "train-pool" => train_pool(args),
         "evaluate" => evaluate(args),
         "search" => search(args),
+        "serve" => serve(args),
+        "loadgen" => loadgen(args),
         "report" => report(args),
         "trace summarize" => trace_summarize(args),
         "help" | "--help" => {
@@ -354,6 +379,133 @@ fn search(args: &Args) -> Result<(), String> {
         best.unfairness
     );
     println!("full history written to {out}");
+    Ok(())
+}
+
+/// Parses the shared serving-loop flags (`--queue-depth`, `--batch`,
+/// `--workers`, `--worker-delay-us`) into a [`ServeConfig`].
+fn serve_config(args: &Args) -> Result<ServeConfig, String> {
+    let queue_depth = args.get_usize("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let max_batch = args.get_usize("batch", 16)?;
+    if max_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let workers = args.get_usize("workers", 2)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let worker_delay = Duration::from_micros(args.get_u64("worker-delay-us", 0)?);
+    Ok(ServeConfig {
+        queue_depth,
+        max_batch,
+        workers,
+        worker_delay,
+    })
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let config = serve_config(args)?;
+    let seed = args.get_u64("seed", 7)?;
+    let (engine, _) = ServeEngine::demo(seed);
+    println!(
+        "serving demo fused model: {} features per request, {} classes, \
+         {} workers, queue depth {}, max batch {}",
+        engine.num_features(),
+        engine.num_classes(),
+        config.workers,
+        config.queue_depth,
+        config.max_batch,
+    );
+    println!("ready (one comma-separated feature row per line; EOF to stop)");
+    let (io_result, stats) = serve_scoped(&engine, &config, &Tracer::noop(), |client| {
+        use std::io::BufRead as _;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let sample: Result<Vec<f32>, String> = line
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<f32>()
+                        .map_err(|_| format!("not a number: {v}"))
+                })
+                .collect();
+            match sample {
+                // Width errors come back from the client as error replies.
+                Ok(sample) => match client.request(&sample) {
+                    Ok(class) => println!("ok {class}"),
+                    Err(err) => println!("error: {err}"),
+                },
+                Err(msg) => println!("error: invalid request: {msg}"),
+            }
+        }
+        Ok::<(), String>(())
+    });
+    io_result?;
+    println!(
+        "served {} ok, {} shed, {} errors in {} batches",
+        stats.completed, stats.shed, stats.errors, stats.batches
+    );
+    Ok(())
+}
+
+fn loadgen(args: &Args) -> Result<(), String> {
+    let serve = serve_config(args)?;
+    let seed = args.get_u64("seed", 7)?;
+    let clients = args.get_usize("clients", 4)?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    let requests_per_client = args.get_u64("requests", 200)?;
+    let out = args.get("out");
+    let trace_out = args.get("trace-out");
+    // Fail before the run if an archive path can't be written.
+    for (flag, path) in [("--out", out), ("--trace-out", trace_out)] {
+        if let Some(path) = path {
+            std::fs::write(path, "").map_err(|e| format!("cannot write {flag} {path}: {e}"))?;
+        }
+    }
+    let (engine, samples) = ServeEngine::demo(seed);
+    let config = LoadgenConfig {
+        seed,
+        clients,
+        requests_per_client,
+        serve,
+    };
+    let tracer = Tracer::capturing().with_verbose(args.get_flag("verbose"));
+    let report = run_loadgen(&engine, &samples, &config, &tracer)?;
+    if let Some(path) = out {
+        std::fs::write(path, report.to_bench_suite_json())
+            .map_err(|e| format!("cannot write --out {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let log = tracer.finish();
+        log.save_json(path)?;
+        println!("trace log ({} events) written to {path}", log.events.len());
+    }
+    println!(
+        "loadgen: {} requests from {} clients -> {} completed, {} shed, \
+         {} errors in {} batches ({:.1} req/s)",
+        report.requests,
+        report.clients,
+        report.stats.completed,
+        report.stats.shed,
+        report.stats.errors,
+        report.stats.batches,
+        report.throughput_rps(),
+    );
+    println!(
+        "latency (us): p50 {} p99 {} min {} max {} mean {}",
+        report.p50_us, report.p99_us, report.min_us, report.max_us, report.mean_us
+    );
     Ok(())
 }
 

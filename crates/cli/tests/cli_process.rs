@@ -466,6 +466,205 @@ fn warm_eval_cache_reports_disk_hits_and_preserves_outcome_bytes() {
 }
 
 #[test]
+fn serve_answers_stdin_requests_and_shuts_down_cleanly_on_eof() {
+    use std::io::Write as _;
+    // The demo deployment is IsicLike-small: 24 features per request.
+    let good_row = vec!["0.5"; 24].join(",");
+    let input = format!("{good_row}\n1.0,2.0\nnot,numbers,at,all\n\n{good_row}\n");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_muffin"))
+        .args(["serve", "--seed", "9", "--workers", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn muffin serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    // Dropping stdin sends EOF: the server must exit on its own.
+    let out = child.wait_with_output().expect("reap muffin serve");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ready"), "missing ready line: {stdout}");
+    let ok_lines = stdout.lines().filter(|l| l.starts_with("ok ")).count();
+    assert_eq!(ok_lines, 2, "expected 2 served requests: {stdout}");
+    // The short row is answered with an error reply, not a crash...
+    assert!(
+        stdout.contains("error: invalid request: expected 24 features, got 2"),
+        "missing width-error reply: {stdout}"
+    );
+    // ...and so is the unparsable row.
+    assert!(
+        stdout.contains("error: invalid request: not a number"),
+        "missing parse-error reply: {stdout}"
+    );
+    assert!(
+        stdout.contains("served 2 ok, 0 shed, 1 errors"),
+        "missing shutdown stats: {stdout}"
+    );
+}
+
+/// Runs `muffin loadgen`, asserting success, and returns its stdout.
+fn run_loadgen(extra: &[&str]) -> String {
+    let mut args = vec!["loadgen"];
+    args.extend_from_slice(extra);
+    let out = muffin(&args);
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn loadgen_archives_a_bench_shaped_throughput_and_latency_report() {
+    let report_path = tmp("loadgen_report.json");
+    let stdout = run_loadgen(&[
+        "--seed",
+        "13",
+        "--clients",
+        "3",
+        "--requests",
+        "40",
+        "--out",
+        &report_path,
+    ]);
+    assert!(stdout.contains("120 requests"), "{stdout}");
+    assert!(stdout.contains("p50"), "{stdout}");
+    let report: muffin_json::Json =
+        muffin_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("report parses");
+    assert_eq!(
+        report.get("suite"),
+        Some(&muffin_json::Json::Str("serve".into()))
+    );
+    let results = match report.get("results") {
+        Some(muffin_json::Json::Arr(items)) => items.clone(),
+        other => panic!("missing results array: {other:?}"),
+    };
+    let names: Vec<_> = results
+        .iter()
+        .filter_map(|r| r.get("name").cloned())
+        .collect();
+    for expected in ["request_p50", "request_p99", "req_interval"] {
+        assert!(
+            names.contains(&muffin_json::Json::Str(expected.into())),
+            "missing {expected} in {names:?}"
+        );
+    }
+    // Non-saturating run: every request completed.
+    let loadgen = report.get("loadgen").expect("loadgen counters");
+    assert_eq!(loadgen.get("completed"), Some(&muffin_json::Json::Int(120)));
+    assert_eq!(loadgen.get("shed"), Some(&muffin_json::Json::Int(0)));
+    std::fs::remove_file(report_path).ok();
+}
+
+#[test]
+fn saturated_loadgen_sheds_and_still_exits_zero() {
+    let report_path = tmp("loadgen_shed_report.json");
+    run_loadgen(&[
+        "--seed",
+        "13",
+        "--clients",
+        "6",
+        "--requests",
+        "5",
+        "--queue-depth",
+        "1",
+        "--batch",
+        "1",
+        "--workers",
+        "1",
+        "--worker-delay-us",
+        "30000",
+        "--out",
+        &report_path,
+    ]);
+    let report: muffin_json::Json =
+        muffin_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("report parses");
+    let loadgen = report.get("loadgen").expect("loadgen counters");
+    let shed = match loadgen.get("shed") {
+        Some(&muffin_json::Json::Int(n)) => n,
+        other => panic!("missing shed counter: {other:?}"),
+    };
+    let completed = match loadgen.get("completed") {
+        Some(&muffin_json::Json::Int(n)) => n,
+        other => panic!("missing completed counter: {other:?}"),
+    };
+    assert!(shed > 0, "saturation produced no sheds");
+    assert_eq!(completed + shed, 30, "a request vanished");
+    std::fs::remove_file(report_path).ok();
+}
+
+#[test]
+fn stripped_loadgen_traces_are_byte_identical_across_runs_and_worker_counts() {
+    let stripped = |name: &str, workers: &str| {
+        let trace_path = tmp(name);
+        // Non-saturating closed loop (queue depth >= clients): zero sheds,
+        // so the histogram count equals the request count deterministically.
+        run_loadgen(&[
+            "--seed",
+            "21",
+            "--clients",
+            "4",
+            "--requests",
+            "25",
+            "--queue-depth",
+            "64",
+            "--workers",
+            workers,
+            "--trace-out",
+            &trace_path,
+        ]);
+        let log = TraceLog::load_json(&trace_path).expect("trace parses");
+        std::fs::remove_file(&trace_path).ok();
+        muffin_json::to_string(&log.stripped())
+    };
+    let first = stripped("lg_trace_a.json", "1");
+    let second = stripped("lg_trace_b.json", "1");
+    let more_workers = stripped("lg_trace_c.json", "4");
+    assert_eq!(first, second, "same config diverged across runs");
+    assert_eq!(first, more_workers, "worker count leaked into the trace");
+    // The histogram made it into the log with the full request count.
+    let log: TraceLog = muffin_json::from_str(&first).expect("stripped log parses");
+    let histogram = log
+        .events
+        .iter()
+        .find(|e| e.name == "serve.request")
+        .expect("serve.request histogram event");
+    match histogram.data {
+        muffin_trace::EventData::Histogram { count } => assert_eq!(count, 100),
+        ref other => panic!("serve.request is not a histogram: {other:?}"),
+    }
+}
+
+#[test]
+fn serve_and_loadgen_reject_bad_flags_before_training_anything() {
+    for args in [
+        ["loadgen", "--workers", "0"],
+        ["loadgen", "--queue-depth", "0"],
+        ["loadgen", "--batch", "0"],
+        ["loadgen", "--clients", "0"],
+        ["serve", "--workers", "0"],
+        ["serve", "--queue-depth", "0"],
+    ] {
+        let out = muffin(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(args[1]), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
 fn bad_arguments_exit_with_usage_code() {
     let out = muffin(&["search", "--workers"]);
     assert_eq!(

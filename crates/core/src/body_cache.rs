@@ -78,6 +78,11 @@ impl<'p> BodyOutputCache<'p> {
         &self.features
     }
 
+    /// Number of pool models the cache holds a slot for.
+    pub fn pool_len(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Number of cache accesses that found an already-computed slot.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -182,7 +187,12 @@ mod tests {
             let model = pool.get(i).unwrap();
             assert_eq!(cache.predictions(i), model.predict(split.val.features()));
             let direct = model.predict_proba(split.val.features());
-            for (x, y) in cache.probs(i).iter_rows().flatten().zip(direct.iter_rows().flatten()) {
+            for (x, y) in cache
+                .probs(i)
+                .iter_rows()
+                .flatten()
+                .zip(direct.iter_rows().flatten())
+            {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }

@@ -358,6 +358,15 @@ impl PersistenceOptions {
 
 /// Writes `contents` to a `.tmp` sibling of `path` and renames it into
 /// place — the old file survives any crash before the rename commits.
+///
+/// The temp file is flushed to stable storage (`File::sync_all`) **before**
+/// the rename: without it, a power loss shortly after the rename could
+/// commit the new name while the data blocks were still only in the page
+/// cache, leaving an empty or truncated checkpoint where a valid old one
+/// used to be. The parent directory is synced best-effort afterwards so
+/// the rename itself is durable too (some filesystems refuse to fsync a
+/// directory handle; losing only the rename re-exposes the intact old
+/// file, which is safe).
 fn write_atomic(path: &Path, contents: &str) -> Result<(), MuffinError> {
     let mut tmp_name = path
         .file_name()
@@ -365,15 +374,57 @@ fn write_atomic(path: &Path, contents: &str) -> Result<(), MuffinError> {
         .to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents)
-        .map_err(|e| MuffinError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| MuffinError::Io(format!("cannot create {}: {e}", tmp.display())))?;
+        file.write_all(contents.as_bytes())
+            .map_err(|e| MuffinError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+        file.sync_all()
+            .map_err(|e| MuffinError::Io(format!("cannot sync {}: {e}", tmp.display())))?;
+    }
     std::fs::rename(&tmp, path)
-        .map_err(|e| MuffinError::Io(format!("cannot rename {} into place: {e}", tmp.display())))
+        .map_err(|e| MuffinError::Io(format!("cannot rename {} into place: {e}", tmp.display())))?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_atomic_flushes_and_renames_the_tmp_file_away() {
+        let dir = std::env::temp_dir().join("muffin_write_atomic_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("state.json");
+        let tmp = dir.join("state.json.tmp");
+
+        write_atomic(&path, "first").expect("first write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "first");
+        assert!(!tmp.exists(), "tmp sibling must be renamed away");
+
+        // Overwrite: the new contents replace the old atomically and the
+        // synced tmp file is again gone.
+        write_atomic(&path, "second, longer contents").expect("second write");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "second, longer contents"
+        );
+        assert!(!tmp.exists(), "tmp sibling must be renamed away");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_rejects_a_pathless_target() {
+        let err = write_atomic(Path::new("/"), "x").unwrap_err();
+        assert!(matches!(err, MuffinError::Io(_)));
+    }
 
     #[test]
     fn fnv1a64_matches_reference_vectors() {

@@ -351,7 +351,37 @@ impl FusingStructure {
     /// Each body model runs a **single** forward pass: hard predictions
     /// come from the logits and the head inputs from the softmax of those
     /// same logits, byte-identical to the former double-forward path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure's body is invalid for `pool` — a structure
+    /// built through [`FusingStructure::new`] against this pool never is.
+    /// Request paths handling structures from untrusted sources (e.g.
+    /// deserialized checkpoints) should call
+    /// [`FusingStructure::try_predict`] instead.
     pub fn predict(&self, pool: &ModelPool, features: &Matrix) -> Vec<usize> {
+        self.try_predict(pool, features)
+            .expect("fusing structure validated against this pool")
+    }
+
+    /// Like [`FusingStructure::predict`], but validates the body against
+    /// `pool` up front and returns an error instead of panicking.
+    ///
+    /// A [`FusingStructure`] deserialized from JSON bypasses the
+    /// constructor's checks, so a serving path must not assume its
+    /// `model_indices` are non-empty and in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::InvalidConfig`] if the structure selects no
+    /// body models, or selects an index out of range for `pool`, or if a
+    /// body model's prediction count disagrees with the head's.
+    pub fn try_predict(
+        &self,
+        pool: &ModelPool,
+        features: &Matrix,
+    ) -> Result<Vec<usize>, MuffinError> {
+        self.validate_body(pool.len())?;
         let mut probs: Vec<Matrix> = Vec::with_capacity(self.model_indices.len());
         let mut body_preds: Vec<Vec<usize>> = Vec::with_capacity(self.model_indices.len());
         for &i in &self.model_indices {
@@ -368,7 +398,29 @@ impl FusingStructure {
     /// Predicts classes using cached body outputs instead of running the
     /// backbones; identical to [`FusingStructure::predict`] on the cache's
     /// feature matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure's body is invalid for the cache's pool; see
+    /// [`FusingStructure::try_predict_cached`] for the checked variant.
     pub fn predict_cached(&self, cache: &crate::BodyOutputCache<'_>) -> Vec<usize> {
+        self.try_predict_cached(cache)
+            .expect("fusing structure validated against the cache's pool")
+    }
+
+    /// Like [`FusingStructure::predict_cached`], but validates the body
+    /// against the cache's pool up front and returns an error instead of
+    /// panicking — the serving request path's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::InvalidConfig`] under the same conditions as
+    /// [`FusingStructure::try_predict`].
+    pub fn try_predict_cached(
+        &self,
+        cache: &crate::BodyOutputCache<'_>,
+    ) -> Result<Vec<usize>, MuffinError> {
+        self.validate_body(cache.pool_len())?;
         let body_preds: Vec<&[usize]> = self
             .model_indices
             .iter()
@@ -379,10 +431,53 @@ impl FusingStructure {
         self.gated(&body_preds, head_preds)
     }
 
+    /// Checks that the body selects at least one model and that every
+    /// selected index is in range for a pool of `pool_len` models —
+    /// the constructor guarantees both, JSON deserialization neither.
+    fn validate_body(&self, pool_len: usize) -> Result<(), MuffinError> {
+        if self.model_indices.is_empty() {
+            return Err(MuffinError::InvalidConfig(
+                "fusing structure selects no body models".into(),
+            ));
+        }
+        for &i in &self.model_indices {
+            if i >= pool_len {
+                return Err(MuffinError::InvalidConfig(format!(
+                    "model index {i} out of range for pool of {pool_len}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Applies consensus gating: unanimous body predictions pass through,
     /// the head arbitrates disagreements.
-    fn gated<P: AsRef<[usize]>>(&self, body_preds: &[P], head_preds: Vec<usize>) -> Vec<usize> {
-        (0..head_preds.len())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuffinError::InvalidConfig`] when no body predictions are
+    /// supplied or a body's prediction vector is not exactly as long as the
+    /// head's — indexing ahead blindly would panic mid-request instead.
+    fn gated<P: AsRef<[usize]>>(
+        &self,
+        body_preds: &[P],
+        head_preds: Vec<usize>,
+    ) -> Result<Vec<usize>, MuffinError> {
+        if body_preds.is_empty() {
+            return Err(MuffinError::InvalidConfig(
+                "consensus gating needs at least one body prediction vector".into(),
+            ));
+        }
+        for (m, p) in body_preds.iter().enumerate() {
+            if p.as_ref().len() != head_preds.len() {
+                return Err(MuffinError::InvalidConfig(format!(
+                    "body model {m} predicted {} samples but the head predicted {}",
+                    p.as_ref().len(),
+                    head_preds.len()
+                )));
+            }
+        }
+        Ok((0..head_preds.len())
             .map(|s| {
                 let first = body_preds[0].as_ref()[s];
                 if self.consensus_gating && body_preds.iter().all(|p| p.as_ref()[s] == first) {
@@ -391,7 +486,7 @@ impl FusingStructure {
                     head_preds[s]
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Like [`FusingStructure::predict`], with the input rows fanned out
@@ -426,8 +521,10 @@ impl FusingStructure {
         } else {
             let chunks = muffin_par::chunk_ranges(features.rows(), workers.workers());
             let parts = workers.map(&chunks, |_, range| {
-                let rows: Vec<usize> = range.clone().collect();
-                self.predict(pool, &features.select_rows(&rows))
+                // Chunks are contiguous: a block copy of the row range beats
+                // materialising an index vector per chunk and gathering rows
+                // one by one through select_rows.
+                self.predict(pool, &features.row_range(range.clone()))
             });
             parts.into_iter().flatten().collect()
         };
@@ -715,6 +812,86 @@ mod tests {
             fusing.predict_cached(&cache),
             fusing.predict(&pool, split.test.features())
         );
+    }
+
+    #[test]
+    fn deserialized_structure_with_empty_body_errors_instead_of_panicking() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        // JSON deserialization bypasses the constructor's validation, so a
+        // hand-edited or corrupted checkpoint can carry an empty body.
+        let json = muffin_json::to_string(&fusing)
+            .replace("\"model_indices\":[0,1]", "\"model_indices\":[]");
+        let hollow: FusingStructure = muffin_json::from_str(&json).expect("parse");
+        assert!(hollow.model_indices().is_empty());
+        let err = hollow
+            .try_predict(&pool, split.test.features())
+            .unwrap_err();
+        assert!(matches!(err, MuffinError::InvalidConfig(_)), "{err:?}");
+        let cache = crate::BodyOutputCache::new(&pool, split.test.features().clone());
+        let err = hollow.try_predict_cached(&cache).unwrap_err();
+        assert!(matches!(err, MuffinError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn deserialized_structure_with_out_of_range_body_errors() {
+        let (pool, split, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        let json = muffin_json::to_string(&fusing)
+            .replace("\"model_indices\":[0,1]", "\"model_indices\":[0,9]");
+        let wild: FusingStructure = muffin_json::from_str(&json).expect("parse");
+        let err = wild.try_predict(&pool, split.test.features()).unwrap_err();
+        assert!(
+            matches!(&err, MuffinError::InvalidConfig(m) if m.contains("out of range")),
+            "{err:?}"
+        );
+        let cache = crate::BodyOutputCache::new(&pool, split.test.features().clone());
+        let err = wild.try_predict_cached(&cache).unwrap_err();
+        assert!(
+            matches!(&err, MuffinError::InvalidConfig(m) if m.contains("out of range")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn gating_errors_on_short_body_prediction_vectors() {
+        let (pool, _, _, mut rng) = setup();
+        let fusing = FusingStructure::new(
+            vec![0, 1],
+            HeadSpec::new(vec![8], Activation::Relu),
+            &pool,
+            &mut rng,
+        )
+        .expect("valid");
+        // A body vector shorter than the head's predictions used to panic
+        // with an out-of-bounds index inside the gating loop.
+        let short: Vec<Vec<usize>> = vec![vec![1, 2], vec![1, 2, 3]];
+        let err = fusing.gated(&short, vec![0, 0, 0]).unwrap_err();
+        assert!(
+            matches!(&err, MuffinError::InvalidConfig(m) if m.contains("predicted 2 samples")),
+            "{err:?}"
+        );
+        // And no body vectors at all is an error, not body_preds[0] panic.
+        let none: Vec<Vec<usize>> = vec![];
+        let err = fusing.gated(&none, vec![0]).unwrap_err();
+        assert!(matches!(err, MuffinError::InvalidConfig(_)), "{err:?}");
+        // Matching lengths still gate.
+        let ok = fusing
+            .gated(&[vec![1usize, 2], vec![1, 3]], vec![7, 7])
+            .expect("well-formed");
+        assert_eq!(ok, vec![1, 7]);
     }
 
     #[test]

@@ -32,8 +32,9 @@
 
 #![deny(missing_docs)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// Number of hardware threads, falling back to 1 where it cannot be
 /// queried (the value `--workers` defaults to in the CLI).
@@ -181,6 +182,125 @@ impl Default for WorkerPool {
     }
 }
 
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with **load-shedding**
+/// admission: [`BoundedQueue::try_push`] never blocks — when the queue is
+/// full the item comes straight back to the caller, which is the
+/// backpressure signal a serving admission queue needs (reject loudly
+/// rather than stall every client).
+///
+/// Consumers block in [`BoundedQueue::pop`] until an item arrives or the
+/// queue is closed *and* drained, so a fixed set of long-lived worker
+/// threads can loop on `pop` and exit cleanly at shutdown. Built on
+/// `Mutex` + `Condvar` only.
+///
+/// # Example
+///
+/// ```
+/// use muffin_par::BoundedQueue;
+///
+/// let q = BoundedQueue::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert_eq!(q.try_push(3), Err(3)); // full: shed, never block
+/// q.close();
+/// assert_eq!(q.pop(), Some(1)); // close still drains queued items
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None); // closed and empty
+/// ```
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is at capacity (the caller
+    /// sheds the request) or already closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty but
+    /// still open. Returns `None` once the queue is closed **and**
+    /// drained — the worker-loop exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item if one is ready, never blocking — the
+    /// batching path: a worker takes one job via [`BoundedQueue::pop`]
+    /// and then coalesces whatever else is already waiting.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue poisoned").items.pop_front()
+    }
+
+    /// Closes the queue: subsequent pushes fail, queued items still drain,
+    /// and blocked consumers wake up (returning `None` once empty).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +377,69 @@ mod tests {
     fn auto_pool_has_at_least_one_worker() {
         assert!(WorkerPool::auto().workers() >= 1);
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_when_full_and_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue must shed");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(4), Err(4), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(7).is_ok());
+        assert_eq!(q.try_push(8), Err(8));
+    }
+
+    #[test]
+    fn bounded_queue_blocked_consumers_wake_on_close() {
+        let q = BoundedQueue::<u32>::new(4);
+        std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| s.spawn(|| std::iter::from_fn(|| q.pop()).count()))
+                .collect();
+            for i in 0..10 {
+                // Producers retry on shed so every item gets through.
+                let mut item = i;
+                loop {
+                    match q.try_push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            q.close();
+            let consumed: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(consumed, 10, "every pushed item is consumed exactly once");
+        });
+    }
+
+    #[test]
+    fn bounded_queue_preserves_fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! # muffin-serve — batched fused-inference serving
+//!
+//! A std-only serving layer over [`muffin::FusingStructure`]: single-sample
+//! requests enter a bounded admission queue
+//! ([`muffin_par::BoundedQueue`]), long-lived worker threads drain it in
+//! coalesced batches, and each batch runs one fused forward pass through a
+//! per-batch [`muffin::BodyOutputCache`]. Prediction is per-row (matmul,
+//! softmax, argmax and consensus gating are all row-independent), so a
+//! sample's answer is identical whatever batch it happens to share — batch
+//! composition is a pure scheduling concern.
+//!
+//! ## Why long-lived workers, not `WorkerPool::map`
+//!
+//! [`muffin_par::WorkerPool::map`] spawns fresh OS threads on every call:
+//! fine for a search episode that runs for seconds, ruinous for a request
+//! path where a batch takes tens of microseconds. Thread spawn costs
+//! ~20–60 µs on this class of hardware — at batch size 1 that would
+//! roughly double per-request latency. The serving loop therefore spawns
+//! its workers **once** per [`serve_scoped`] session and parks them on the
+//! queue's condvar; batching amortises the remaining per-batch costs
+//! (matrix assembly, cache setup) the same way. The measured batch-size
+//! sweep lives in `docs/OPERATIONS.md`.
+//!
+//! ## Backpressure
+//!
+//! The admission queue is bounded. When it is full the request is **shed**:
+//! [`ServeClient::request`] returns [`ServeError::Overloaded`] immediately
+//! and the shed counter increments — the server never blocks producers
+//! indefinitely and never panics on overload.
+//!
+//! ## Observability
+//!
+//! Workers record one `serve.request` observation (enqueue-to-reply
+//! latency) per completed request into a shared [`muffin_trace::Tracer`]
+//! histogram. Histogram aggregation is order-insensitive and its count
+//! equals the number of completed requests, so with a non-saturating
+//! configuration the **stripped** trace log is byte-identical across runs
+//! and worker counts. Nondeterministic totals (batch count, sheds under
+//! saturation) live in [`ServeStatsSnapshot`] and the loadgen report,
+//! never in the trace event stream.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_serve::{serve_scoped, ServeConfig, ServeEngine};
+//! use muffin_trace::Tracer;
+//!
+//! let (engine, samples) = ServeEngine::demo(7);
+//! let tracer = Tracer::capturing();
+//! let (answers, stats) = serve_scoped(&engine, &ServeConfig::default(), &tracer, |client| {
+//!     (0..4)
+//!         .map(|i| client.request(samples.row(i)).expect("served"))
+//!         .collect::<Vec<usize>>()
+//! });
+//! assert_eq!(answers.len(), 4);
+//! assert_eq!(stats.completed, 4);
+//! assert_eq!(stats.shed, 0);
+//! ```
+
+mod engine;
+mod loadgen;
+mod server;
+
+pub use engine::ServeEngine;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{serve_scoped, ServeClient, ServeConfig, ServeError, ServeStatsSnapshot};

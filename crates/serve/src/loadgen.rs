@@ -1,0 +1,288 @@
+use crate::{serve_scoped, ServeConfig, ServeEngine, ServeError, ServeStatsSnapshot};
+use muffin_json::Json;
+use muffin_tensor::{Matrix, Rng64};
+use muffin_trace::Tracer;
+use std::time::Instant;
+
+/// Closed-loop load-generation configuration: `clients` threads each keep
+/// exactly one request in flight until they have issued
+/// `requests_per_client`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Seed for the per-client sample-selection RNG streams.
+    pub seed: u64,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues (shed requests count as issued and are
+    /// not retried).
+    pub requests_per_client: u64,
+    /// The serving loop under test.
+    pub serve: ServeConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            clients: 4,
+            requests_per_client: 200,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Throughput and latency summary of one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenReport {
+    /// Client threads.
+    pub clients: usize,
+    /// Requests attempted (clients × requests_per_client).
+    pub requests: u64,
+    /// End-of-run admission statistics.
+    pub stats: ServeStatsSnapshot,
+    /// Wall-clock duration of the whole run in nanoseconds.
+    pub wall_ns: u64,
+    /// Estimated median request latency (µs, from the `serve.request`
+    /// histogram).
+    pub p50_us: u64,
+    /// Estimated 99th-percentile request latency (µs).
+    pub p99_us: u64,
+    /// Fastest observed request (µs).
+    pub min_us: u64,
+    /// Slowest observed request (µs).
+    pub max_us: u64,
+    /// Mean request latency (µs).
+    pub mean_us: u64,
+}
+
+impl LoadgenReport {
+    /// Completed requests per second of wall-clock time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.stats.completed as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Mean wall-clock interval between completed requests in
+    /// nanoseconds — the inverse of throughput, so "lower is better" like
+    /// every other benchmark median.
+    pub fn req_interval_ns(&self) -> f64 {
+        if self.stats.completed == 0 {
+            return 0.0;
+        }
+        self.wall_ns as f64 / self.stats.completed as f64
+    }
+
+    /// Renders the report in the bench-suite JSON shape
+    /// (`{"suite", "results": [{"name", "median_ns", ...}]}`) that
+    /// `scripts/bench-compare.sh` diffs and gates, pretty-printed one
+    /// field per line as its awk extractor expects. Latency entries carry
+    /// the histogram percentiles; `req_interval` carries the throughput
+    /// inverse. A trailing `loadgen` object holds the raw counters for
+    /// humans (no `name`/`median_ns` keys, so the extractor skips it).
+    pub fn to_bench_suite_json(&self) -> String {
+        let result = |name: &str, median_ns: f64, min_ns: f64, max_ns: f64| {
+            let mut entry = Json::object();
+            entry.insert("name", Json::Str(name.into()));
+            entry.insert("iters_per_sample", Json::Int(self.stats.completed as i128));
+            entry.insert("samples", Json::Int(self.clients as i128));
+            entry.insert("median_ns", Json::Float(median_ns));
+            entry.insert("min_ns", Json::Float(min_ns));
+            entry.insert("max_ns", Json::Float(max_ns));
+            entry
+        };
+        let us_to_ns = |us: u64| us as f64 * 1e3;
+        let mut root = Json::object();
+        root.insert("suite", Json::Str("serve".into()));
+        root.insert(
+            "results",
+            Json::Arr(vec![
+                result(
+                    "request_p50",
+                    us_to_ns(self.p50_us),
+                    us_to_ns(self.min_us),
+                    us_to_ns(self.max_us),
+                ),
+                result(
+                    "request_p99",
+                    us_to_ns(self.p99_us),
+                    us_to_ns(self.min_us),
+                    us_to_ns(self.max_us),
+                ),
+                result(
+                    "req_interval",
+                    self.req_interval_ns(),
+                    self.req_interval_ns(),
+                    self.req_interval_ns(),
+                ),
+            ]),
+        );
+        let mut counters = Json::object();
+        counters.insert("clients", Json::Int(self.clients as i128));
+        counters.insert("requests", Json::Int(self.requests as i128));
+        counters.insert("completed", Json::Int(self.stats.completed as i128));
+        counters.insert("shed", Json::Int(self.stats.shed as i128));
+        counters.insert("request_errors", Json::Int(self.stats.errors as i128));
+        counters.insert("batches", Json::Int(self.stats.batches as i128));
+        counters.insert("wall_ns", Json::Int(self.wall_ns as i128));
+        counters.insert("throughput_rps", Json::Float(self.throughput_rps()));
+        root.insert("loadgen", counters);
+        root.to_string_pretty()
+    }
+}
+
+/// Runs a closed-loop load generation against `engine`: each client
+/// thread draws rows from `samples` with its own deterministic RNG stream
+/// and keeps one request in flight at a time. Shed requests are counted
+/// and not retried, so a saturated server degrades throughput instead of
+/// deadlocking the generator.
+///
+/// Per-request latencies land in `tracer`'s `serve.request` histogram; if
+/// any request was shed, a single `serve.shed` counter event is recorded
+/// afterwards (only then — a non-saturating run leaves the event stream
+/// untouched so its stripped trace stays byte-stable across worker
+/// counts).
+///
+/// # Errors
+///
+/// Returns a message if the configuration is unusable (no clients, no
+/// samples, or a sample width mismatching the engine).
+pub fn run_loadgen(
+    engine: &ServeEngine,
+    samples: &Matrix,
+    config: &LoadgenConfig,
+    tracer: &Tracer,
+) -> Result<LoadgenReport, String> {
+    if config.clients == 0 {
+        return Err("loadgen needs at least one client".into());
+    }
+    if samples.rows() == 0 {
+        return Err("loadgen needs a non-empty sample matrix".into());
+    }
+    if samples.cols() != engine.num_features() {
+        return Err(format!(
+            "sample matrix has {} features per row, the engine expects {}",
+            samples.cols(),
+            engine.num_features()
+        ));
+    }
+    let start = Instant::now();
+    let ((), stats) = serve_scoped(engine, &config.serve, tracer, |client| {
+        std::thread::scope(|scope| {
+            for c in 0..config.clients {
+                let mut rng = Rng64::seed(config.seed ^ (0xC0FFEE + c as u64));
+                scope.spawn(move || {
+                    for _ in 0..config.requests_per_client {
+                        let row = rng.below(samples.rows());
+                        match client.request(samples.row(row)) {
+                            Ok(_) | Err(ServeError::Overloaded) => {}
+                            Err(ServeError::Internal(_)) | Err(ServeError::Closed) => {}
+                            Err(ServeError::InvalidRequest(msg)) => {
+                                // The generator only sends engine-shaped
+                                // rows; reaching this is a loadgen bug.
+                                panic!("loadgen sent an invalid request: {msg}");
+                            }
+                        }
+                    }
+                });
+            }
+        })
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    if stats.shed > 0 {
+        tracer.count("serve.shed", stats.shed);
+    }
+    let snap = tracer.histogram("serve.request").unwrap_or_default();
+    Ok(LoadgenReport {
+        clients: config.clients,
+        requests: config.clients as u64 * config.requests_per_client,
+        stats,
+        wall_ns,
+        p50_us: snap.percentile_us(0.50),
+        p99_us: snap.percentile_us(0.99),
+        min_us: if snap.count == 0 { 0 } else { snap.min_us },
+        max_us: snap.max_us,
+        mean_us: snap.mean_us(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn non_saturating_loadgen_completes_every_request() {
+        let (engine, samples) = ServeEngine::demo(7);
+        let config = LoadgenConfig {
+            clients: 3,
+            requests_per_client: 20,
+            serve: ServeConfig {
+                queue_depth: 32,
+                ..ServeConfig::default()
+            },
+            ..LoadgenConfig::default()
+        };
+        let tracer = Tracer::capturing();
+        let report = run_loadgen(&engine, &samples, &config, &tracer).expect("run");
+        assert_eq!(report.requests, 60);
+        assert_eq!(report.stats.completed, 60);
+        assert_eq!(report.stats.shed, 0);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.max_us);
+        let json = report.to_bench_suite_json();
+        for needle in [
+            "\"suite\": \"serve\"",
+            "request_p50",
+            "request_p99",
+            "req_interval",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // The report must parse back as JSON.
+        let parsed: Json = muffin_json::from_str(&json).expect("report parses");
+        assert!(parsed.get("results").is_some());
+    }
+
+    #[test]
+    fn saturating_loadgen_sheds_and_reports_it() {
+        let (engine, samples) = ServeEngine::demo(7);
+        let config = LoadgenConfig {
+            clients: 6,
+            requests_per_client: 5,
+            serve: ServeConfig {
+                queue_depth: 1,
+                max_batch: 1,
+                workers: 1,
+                worker_delay: Duration::from_millis(30),
+            },
+            ..LoadgenConfig::default()
+        };
+        let tracer = Tracer::capturing();
+        let report = run_loadgen(&engine, &samples, &config, &tracer).expect("run");
+        assert!(
+            report.stats.shed > 0,
+            "saturation produced no sheds: {report:?}"
+        );
+        assert_eq!(
+            report.stats.submitted,
+            report.stats.completed + report.stats.shed
+        );
+        assert_eq!(tracer.counter_value("serve.shed"), report.stats.shed);
+    }
+
+    #[test]
+    fn misconfigured_loadgen_errors_up_front() {
+        let (engine, samples) = ServeEngine::demo(7);
+        let mut config = LoadgenConfig::default();
+        config.clients = 0;
+        assert!(run_loadgen(&engine, &samples, &config, &Tracer::noop()).is_err());
+        config.clients = 1;
+        let narrow = Matrix::zeros(4, samples.cols() + 1);
+        assert!(run_loadgen(&engine, &narrow, &config, &Tracer::noop()).is_err());
+        let empty = Matrix::zeros(0, samples.cols());
+        assert!(run_loadgen(&engine, &empty, &config, &Tracer::noop()).is_err());
+    }
+}

@@ -72,7 +72,12 @@ impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let stride = padded_stride(cols);
-        Self { rows, cols, stride, data: vec![ZERO_LANE; rows * stride / LANE_WIDTH] }
+        Self {
+            rows,
+            cols,
+            stride,
+            data: vec![ZERO_LANE; rows * stride / LANE_WIDTH],
+        }
     }
 
     /// Creates a matrix filled with `value`.
@@ -119,7 +124,11 @@ impl Matrix {
         let n_cols = rows.first().map_or(0, |r| r.len());
         for row in rows {
             if row.len() != n_cols {
-                return Err(ShapeError::new("from_rows", (n_rows, n_cols), (n_rows, row.len())));
+                return Err(ShapeError::new(
+                    "from_rows",
+                    (n_rows, n_cols),
+                    (n_rows, row.len()),
+                ));
             }
         }
         let mut m = Self::zeros(n_rows, n_cols);
@@ -227,7 +236,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.buf()[r * self.stride + c]
     }
 
@@ -238,7 +252,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         let idx = r * self.stride + c;
         self.buf_mut()[idx] = v;
     }
@@ -250,7 +269,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         let start = r * self.stride;
         &self.buf()[start..start + self.cols]
     }
@@ -262,7 +285,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         let start = r * self.stride;
         let end = start + self.cols;
         &mut self.buf_mut()[start..end]
@@ -271,14 +298,18 @@ impl Matrix {
     /// Iterator over logical rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
         let cols = self.cols;
-        self.buf().chunks_exact(self.stride.max(1)).map(move |chunk| &chunk[..cols])
+        self.buf()
+            .chunks_exact(self.stride.max(1))
+            .map(move |chunk| &chunk[..cols])
     }
 
     /// Iterator over logical rows as mutable slices.
     pub fn iter_rows_mut(&mut self) -> impl Iterator<Item = &mut [f32]> {
         let cols = self.cols;
         let stride = self.stride.max(1);
-        self.buf_mut().chunks_exact_mut(stride).map(move |chunk| &mut chunk[..cols])
+        self.buf_mut()
+            .chunks_exact_mut(stride)
+            .map(move |chunk| &mut chunk[..cols])
     }
 
     /// Reshapes to `rows`×`cols` and sets every element (and every padding
@@ -310,7 +341,10 @@ impl Matrix {
         // `Vec<Lane>` is layout-compatible with a contiguous run of
         // `len * LANE_WIDTH` floats at alignment 32 >= 4.
         unsafe {
-            std::slice::from_raw_parts(self.data.as_ptr().cast::<f32>(), self.data.len() * LANE_WIDTH)
+            std::slice::from_raw_parts(
+                self.data.as_ptr().cast::<f32>(),
+                self.data.len() * LANE_WIDTH,
+            )
         }
     }
 
@@ -330,7 +364,8 @@ impl Matrix {
     /// per kernel call** (counted by [`crate::instrument::finiteness_scans`]).
     fn all_finite_logical(&self) -> bool {
         crate::instrument::record_finiteness_scan();
-        self.iter_rows().all(|row| row.iter().all(|x| x.is_finite()))
+        self.iter_rows()
+            .all(|row| row.iter().all(|x| x.is_finite()))
     }
 
     /// Matrix product `self · other`.
@@ -610,8 +645,10 @@ impl Matrix {
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         let mut out = Matrix::zeros(self.rows, self.cols);
-        for ((dst, a_row), b_row) in
-            out.iter_rows_mut().zip(self.iter_rows()).zip(other.iter_rows())
+        for ((dst, a_row), b_row) in out
+            .iter_rows_mut()
+            .zip(self.iter_rows())
+            .zip(other.iter_rows())
         {
             for ((o, &a), &b) in dst.iter_mut().zip(a_row.iter()).zip(b_row.iter()) {
                 *o = f(a, b);
@@ -668,7 +705,13 @@ impl Matrix {
     ///
     /// Panics if `bias.len() != cols`.
     pub fn add_row_in_place(&mut self, bias: &[f32]) {
-        assert_eq!(bias.len(), self.cols, "bias length {} != cols {}", bias.len(), self.cols);
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "bias length {} != cols {}",
+            bias.len(),
+            self.cols
+        );
         for row in self.iter_rows_mut() {
             for (x, &b) in row.iter_mut().zip(bias.iter()) {
                 *x += b;
@@ -765,13 +808,64 @@ impl Matrix {
         }
     }
 
+    /// Returns a copy of the contiguous row range `range.start..range.end`.
+    ///
+    /// Equivalent to [`Matrix::select_rows`] on the collected range, but
+    /// without materializing an index vector: contiguous rows copy as one
+    /// block. Chunked prediction uses this on its hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > rows` or `range.start > range.end`.
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.row_range_into(range, &mut out);
+        out
+    }
+
+    /// [`Matrix::row_range`] writing into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > rows` or `range.start > range.end`.
+    pub fn row_range_into(&self, range: std::ops::Range<usize>, out: &mut Matrix) {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {}..{} out of bounds for {} rows",
+            range.start,
+            range.end,
+            self.rows
+        );
+        let n = range.end - range.start;
+        out.resize_zeroed(n, self.cols);
+        if n == 0 || self.cols == 0 {
+            return;
+        }
+        // Equal column counts mean equal strides, so the range is one
+        // contiguous block in both backing stores.
+        let stride = self.stride;
+        let src = &self.buf()[range.start * stride..range.end * stride];
+        let dst = out.buf_mut();
+        dst[..n * stride].copy_from_slice(src);
+        // The block copy brought the source's padding lanes along; restore
+        // the all-zero padding `resize_zeroed` guarantees so the result is
+        // byte-identical to a row-by-row copy.
+        if self.cols < stride {
+            for r in 0..n {
+                dst[r * stride + self.cols..(r + 1) * stride].fill(0.0);
+            }
+        }
+    }
+
     /// Horizontally concatenates matrices with equal row counts.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if the row counts differ or `parts` is empty.
     pub fn hcat(parts: &[&Matrix]) -> Result<Matrix, ShapeError> {
-        let first = parts.first().ok_or_else(|| ShapeError::new("hcat", (1, 1), (0, 0)))?;
+        let first = parts
+            .first()
+            .ok_or_else(|| ShapeError::new("hcat", (1, 1), (0, 0)))?;
         let rows = first.rows;
         // Validate every part once up front so a mismatch can't cost a
         // full-size allocation plus a partial copy.
@@ -831,8 +925,9 @@ fn rank4_update(out_row: &mut [f32], a: [f32; 4], b: [&[f32]; 4], skip_zeros: bo
         return;
     }
     let [b0, b1, b2, b3] = b;
-    for (o, (((&v0, &v1), &v2), &v3)) in
-        out_row.iter_mut().zip(b0.iter().zip(b1.iter()).zip(b2.iter()).zip(b3.iter()))
+    for (o, (((&v0, &v1), &v2), &v3)) in out_row
+        .iter_mut()
+        .zip(b0.iter().zip(b1.iter()).zip(b2.iter()).zip(b3.iter()))
     {
         let mut acc = *o;
         acc += a[0] * v0;

@@ -39,36 +39,52 @@ fn poison_padding(m: &mut Matrix) {
 
 #[test]
 fn storage_is_32_byte_aligned_with_lane_stride() {
-    check("layout invariants", config(), |g| gen_padded(g, 13), |m| {
-        prop_assert_eq!(m.stride(), (m.cols() + LANE_WIDTH - 1) / LANE_WIDTH * LANE_WIDTH);
-        prop_assert!(m.stride() > m.cols(), "gen_padded must produce real padding");
-        prop_assert_eq!(m.padded_data().len(), m.rows() * m.stride());
-        prop_assert_eq!(m.padded_data().as_ptr() as usize % 32, 0);
-        // Freshly constructed storage has zeroed padding.
-        let (cols, stride) = (m.cols(), m.stride());
-        for chunk in m.padded_data().chunks_exact(stride) {
-            prop_assert!(chunk[cols..].iter().all(|&x| x == 0.0));
-        }
-        Ok(())
-    });
+    check(
+        "layout invariants",
+        config(),
+        |g| gen_padded(g, 13),
+        |m| {
+            prop_assert_eq!(
+                m.stride(),
+                (m.cols() + LANE_WIDTH - 1) / LANE_WIDTH * LANE_WIDTH
+            );
+            prop_assert!(
+                m.stride() > m.cols(),
+                "gen_padded must produce real padding"
+            );
+            prop_assert_eq!(m.padded_data().len(), m.rows() * m.stride());
+            prop_assert_eq!(m.padded_data().as_ptr() as usize % 32, 0);
+            // Freshly constructed storage has zeroed padding.
+            let (cols, stride) = (m.cols(), m.stride());
+            for chunk in m.padded_data().chunks_exact(stride) {
+                prop_assert!(chunk[cols..].iter().all(|&x| x == 0.0));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn json_round_trip_is_byte_identical_and_logical_only() {
-    check("padded JSON == unpadded JSON", config(), |g| gen_padded(g, 11), |m| {
-        let text = muffin_json::to_string(m);
-        // An unpadded twin: same logical elements laid into a matrix whose
-        // construction path never saw this instance's padded store.
-        let twin = Matrix::from_vec(m.rows(), m.cols(), m.to_vec()).expect("shape");
-        prop_assert_eq!(&text, &muffin_json::to_string(&twin));
-        // Round trip restores every element bit (serialisation is exact).
-        let back: Matrix = muffin_json::from_str(&text).map_err(|e| e.to_string())?;
-        prop_assert_eq!(back.shape(), m.shape());
-        for (x, y) in back.iter_rows().flatten().zip(m.iter_rows().flatten()) {
-            prop_assert_eq!(x.to_bits(), y.to_bits());
-        }
-        Ok(())
-    });
+    check(
+        "padded JSON == unpadded JSON",
+        config(),
+        |g| gen_padded(g, 11),
+        |m| {
+            let text = muffin_json::to_string(m);
+            // An unpadded twin: same logical elements laid into a matrix whose
+            // construction path never saw this instance's padded store.
+            let twin = Matrix::from_vec(m.rows(), m.cols(), m.to_vec()).expect("shape");
+            prop_assert_eq!(&text, &muffin_json::to_string(&twin));
+            // Round trip restores every element bit (serialisation is exact).
+            let back: Matrix = muffin_json::from_str(&text).map_err(|e| e.to_string())?;
+            prop_assert_eq!(back.shape(), m.shape());
+            for (x, y) in back.iter_rows().flatten().zip(m.iter_rows().flatten()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
@@ -80,8 +96,9 @@ fn block_copy_operations_agree_with_index_oracle() {
             let a = gen_padded(g, 9);
             let b_cols = g.usize_in(1..=9);
             let b = g.matrix_exact(a.rows(), b_cols, -9.0, 9.0);
-            let picks: Vec<usize> =
-                (0..g.usize_in(1..=6)).map(|_| g.usize_in(0..=a.rows() - 1)).collect();
+            let picks: Vec<usize> = (0..g.usize_in(1..=6))
+                .map(|_| g.usize_in(0..=a.rows() - 1))
+                .collect();
             (a, b, picks)
         },
         |(a, b, picks)| {
@@ -90,8 +107,11 @@ fn block_copy_operations_agree_with_index_oracle() {
             prop_assert_eq!(cat.shape(), (a.rows(), a.cols() + b.cols()));
             for r in 0..cat.rows() {
                 for c in 0..cat.cols() {
-                    let want =
-                        if c < a.cols() { a.get(r, c) } else { b.get(r, c - a.cols()) };
+                    let want = if c < a.cols() {
+                        a.get(r, c)
+                    } else {
+                        b.get(r, c - a.cols())
+                    };
                     prop_assert_eq!(cat.get(r, c).to_bits(), want.to_bits());
                 }
             }
@@ -197,4 +217,51 @@ fn resize_zeroed_scrubs_previously_poisoned_store() {
     poison_padding(&mut m);
     m.resize_zeroed(3, 6);
     assert!(m.padded_data().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn row_range_is_byte_identical_to_select_rows_even_with_poisoned_padding() {
+    check(
+        "row_range == select_rows bytes, padding stays zero",
+        config(),
+        |g| {
+            let m = gen_padded(g, 9);
+            let start = g.usize_in(0..=m.rows());
+            let end = g.usize_in(start..=m.rows());
+            (m, start, end)
+        },
+        |(m, start, end)| {
+            // Poison the source's padding: the block copy must not leak it
+            // into the output's (zero by contract) padding lanes.
+            let mut poisoned = m.clone();
+            poison_padding(&mut poisoned);
+            let indices: Vec<usize> = (*start..*end).collect();
+            let want = m.select_rows(&indices);
+            let got = poisoned.row_range(*start..*end);
+            prop_assert_eq!(got.shape(), want.shape());
+            for (x, y) in got.padded_data().iter().zip(want.padded_data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // Reuse path scrubs a previously poisoned destination too.
+            let mut reused = gen_reuse_target();
+            poison_padding(&mut reused);
+            poisoned.row_range_into(*start..*end, &mut reused);
+            for (x, y) in reused.padded_data().iter().zip(want.padded_data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A small scratch matrix for the `row_range_into` reuse check.
+fn gen_reuse_target() -> Matrix {
+    Matrix::filled(3, 5, 1.25)
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn row_range_panics_past_the_last_row() {
+    let m = Matrix::filled(4, 3, 1.0);
+    let _ = m.row_range(2..5);
 }

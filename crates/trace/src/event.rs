@@ -122,7 +122,9 @@ impl Field {
 /// All values are microseconds. `start_us` is relative to the tracer's
 /// creation instant (monotonic, via `std::time::Instant`). For
 /// [`EventData::Histogram`] summaries, `duration_us` holds the summed
-/// observation time and `min_us`/`max_us` the extreme observations.
+/// observation time, `min_us`/`max_us` the extreme observations, and
+/// `p50_us`/`p99_us` the percentile estimates from the histogram's
+/// log-scaled buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Timing {
     /// Microseconds from tracer creation to the event's start.
@@ -133,9 +135,14 @@ pub struct Timing {
     pub min_us: u64,
     /// Largest observation in microseconds (histograms only).
     pub max_us: u64,
+    /// Estimated median observation in microseconds (histograms only).
+    pub p50_us: u64,
+    /// Estimated 99th-percentile observation in microseconds
+    /// (histograms only).
+    pub p99_us: u64,
 }
 
-muffin_json::impl_json!(struct Timing { start_us, duration_us, min_us, max_us });
+muffin_json::impl_json!(struct Timing { start_us, duration_us, min_us, max_us, p50_us, p99_us });
 
 impl Timing {
     /// The all-zero timing used by [`TraceLog::stripped`].
@@ -209,7 +216,11 @@ impl TraceEvent {
 }
 
 /// Current trace log schema version, written into every log.
-pub const TRACE_LOG_VERSION: u32 = 1;
+///
+/// Version history: v1 carried `start_us`/`duration_us`/`min_us`/`max_us`
+/// timings; v2 added the `p50_us`/`p99_us` percentile estimates to
+/// [`Timing`].
+pub const TRACE_LOG_VERSION: u32 = 2;
 
 /// A complete event log, as produced by
 /// [`Tracer::finish`](crate::Tracer::finish) and written by the CLI's
@@ -312,6 +323,8 @@ mod tests {
                 duration_us: 9,
                 min_us: 1,
                 max_us: 2,
+                p50_us: 1,
+                p99_us: 2,
             },
         }]);
         let stripped = log.stripped();

@@ -48,4 +48,4 @@ mod tracer;
 
 pub use event::{EventData, Field, FieldValue, Timing, TraceEvent, TraceLog, TRACE_LOG_VERSION};
 pub use summary::summarize;
-pub use tracer::{Span, Tracer};
+pub use tracer::{HistogramSnapshot, Span, Tracer, HISTOGRAM_BUCKETS};

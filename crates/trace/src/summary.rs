@@ -11,6 +11,10 @@ struct PhaseStats {
     total_us: u64,
     min_us: u64,
     max_us: u64,
+    /// Percentile estimates, present for histogram rows only — spans
+    /// carry one duration each, so a percentile column would just repeat
+    /// the mean.
+    percentiles: Option<(u64, u64)>,
 }
 
 impl PhaseStats {
@@ -98,6 +102,7 @@ pub fn summarize(log: &TraceLog) -> String {
                 stats.total_us = stats.total_us.saturating_add(event.timing.duration_us);
                 stats.min_us = event.timing.min_us;
                 stats.max_us = event.timing.max_us;
+                stats.percentiles = Some((event.timing.p50_us, event.timing.p99_us));
             }
             EventData::Counter { value } => counters.push((&event.name, *value)),
             EventData::Message { text } => messages.push((&event.name, text)),
@@ -114,19 +119,27 @@ pub fn summarize(log: &TraceLog) -> String {
             .iter()
             .map(|(name, s)| {
                 let mean = if s.count > 0 { s.total_us / s.count } else { 0 };
+                let (p50, p99) = match s.percentiles {
+                    Some((p50, p99)) => (ms(p50), ms(p99)),
+                    None => ("-".to_string(), "-".to_string()),
+                };
                 vec![
                     (*name).to_string(),
                     s.count.to_string(),
                     ms(s.total_us),
                     ms(mean),
                     ms(s.min_us),
+                    p50,
+                    p99,
                     ms(s.max_us),
                 ]
             })
             .collect();
         out.push('\n');
         out.push_str(&render_table(
-            &["phase", "count", "total ms", "mean ms", "min ms", "max ms"],
+            &[
+                "phase", "count", "total ms", "mean ms", "min ms", "p50 ms", "p99 ms", "max ms",
+            ],
             &rows,
         ));
     }

@@ -3,12 +3,44 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Number of log2-scaled histogram buckets. Bucket 0 holds observations
+/// of exactly 0 µs; bucket `b` (b ≥ 1) holds `[2^(b-1), 2^b)` µs, and the
+/// last bucket absorbs everything from ~18 minutes up.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The bucket an observation of `us` microseconds lands in: the number of
+/// significant bits, clamped into the fixed bucket range. Deterministic —
+/// the same observation always lands in the same bucket.
+fn bucket_index(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `b` in microseconds.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` in microseconds (the last bucket is
+/// open-ended; callers clamp to the observed maximum).
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
 #[derive(Debug, Default)]
 struct HistogramState {
     count: u64,
     total_us: u64,
     min_us: u64,
     max_us: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramState {
@@ -22,6 +54,7 @@ impl HistogramState {
         }
         self.count += 1;
         self.total_us = self.total_us.saturating_add(us);
+        self.buckets[bucket_index(us)] += 1;
     }
 
     fn merge(&mut self, other: &HistogramState) {
@@ -37,6 +70,81 @@ impl HistogramState {
         }
         self.count += other.count;
         self.total_us = self.total_us.saturating_add(other.total_us);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            total_us: self.total_us,
+            min_us: self.min_us,
+            max_us: self.max_us,
+            buckets: self.buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one named duration histogram: summary stats
+/// plus the log2-scaled bucket counts, with percentile estimation.
+///
+/// Obtained from [`Tracer::histogram`] (e.g. by a load generator building
+/// a latency report) or reconstructed implicitly by [`Tracer::finish`],
+/// which stamps `percentile_us(0.50)` / `percentile_us(0.99)` into the
+/// emitted histogram event's `Timing`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations in microseconds.
+    pub total_us: u64,
+    /// Smallest observation in microseconds.
+    pub min_us: u64,
+    /// Largest observation in microseconds.
+    pub max_us: u64,
+    /// Observation counts per log2 bucket; bucket `b ≥ 1` covers
+    /// `[2^(b-1), 2^b)` µs and bucket 0 holds zero-duration observations.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_us / self.count
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds.
+    ///
+    /// Walks the buckets to the observation of rank `ceil(q · count)` and
+    /// interpolates linearly by rank inside that bucket, then clamps the
+    /// estimate into `[min_us, max_us]` so a one-element histogram reports
+    /// its single observation exactly. Integer arithmetic only — the same
+    /// bucket contents always yield the same estimate.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lo(b);
+                let hi = bucket_hi(b).min(self.max_us).max(lo);
+                let into = rank - seen; // 1-based rank within this bucket
+                let est = lo as u128 + (hi - lo) as u128 * into as u128 / n as u128;
+                return (est as u64).clamp(self.min_us, self.max_us);
+            }
+            seen += n;
+        }
+        self.max_us
     }
 }
 
@@ -268,6 +376,16 @@ impl Tracer {
         }
     }
 
+    /// A snapshot of the named histogram's current state (buckets and
+    /// summary stats), or `None` on a no-op tracer or before the first
+    /// observation. Lets callers read percentiles mid-run without
+    /// draining the tracer.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let shared = self.shared.as_ref()?;
+        let state = shared.state.lock().expect("tracer poisoned");
+        state.histograms.get(name).map(HistogramState::snapshot)
+    }
+
     /// Number of events recorded so far (excluding pending counter and
     /// histogram summaries).
     pub fn events_recorded(&self) -> usize {
@@ -344,6 +462,7 @@ impl Tracer {
             );
         }
         for (name, hist) in std::mem::take(&mut drained.histograms) {
+            let snap = hist.snapshot();
             push_event(
                 &mut drained,
                 name,
@@ -354,6 +473,8 @@ impl Tracer {
                     duration_us: hist.total_us,
                     min_us: hist.min_us,
                     max_us: hist.max_us,
+                    p50_us: snap.percentile_us(0.50),
+                    p99_us: snap.percentile_us(0.99),
                 },
             );
         }
@@ -500,6 +621,111 @@ mod tests {
         assert_eq!(log.events[0].timing.min_us, 10);
         assert_eq!(log.events[0].timing.max_us, 30);
         assert_eq!(log.events[0].timing.duration_us, 60);
+    }
+
+    #[test]
+    fn bucket_index_is_log2_scaled_and_clamped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lo(b)), b, "lower bound of {b}");
+            assert_eq!(bucket_index(bucket_hi(b)), b, "upper bound of {b}");
+        }
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count() {
+        let tracer = Tracer::capturing();
+        for us in [0u64, 1, 7, 100, 5_000, 5_000, 1_000_000] {
+            tracer.observe("h", Duration::from_micros(us));
+        }
+        let snap = tracer.histogram("h").expect("snapshot");
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(snap.buckets[0], 1, "one zero-duration observation");
+        assert_eq!(snap.buckets[bucket_index(5_000)], 2);
+    }
+
+    #[test]
+    fn percentiles_are_bounded_and_ordered() {
+        let tracer = Tracer::capturing();
+        for us in 1..=1000u64 {
+            tracer.observe("h", Duration::from_micros(us));
+        }
+        let snap = tracer.histogram("h").expect("snapshot");
+        let p50 = snap.percentile_us(0.50);
+        let p99 = snap.percentile_us(0.99);
+        assert!(snap.min_us <= p50 && p50 <= p99 && p99 <= snap.max_us);
+        // Log buckets quantise, but the estimates must stay in the right
+        // ballpark: the true p50 is 500, inside bucket [256, 511].
+        assert!((256..=511).contains(&p50), "p50 estimate {p50}");
+        assert!(p99 >= 512, "p99 estimate {p99}");
+        assert_eq!(snap.percentile_us(0.0), snap.min_us);
+        assert_eq!(snap.percentile_us(1.0), snap.max_us);
+    }
+
+    #[test]
+    fn single_observation_reports_itself_at_every_percentile() {
+        let tracer = Tracer::capturing();
+        tracer.observe("h", Duration::from_micros(37));
+        let snap = tracer.histogram("h").expect("snapshot");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.percentile_us(q), 37, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_none_and_zero_count_percentile_is_zero() {
+        let tracer = Tracer::capturing();
+        assert!(tracer.histogram("missing").is_none());
+        assert!(Tracer::noop().histogram("h").is_none());
+        let empty = HistogramSnapshot {
+            count: 0,
+            total_us: 0,
+            min_us: 0,
+            max_us: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.percentile_us(0.5), 0);
+    }
+
+    #[test]
+    fn absorb_merges_histogram_buckets() {
+        let tracer = Tracer::capturing();
+        tracer.observe("h", Duration::from_micros(10));
+        let fork = tracer.fork();
+        fork.observe("h", Duration::from_micros(10));
+        fork.observe("h", Duration::from_micros(100_000));
+        tracer.absorb(&fork);
+        let snap = tracer.histogram("h").expect("snapshot");
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[bucket_index(10)], 2);
+        assert_eq!(snap.buckets[bucket_index(100_000)], 1);
+        assert_eq!(snap.max_us, 100_000);
+    }
+
+    #[test]
+    fn finish_stamps_percentiles_into_histogram_timing() {
+        let tracer = Tracer::capturing();
+        for us in [10u64, 20, 30, 40, 1_000] {
+            tracer.observe("h", Duration::from_micros(us));
+        }
+        let expected = tracer.histogram("h").expect("snapshot");
+        let log = tracer.finish();
+        let event = &log.events[0];
+        assert_eq!(event.timing.p50_us, expected.percentile_us(0.50));
+        assert_eq!(event.timing.p99_us, expected.percentile_us(0.99));
+        assert!(event.timing.p50_us >= 10 && event.timing.p99_us <= 1_000);
+        // stripped() zeroes the percentile fields with the rest of Timing.
+        let stripped = log.stripped();
+        assert_eq!(stripped.events[0].timing.p50_us, 0);
+        assert_eq!(stripped.events[0].timing.p99_us, 0);
     }
 
     #[test]

@@ -33,8 +33,7 @@ fn sample_log() -> TraceLog {
             Timing {
                 start_us: 10,
                 duration_us: 900,
-                min_us: 0,
-                max_us: 0,
+                ..Timing::zero()
             },
         ),
         event(
@@ -52,6 +51,8 @@ fn sample_log() -> TraceLog {
                 duration_us: 3400,
                 min_us: 120,
                 max_us: 610,
+                p50_us: 240,
+                p99_us: 600,
             },
         ),
         event(

@@ -43,6 +43,20 @@ cargo test -q --offline -p muffin-cli --test cli_process
 echo "==> body-output cache equivalence"
 cargo test -q --offline -p muffin-integration-tests --test body_cache_equivalence
 
+echo "==> serving: batching equivalence, load shedding, trace stability"
+cargo test -q --offline -p muffin-serve
+
+echo "==> serve loadgen smoke (fixed seed, bounded duration) + regression gate"
+# A short closed-loop run against the demo fused model: must exit 0, write
+# a bench-shaped report, and stay within the (generous, CI-noise-tolerant)
+# regression threshold against the committed pr7 baseline.
+mkdir -p target/muffin-loadgen-smoke
+cargo run -q --release --offline -p muffin-cli -- loadgen \
+    --seed 21 --clients 4 --requests 50 \
+    --out target/muffin-loadgen-smoke/serve.json
+sh scripts/bench-compare.sh --fail-above 400 \
+    results/bench/pr7-baseline target/muffin-loadgen-smoke
+
 echo "==> bench smoke (3 samples per bench)"
 # Absolute path: `cargo bench` runs each bench with the package dir as
 # CWD, so a relative MUFFIN_BENCH_OUT would land in crates/bench/.
