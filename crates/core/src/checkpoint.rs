@@ -33,7 +33,9 @@ use std::path::Path;
 /// Format version written into every checkpoint and eval-cache file.
 /// Bumped whenever the serialised layout changes incompatibly; loading a
 /// file with a different version is a [`MuffinError::StaleArtifact`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added [`SearchCheckpoint::exchanges_applied`] for sharded
+/// elite exchange.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The 64-bit FNV-1a hash, used to fingerprint the model pool and the
 /// dataset split without embedding them in the checkpoint.
@@ -101,6 +103,16 @@ impl SearchFingerprint {
         if self.rng_state != other.rng_state {
             return Some("rng seed/state");
         }
+        self.mismatch_ignoring_rng(other)
+    }
+
+    /// Like [`Self::mismatch`] but ignores the caller-RNG entry state.
+    ///
+    /// This is the matching rule for artifacts **shared across seeds**:
+    /// a sharded fleet's islands run distinct controller seeds but train
+    /// candidates on identical pool/data/config, so their evaluations are
+    /// interchangeable even though their trajectories differ.
+    pub fn mismatch_ignoring_rng(&self, other: &Self) -> Option<&'static str> {
         if muffin_json::to_string(&self.config) != muffin_json::to_string(&other.config) {
             return Some("search configuration");
         }
@@ -148,11 +160,17 @@ pub struct SearchCheckpoint {
     /// The evaluation cache, sorted by action vector for a deterministic
     /// serialisation.
     pub cache: Vec<EpisodeRecord>,
+    /// Number of sharded elite-exchange rounds already folded into
+    /// `controller` (see [`crate::run_sharded`]). The supervisor bumps
+    /// this **before** launching the post-exchange segment, so a crash
+    /// between the nudge and the segment can never apply the same
+    /// exchange twice. Plain (non-sharded) runs leave it at zero.
+    pub exchanges_applied: u32,
 }
 
 muffin_json::impl_json!(struct SearchCheckpoint {
     version, fingerprint, target_episodes, episode, rng_state, seed_stream_seed,
-    controller, history, cache,
+    controller, history, cache, exchanges_applied,
 });
 
 impl SearchCheckpoint {
@@ -259,7 +277,33 @@ impl EvalCacheFile {
         path: impl AsRef<Path>,
         expected: &SearchFingerprint,
     ) -> Result<Option<Self>, MuffinError> {
-        let path = path.as_ref();
+        Self::load_impl(path.as_ref(), expected, false)
+    }
+
+    /// Loads a cache in **shared** mode: the fingerprint must match
+    /// `expected` on everything except the caller-RNG entry state
+    /// ([`SearchFingerprint::mismatch_ignoring_rng`]).
+    ///
+    /// This is how sharded-search islands read the fleet cache: every
+    /// island has a distinct controller seed, but candidate evaluations
+    /// depend only on (config, space, pool, data), so records written
+    /// under any island's seed are valid for all of them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::load`].
+    pub fn load_shared(
+        path: impl AsRef<Path>,
+        expected: &SearchFingerprint,
+    ) -> Result<Option<Self>, MuffinError> {
+        Self::load_impl(path.as_ref(), expected, true)
+    }
+
+    fn load_impl(
+        path: &Path,
+        expected: &SearchFingerprint,
+        ignore_rng: bool,
+    ) -> Result<Option<Self>, MuffinError> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -286,7 +330,12 @@ impl EvalCacheFile {
                 cache.version
             )));
         }
-        if let Some(what) = expected.mismatch(&cache.fingerprint) {
+        let what = if ignore_rng {
+            expected.mismatch_ignoring_rng(&cache.fingerprint)
+        } else {
+            expected.mismatch(&cache.fingerprint)
+        };
+        if let Some(what) = what {
             return Err(MuffinError::StaleArtifact(format!(
                 "eval cache {} belongs to a different run: {what} changed — \
                  delete it or pass a fresh path",
@@ -294,6 +343,113 @@ impl EvalCacheFile {
             )));
         }
         Ok(Some(cache))
+    }
+
+    /// Writes the cache with **merge-on-write** semantics, safe for
+    /// concurrent writers sharing one path.
+    ///
+    /// Plain [`Self::save`] is last-writer-wins: two processes finishing
+    /// around the same time would each temp+rename their own snapshot and
+    /// silently drop the other's entries. `save_merged` instead takes a
+    /// sibling `<path>.lock` file (atomic `create_new`), re-reads the
+    /// current file, unions its records with `self.records` keyed by
+    /// action vector (entries are content-addressed, so the union is
+    /// conflict-free; on a duplicate key the existing record wins), and
+    /// only then renames the merged snapshot into place.
+    ///
+    /// Existing content that does not parse or belongs to a different run
+    /// (checked with [`SearchFingerprint::mismatch_ignoring_rng`], the
+    /// shared-mode rule) is treated as absent and overwritten, matching
+    /// [`Self::save`].
+    ///
+    /// A lock older than ten seconds is presumed abandoned (writer
+    /// crashed between `create_new` and the guard drop) and is stolen.
+    ///
+    /// # Errors
+    ///
+    /// [`MuffinError::Io`] on filesystem failure or when the lock cannot
+    /// be acquired within five seconds.
+    pub fn save_merged(&self, path: impl AsRef<Path>) -> Result<(), MuffinError> {
+        let path = path.as_ref();
+        let _lock = LockGuard::acquire(path)?;
+        let mut merged: std::collections::BTreeMap<Vec<usize>, EpisodeRecord> = self
+            .records
+            .iter()
+            .map(|r| (r.actions.clone(), r.clone()))
+            .collect();
+        if let Ok(Some(existing)) = Self::load_shared(path, &self.fingerprint) {
+            for record in existing.records {
+                merged.insert(record.actions.clone(), record);
+            }
+        }
+        let file = Self {
+            version: self.version,
+            fingerprint: self.fingerprint.clone(),
+            records: merged.into_values().collect(),
+        };
+        write_atomic(path, &muffin_json::to_string(&file))
+    }
+}
+
+/// Holds `<path>.lock` for the merge-on-write critical section of
+/// [`EvalCacheFile::save_merged`]; removes it on drop (including the
+/// error paths).
+struct LockGuard(std::path::PathBuf);
+
+impl LockGuard {
+    const STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(10);
+    const TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+    fn acquire(target: &Path) -> Result<Self, MuffinError> {
+        let mut name = target
+            .file_name()
+            .ok_or_else(|| MuffinError::Io(format!("{} has no file name", target.display())))?
+            .to_os_string();
+        name.push(".lock");
+        let lock = target.with_file_name(name);
+        let start = std::time::Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock)
+            {
+                Ok(_) => return Ok(Self(lock)),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Steal locks abandoned by a crashed writer.
+                    if let Ok(meta) = std::fs::metadata(&lock) {
+                        let abandoned = meta
+                            .modified()
+                            .ok()
+                            .and_then(|m| m.elapsed().ok())
+                            .is_some_and(|age| age > Self::STALE_AFTER);
+                        if abandoned {
+                            std::fs::remove_file(&lock).ok();
+                            continue;
+                        }
+                    }
+                    if start.elapsed() > Self::TIMEOUT {
+                        return Err(MuffinError::Io(format!(
+                            "timed out waiting for cache lock {}",
+                            lock.display()
+                        )));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(MuffinError::Io(format!(
+                        "cannot create cache lock {}: {e}",
+                        lock.display()
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
     }
 }
 
@@ -315,6 +471,15 @@ pub struct PersistenceOptions {
     /// Cross-run evaluation cache file: loaded (if present) before the
     /// run and rewritten with the merged cache afterwards.
     pub eval_cache: Option<std::path::PathBuf>,
+    /// Load the eval cache in shared mode
+    /// ([`EvalCacheFile::load_shared`]): accept records written under a
+    /// different caller-RNG seed. Used by sharded-search islands reading
+    /// the fleet cache.
+    pub eval_cache_shared: bool,
+    /// Never write the eval cache back — treat it as a read-only input
+    /// snapshot. Sharded islands set this so only the supervisor mutates
+    /// fleet cache files, and only at round barriers.
+    pub eval_cache_read_only: bool,
     /// Stop at the first batch boundary ≥ this episode count, write a
     /// checkpoint, and return [`MuffinError::Halted`]. Simulates a kill
     /// deterministically; requires `checkpoint`.
@@ -348,6 +513,18 @@ impl PersistenceOptions {
         self
     }
 
+    /// Loads the eval cache in shared (rng-agnostic) mode.
+    pub fn with_eval_cache_shared(mut self, shared: bool) -> Self {
+        self.eval_cache_shared = shared;
+        self
+    }
+
+    /// Treats the eval cache as a read-only input snapshot.
+    pub fn with_eval_cache_read_only(mut self, read_only: bool) -> Self {
+        self.eval_cache_read_only = read_only;
+        self
+    }
+
     /// Halts (with a checkpoint) at the first batch boundary ≥
     /// `episodes`.
     pub fn with_halt_after(mut self, episodes: u32) -> Self {
@@ -367,7 +544,7 @@ impl PersistenceOptions {
 /// the rename itself is durable too (some filesystems refuse to fsync a
 /// directory handle; losing only the rename re-exposes the intact old
 /// file, which is safe).
-fn write_atomic(path: &Path, contents: &str) -> Result<(), MuffinError> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), MuffinError> {
     let mut tmp_name = path
         .file_name()
         .ok_or_else(|| MuffinError::Io(format!("{} has no file name", path.display())))?
@@ -514,6 +691,119 @@ mod tests {
         for f in ["corrupt.json", "stale.json", "old_version.json"] {
             std::fs::remove_file(dir.join(f)).ok();
         }
+    }
+
+    fn record(tag: usize) -> EpisodeRecord {
+        EpisodeRecord {
+            episode: tag as u32,
+            actions: vec![tag, tag + 1],
+            model_names: vec!["m".into()],
+            head_desc: format!("h{tag}"),
+            accuracy: 0.5,
+            unfairness: vec![0.1],
+            reward: tag as f32,
+            head_params: 1,
+            total_params: 2,
+            head_seed: tag as u64,
+            first_seen: tag as u32,
+        }
+    }
+
+    #[test]
+    fn shared_mode_accepts_a_cache_from_a_different_seed() {
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("shared.json");
+        let cache = EvalCacheFile {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fingerprint(7),
+            records: vec![record(1)],
+        };
+        cache.save(&path).expect("save");
+
+        // Strict load: rejected (different rng entry state).
+        let err = EvalCacheFile::load(&path, &fingerprint(0)).unwrap_err();
+        assert!(err.to_string().contains("rng seed/state"), "{err}");
+        // Shared load: accepted.
+        let loaded = EvalCacheFile::load_shared(&path, &fingerprint(0))
+            .expect("shared load")
+            .expect("present");
+        assert_eq!(loaded.records.len(), 1);
+        // Shared load still rejects a genuinely different run.
+        let mut other = fingerprint(0);
+        other.pool_hash ^= 1;
+        let err = EvalCacheFile::load_shared(&path, &other).unwrap_err();
+        assert!(err.to_string().contains("model pool"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_merged_unions_with_the_existing_file() {
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit_merge");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache.json");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint(0);
+
+        let a = EvalCacheFile {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fp.clone(),
+            records: vec![record(1), record(3)],
+        };
+        a.save_merged(&path).expect("first write");
+        // Second writer carries a disjoint set plus one overlapping key.
+        let b = EvalCacheFile {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fp.clone(),
+            records: vec![record(2), record(3)],
+        };
+        b.save_merged(&path).expect("second write");
+
+        let merged = EvalCacheFile::load(&path, &fp)
+            .expect("load")
+            .expect("present");
+        let actions: Vec<Vec<usize>> = merged.records.iter().map(|r| r.actions.clone()).collect();
+        assert_eq!(actions, vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+        assert!(!path.with_extension("json.lock").exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_cache_entries() {
+        let dir = std::env::temp_dir().join("muffin_ckpt_unit_stress");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache.json");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint(0);
+
+        const WRITERS: usize = 2;
+        const WRITES_EACH: usize = 12;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = path.clone();
+                let fp = fp.clone();
+                scope.spawn(move || {
+                    for i in 0..WRITES_EACH {
+                        let file = EvalCacheFile {
+                            version: CHECKPOINT_VERSION,
+                            fingerprint: fp.clone(),
+                            records: vec![record(1000 * (w + 1) + i)],
+                        };
+                        file.save_merged(&path).expect("merged write");
+                    }
+                });
+            }
+        });
+
+        let merged = EvalCacheFile::load(&path, &fp)
+            .expect("load")
+            .expect("present");
+        assert_eq!(
+            merged.records.len(),
+            WRITERS * WRITES_EACH,
+            "every writer's entries must survive"
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

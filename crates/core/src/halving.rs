@@ -61,6 +61,132 @@ impl HalvingConfig {
     }
 }
 
+/// Splits an evaluation budget of `total` candidates across `rungs`
+/// rungs in geometrically decreasing proportions `keep_fraction^r`,
+/// conserving the total exactly.
+///
+/// Fractional shares are floored and the remainder is handed out one
+/// evaluation at a time to the earliest rungs, so the result is always
+/// non-increasing across rungs and sums to `total`. `keep_fraction` is
+/// clamped into `(0, 1]`; zero `rungs` yields an empty allocation.
+pub fn rung_budgets(total: u32, rungs: u32, keep_fraction: f32) -> Vec<u32> {
+    if rungs == 0 {
+        return Vec::new();
+    }
+    let keep = f64::from(keep_fraction).clamp(1e-6, 1.0);
+    let weights: Vec<f64> = (0..rungs).map(|r| keep.powi(r as i32)).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let mut budgets: Vec<u32> = weights
+        .iter()
+        .map(|w| (f64::from(total) * w / weight_sum).floor() as u32)
+        .collect();
+    let mut remainder = total - budgets.iter().sum::<u32>();
+    let mut r = 0usize;
+    while remainder > 0 {
+        budgets[r] += 1;
+        remainder -= 1;
+        r = (r + 1) % budgets.len();
+    }
+    budgets
+}
+
+/// Number of candidates promoted out of a rung of `k`:
+/// `⌈k · keep_fraction⌉`, at least 1 and at most `k` (0 when the rung is
+/// empty).
+pub fn promotion_count(k: usize, keep_fraction: f32) -> usize {
+    if k == 0 {
+        return 0;
+    }
+    ((k as f32 * keep_fraction).ceil() as usize).clamp(1, k)
+}
+
+/// Indices of the candidates promoted to the next rung: the top
+/// [`promotion_count`] of `rewards` ordered by `f32::total_cmp`
+/// descending. NaN rewards are **never** promoted (even if that leaves
+/// fewer than the nominal count), and ties break toward the lower index,
+/// so promotion is fully deterministic.
+///
+/// The returned indices are in rank order (best first).
+pub fn promote(rewards: &[f32], keep_fraction: f32) -> Vec<usize> {
+    let mut ranked: Vec<usize> = (0..rewards.len())
+        .filter(|&i| !rewards[i].is_nan())
+        .collect();
+    ranked.sort_by(|&a, &b| rewards[b].total_cmp(&rewards[a]).then(a.cmp(&b)));
+    ranked.truncate(promotion_count(rewards.len(), keep_fraction));
+    ranked
+}
+
+/// Trains and evaluates one action vector with an explicit head-epoch
+/// budget, bypassing the search loop's cache. When `tag_epochs` is set
+/// the head description carries an `@{epochs}ep` suffix marking a
+/// reduced-budget screen.
+pub(crate) fn evaluate_at_epochs(
+    search: &MuffinSearch,
+    actions: &[usize],
+    head_seed: u64,
+    epochs: u32,
+    episode: u32,
+    tag_epochs: bool,
+) -> Result<EpisodeRecord, MuffinError> {
+    let space = search.space();
+    let candidate = space.decode(actions)?;
+    let target_names: Vec<&str> = search
+        .config()
+        .target_attributes
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let head = HeadTrainConfig {
+        epochs,
+        ..search.config().head.clone()
+    };
+    let mut head_rng = Rng64::seed(head_seed);
+    let mut fusing = crate::FusingStructure::new(
+        candidate.model_indices.clone(),
+        candidate.head.clone(),
+        search.pool(),
+        &mut head_rng,
+    )?;
+    fusing.train_head(
+        search.pool(),
+        &search.split().train,
+        search.proxy(),
+        &head,
+        &mut head_rng,
+    );
+    let eval = fusing.evaluate(search.pool(), &search.split().val);
+    let reward = search
+        .config()
+        .reward_kind
+        .evaluate(&eval, &target_names, search.config().reward);
+    let head_desc = if tag_epochs {
+        format!("{} @{epochs}ep", candidate.head)
+    } else {
+        candidate.head.to_string()
+    };
+    Ok(EpisodeRecord {
+        episode,
+        actions: actions.to_vec(),
+        model_names: candidate
+            .model_indices
+            .iter()
+            .filter_map(|&i| search.pool().get(i))
+            .map(|m| m.name().to_string())
+            .collect(),
+        head_desc,
+        accuracy: eval.accuracy,
+        unfairness: target_names
+            .iter()
+            .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
+            .collect(),
+        reward,
+        head_params: fusing.head_param_count(),
+        total_params: fusing.total_reported_params(search.pool()),
+        head_seed,
+        first_seen: episode,
+    })
+}
+
 /// Runs successive halving over `search`'s candidate space and returns the
 /// survivors' final-rung evaluations as a [`SearchOutcome`] (one record
 /// per candidate-evaluation, across all rungs).
@@ -77,8 +203,6 @@ pub fn successive_halving(
     config.validate()?;
     let space = search.space();
     let sizes = space.step_sizes();
-    let target_names: Vec<&str> =
-        search.config().target_attributes.iter().map(String::as_str).collect();
 
     // Rung 0 population: distinct random action vectors.
     let mut population: Vec<Vec<usize>> = Vec::new();
@@ -101,48 +225,10 @@ pub fn successive_halving(
     for rung in 0..config.rungs {
         let mut scored: Vec<(Vec<usize>, f32)> = Vec::with_capacity(population.len());
         for actions in &population {
-            let candidate = space.decode(actions)?;
             let head_seed = (rung as u64) << 48 ^ rng.uniform(0.0, 1.0).to_bits() as u64;
             // Rung-specific head budget.
-            let head = HeadTrainConfig { epochs, ..search.config().head.clone() };
-            let mut head_rng = Rng64::seed(head_seed);
-            let mut fusing = crate::FusingStructure::new(
-                candidate.model_indices.clone(),
-                candidate.head.clone(),
-                search.pool(),
-                &mut head_rng,
-            )?;
-            fusing.train_head(
-                search.pool(),
-                &search.split().train,
-                search.proxy(),
-                &head,
-                &mut head_rng,
-            );
-            let eval = fusing.evaluate(search.pool(), &search.split().val);
-            let reward =
-                search.config().reward_kind.evaluate(&eval, &target_names, search.config().reward);
-            let record = EpisodeRecord {
-                episode,
-                actions: actions.clone(),
-                model_names: candidate
-                    .model_indices
-                    .iter()
-                    .filter_map(|&i| search.pool().get(i))
-                    .map(|m| m.name().to_string())
-                    .collect(),
-                head_desc: format!("{} @{}ep", candidate.head, epochs),
-                accuracy: eval.accuracy,
-                unfairness: target_names
-                    .iter()
-                    .map(|n| eval.attribute(n).map_or(f32::NAN, |a| a.unfairness))
-                    .collect(),
-                reward,
-                head_params: fusing.head_param_count(),
-                total_params: fusing.total_reported_params(search.pool()),
-                head_seed,
-                first_seen: episode,
-            };
+            let record = evaluate_at_epochs(search, actions, head_seed, epochs, episode, true)?;
+            let reward = record.reward;
             if reward > best_reward {
                 best_reward = reward;
                 best_idx = history.len();
@@ -151,10 +237,12 @@ pub fn successive_halving(
             scored.push((actions.clone(), reward));
             episode += 1;
         }
-        // Keep the top fraction for the next rung.
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let keep = ((scored.len() as f32 * config.keep_fraction).ceil() as usize).max(1);
-        population = scored.into_iter().take(keep).map(|(a, _)| a).collect();
+        // Keep the top fraction for the next rung (NaN never promoted).
+        let rewards: Vec<f32> = scored.iter().map(|&(_, r)| r).collect();
+        population = promote(&rewards, config.keep_fraction)
+            .into_iter()
+            .map(|i| scored[i].0.clone())
+            .collect();
         epochs = ((epochs as f32) * config.epoch_growth).round() as u32;
     }
 

@@ -39,11 +39,17 @@ pub struct SearchConfig {
     /// REINFORCE batch size `m` of Eq. 4: the controller accumulates this
     /// many episodes before each policy update.
     pub reinforce_batch: usize,
+    /// Explicit search space overriding the paper default built by
+    /// [`MuffinSearch::space`]. When set, its pool size must match the
+    /// model pool; `num_slots`/`required_models` are read from the space
+    /// itself. Mainly for tests that need a small, exactly-enumerable
+    /// space.
+    pub space: Option<SearchSpace>,
 }
 
 muffin_json::impl_json!(struct SearchConfig {
     episodes, num_slots, target_attributes, head, reward, reward_kind, controller,
-    privilege_margin, required_models, reinforce_batch,
+    privilege_margin, required_models, reinforce_batch, space,
 });
 
 impl SearchConfig {
@@ -61,6 +67,7 @@ impl SearchConfig {
             privilege_margin: 0.02,
             required_models: Vec::new(),
             reinforce_batch: 1,
+            space: None,
         }
     }
 
@@ -100,6 +107,12 @@ impl SearchConfig {
     /// Overrides the Eq. 4 REINFORCE batch size `m`.
     pub fn with_reinforce_batch(mut self, m: usize) -> Self {
         self.reinforce_batch = m;
+        self
+    }
+
+    /// Overrides the search space (see [`SearchConfig::space`]).
+    pub fn with_space(mut self, space: SearchSpace) -> Self {
+        self.space = Some(space);
         self
     }
 }
@@ -348,6 +361,15 @@ impl MuffinSearch {
                 pool.len()
             )));
         }
+        if let Some(space) = &config.space {
+            if space.pool_size() != pool.len() {
+                return Err(MuffinError::InvalidConfig(format!(
+                    "config.space is over a pool of {}, actual pool has {}",
+                    space.pool_size(),
+                    pool.len()
+                )));
+            }
+        }
         let attrs: Result<Vec<_>, _> = config
             .target_attributes
             .iter()
@@ -550,8 +572,13 @@ impl MuffinSearch {
         Ok(fusing)
     }
 
-    /// The controller search space for this pool and configuration.
+    /// The controller search space for this pool and configuration: the
+    /// explicit [`SearchConfig::space`] override when set, else the paper
+    /// default shaped by `num_slots`/`required_models`.
     pub fn space(&self) -> SearchSpace {
+        if let Some(space) = &self.config.space {
+            return space.clone();
+        }
         SearchSpace::paper_default(self.pool.len())
             .with_slots(self.config.num_slots)
             .expect("validated num_slots")
@@ -712,6 +739,10 @@ impl MuffinSearch {
         let seed_stream_seed: u64;
         let mut history: Vec<EpisodeRecord>;
         let mut episode: u32;
+        // Round-tripped verbatim into every checkpoint this run writes:
+        // the sharded supervisor owns this counter, the search loop only
+        // preserves it across a resume.
+        let mut exchanges_applied = 0u32;
         if opts.resume {
             let path = opts.checkpoint.as_ref().expect("validated above");
             let fp = fingerprint.as_ref().expect("checkpoint path set");
@@ -742,6 +773,7 @@ impl MuffinSearch {
             seed_stream_seed = ckpt.seed_stream_seed;
             episode = ckpt.episode;
             history = ckpt.history;
+            exchanges_applied = ckpt.exchanges_applied;
             for record in ckpt.cache {
                 cache.insert(record.actions.clone(), record);
             }
@@ -754,7 +786,12 @@ impl MuffinSearch {
 
         if let Some(path) = &opts.eval_cache {
             let fp = fingerprint.as_ref().expect("eval cache path set");
-            if let Some(file) = EvalCacheFile::load(path, fp)? {
+            let loaded = if opts.eval_cache_shared {
+                EvalCacheFile::load_shared(path, fp)?
+            } else {
+                EvalCacheFile::load(path, fp)?
+            };
+            if let Some(file) = loaded {
                 tracer.progress(|| {
                     format!(
                         "eval cache {}: {} record(s)",
@@ -991,6 +1028,7 @@ impl MuffinSearch {
                         controller: controller.export_state(),
                         history: history.clone(),
                         cache: cache_records,
+                        exchanges_applied,
                     };
                     ckpt.save(path)?;
                     last_checkpoint = episode;
@@ -1014,7 +1052,9 @@ impl MuffinSearch {
     }
 
     /// Rewrites the cross-run evaluation cache (when configured) with the
-    /// union of what was loaded and what this run evaluated.
+    /// union of what was loaded and what this run evaluated, merging with
+    /// any concurrent writer's entries ([`EvalCacheFile::save_merged`]).
+    /// A no-op when the options mark the cache read-only.
     fn write_eval_cache(
         &self,
         opts: &PersistenceOptions,
@@ -1024,6 +1064,9 @@ impl MuffinSearch {
         let (Some(path), Some(fp)) = (&opts.eval_cache, fingerprint) else {
             return Ok(());
         };
+        if opts.eval_cache_read_only {
+            return Ok(());
+        }
         let mut records: Vec<EpisodeRecord> = cache.values().cloned().collect();
         records.sort_by(|a, b| a.actions.cmp(&b.actions));
         let file = EvalCacheFile {
@@ -1031,7 +1074,7 @@ impl MuffinSearch {
             fingerprint: fp.clone(),
             records,
         };
-        file.save(path)
+        file.save_merged(path)
     }
 }
 

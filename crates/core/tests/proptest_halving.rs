@@ -1,0 +1,274 @@
+//! Property tests for the successive-halving primitives: rung budget
+//! allocation must conserve the screening total, promotion must keep the
+//! top fraction under IEEE `total_cmp` while never promoting NaN rewards,
+//! and degenerate inputs (one candidate, budget smaller than the rung
+//! count, all-NaN reward vectors) must not panic. Runs on the in-repo
+//! `muffin-check` harness with pinned seeds.
+
+use muffin::{promote, promotion_count, rung_budgets};
+use muffin_check::{check, prop_assert, prop_assert_eq, Config, Gen, Shrink};
+
+fn config() -> Config {
+    Config::cases(64).with_seed(0x7E45_0800)
+}
+
+/// A random budget-allocation request: total evaluations, rung count, and
+/// the keep fraction. Shrinking moves each field toward its domain
+/// minimum, so shrink candidates stay valid requests.
+#[derive(Clone, Debug)]
+struct BudgetCase {
+    total: u32,         // 0..=500 — includes budget < rungs
+    rungs: u32,         // 1..=8
+    keep_fraction: f32, // 0.05..=0.95
+}
+
+impl BudgetCase {
+    fn generate(g: &mut Gen) -> Self {
+        Self {
+            total: g.usize_in(0..=500) as u32,
+            rungs: g.usize_in(1..=8) as u32,
+            keep_fraction: g.f32_in(0.05, 0.95),
+        }
+    }
+}
+
+impl Shrink for BudgetCase {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.total > 0 {
+            out.push(Self {
+                total: 0,
+                ..self.clone()
+            });
+            out.push(Self {
+                total: self.total / 2,
+                ..self.clone()
+            });
+        }
+        if self.rungs > 1 {
+            out.push(Self {
+                rungs: 1,
+                ..self.clone()
+            });
+            out.push(Self {
+                rungs: self.rungs / 2,
+                ..self.clone()
+            });
+        }
+        if self.keep_fraction != 0.5 {
+            out.push(Self {
+                keep_fraction: 0.5,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+#[test]
+fn rung_budgets_conserve_the_total() {
+    check(
+        "rung budgets conserve the total",
+        config(),
+        BudgetCase::generate,
+        |case| {
+            let budgets = rung_budgets(case.total, case.rungs, case.keep_fraction);
+            prop_assert_eq!(budgets.len(), case.rungs as usize);
+            prop_assert_eq!(budgets.iter().sum::<u32>(), case.total);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rung_budgets_are_non_increasing_and_front_loaded() {
+    check(
+        "rung budgets are non-increasing",
+        config(),
+        BudgetCase::generate,
+        |case| {
+            let budgets = rung_budgets(case.total, case.rungs, case.keep_fraction);
+            prop_assert!(
+                budgets.windows(2).all(|w| w[0] >= w[1]),
+                "later rungs never get more budget than earlier ones: {budgets:?}"
+            );
+            // A non-empty total always funds the first (cheapest) rung first.
+            if case.total > 0 {
+                prop_assert!(
+                    budgets[0] > 0,
+                    "rung 0 starved despite total {}",
+                    case.total
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A random reward vector with a controllable NaN rate, plus the keep
+/// fraction used for promotion.
+#[derive(Clone, Debug)]
+struct PromoteCase {
+    rewards: Vec<f32>,
+    keep_fraction: f32,
+}
+
+impl PromoteCase {
+    fn generate(g: &mut Gen) -> Self {
+        let len = g.usize_in(0..=24);
+        let nan_rate = g.f32_in(0.0, 0.6);
+        let rewards = (0..len)
+            .map(|_| {
+                if g.bool(nan_rate) {
+                    f32::NAN
+                } else {
+                    g.f32_in(-2.0, 2.0)
+                }
+            })
+            .collect();
+        Self {
+            rewards,
+            keep_fraction: g.f32_in(0.05, 0.95),
+        }
+    }
+}
+
+impl Shrink for PromoteCase {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if !self.rewards.is_empty() {
+            out.push(Self {
+                rewards: Vec::new(),
+                ..self.clone()
+            });
+            out.push(Self {
+                rewards: self.rewards[..self.rewards.len() / 2].to_vec(),
+                ..self.clone()
+            });
+            out.push(Self {
+                rewards: self.rewards[1..].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.rewards.iter().any(|r| r.is_nan()) {
+            out.push(Self {
+                rewards: self
+                    .rewards
+                    .iter()
+                    .copied()
+                    .filter(|r| !r.is_nan())
+                    .collect(),
+                ..self.clone()
+            });
+        }
+        if self.keep_fraction != 0.5 {
+            out.push(Self {
+                keep_fraction: 0.5,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+#[test]
+fn promotion_keeps_the_top_fraction_and_never_nan() {
+    check(
+        "promotion keeps the top fraction",
+        config(),
+        PromoteCase::generate,
+        |case| {
+            let promoted = promote(&case.rewards, case.keep_fraction);
+            let finite: Vec<usize> = (0..case.rewards.len())
+                .filter(|&i| !case.rewards[i].is_nan())
+                .collect();
+
+            // Exactly min(⌈k·keep⌉ clamped to [1,k], #non-NaN) survive.
+            let expected =
+                promotion_count(case.rewards.len(), case.keep_fraction).min(finite.len());
+            prop_assert_eq!(promoted.len(), expected);
+
+            // NaN rewards are never promoted, and indices are in range & unique.
+            let mut seen = std::collections::HashSet::new();
+            for &i in &promoted {
+                prop_assert!(i < case.rewards.len(), "index {i} out of range");
+                prop_assert!(!case.rewards[i].is_nan(), "promoted a NaN reward at {i}");
+                prop_assert!(seen.insert(i), "index {i} promoted twice");
+            }
+
+            // Every promoted reward >= every excluded non-NaN reward (total_cmp).
+            let excluded: Vec<usize> = finite
+                .iter()
+                .copied()
+                .filter(|i| !seen.contains(i))
+                .collect();
+            for &p in &promoted {
+                for &e in &excluded {
+                    prop_assert!(
+                        case.rewards[p].total_cmp(&case.rewards[e]) != std::cmp::Ordering::Less,
+                        "promoted rewards[{p}]={} < excluded rewards[{e}]={}",
+                        case.rewards[p],
+                        case.rewards[e]
+                    );
+                }
+            }
+
+            // Promoted list is ordered best-first.
+            prop_assert!(
+                promoted
+                    .windows(2)
+                    .all(|w| case.rewards[w[0]].total_cmp(&case.rewards[w[1]])
+                        != std::cmp::Ordering::Less),
+                "promotion order is not best-first: {promoted:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn promotion_count_is_clamped_to_valid_bounds() {
+    check(
+        "promotion count stays in [1, k]",
+        config(),
+        PromoteCase::generate,
+        |case| {
+            let k = case.rewards.len();
+            let count = promotion_count(k, case.keep_fraction);
+            if k == 0 {
+                prop_assert_eq!(count, 0);
+            } else {
+                prop_assert!((1..=k).contains(&count), "count {count} outside [1, {k}]");
+            }
+            Ok(())
+        },
+    );
+}
+
+// Degenerate inputs exercised with fixed values: these are the exact edge
+// cases the sharded screen can produce, so they get explicit coverage in
+// addition to whatever the generators happen to draw.
+
+#[test]
+fn degenerate_inputs_do_not_panic() {
+    // Budget smaller than the rung count: later rungs get zero, total conserved.
+    let starved = rung_budgets(3, 8, 0.5);
+    assert_eq!(starved.iter().sum::<u32>(), 3);
+    assert_eq!(starved.len(), 8);
+
+    // Zero rungs yields an empty schedule, zero total a zeroed one.
+    assert!(rung_budgets(10, 0, 0.5).is_empty());
+    assert_eq!(rung_budgets(0, 3, 0.5), vec![0, 0, 0]);
+
+    // A single candidate always survives promotion regardless of fraction.
+    assert_eq!(promote(&[0.25], 0.01), vec![0]);
+    assert_eq!(promotion_count(1, 0.01), 1);
+
+    // Empty and all-NaN reward vectors promote nothing.
+    assert!(promote(&[], 0.5).is_empty());
+    assert!(promote(&[f32::NAN, f32::NAN], 0.5).is_empty());
+
+    // Extreme keep fractions are clamped rather than dividing by zero.
+    assert_eq!(rung_budgets(10, 2, 0.0).iter().sum::<u32>(), 10);
+    assert_eq!(rung_budgets(10, 2, 1.0), vec![5, 5]);
+}

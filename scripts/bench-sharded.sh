@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# Sharded-search smoke bench: times one small fixed fleet recipe at 1 and
+# 2 shard slots, byte-compares the merged outcomes (the determinism
+# contract of DESIGN.md §12), and archives the wall-clock numbers as a
+# bench-suite JSON compatible with scripts/bench-compare.sh.
+#
+#   sh scripts/bench-sharded.sh [OUT_DIR]
+#
+# OUT_DIR defaults to target/muffin-sharded-smoke; the report lands at
+# OUT_DIR/sharded.json. Wall-clock rows are archived for trend-watching,
+# not hard-gated: a 2-slot fleet on a loaded CI box is too noisy for a
+# strict threshold, while byte-equality is exact and always enforced.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-target/muffin-sharded-smoke}"
+mkdir -p "$out_dir"
+work="$out_dir/work"
+rm -rf "$work"
+mkdir -p "$work"
+
+muffin() {
+    cargo run -q --release --offline -p muffin-cli -- "$@"
+}
+
+echo "==> fixture: dataset + 2-model pool"
+muffin generate --samples 300 --seed 5 --out "$work/data.json"
+muffin train-pool --data "$work/data.json" --archs ResNet-18,DenseNet121 \
+    --epochs 2 --out "$work/pool.json"
+
+# One fixed fleet recipe; only the shard-slot count varies between runs.
+run_fleet() {
+    shards="$1"
+    muffin search --data "$work/data.json" --pool "$work/pool.json" \
+        --attrs age,site --episodes 8 --batch 2 --seed 11 --workers 1 \
+        --shards "$shards" --islands 2 --exchange-every 2 \
+        --shard-dir "$work/fleet-s$shards" \
+        --out "$work/outcome-s$shards.json"
+}
+
+now_ns() {
+    date +%s%N
+}
+
+echo "==> fleet at 1 shard slot"
+t0=$(now_ns)
+run_fleet 1
+t1=$(now_ns)
+wall1=$((t1 - t0))
+
+echo "==> fleet at 2 shard slots"
+t0=$(now_ns)
+run_fleet 2
+t1=$(now_ns)
+wall2=$((t1 - t0))
+
+echo "==> merged outcomes must be byte-identical across shard slots"
+if ! cmp -s "$work/outcome-s1.json" "$work/outcome-s2.json"; then
+    echo "ERROR: shards=1 and shards=2 produced different merged bytes" >&2
+    exit 1
+fi
+
+report="$out_dir/sharded.json"
+cat > "$report" <<EOF
+{
+  "suite": "sharded",
+  "results": [
+    {
+      "name": "search_wall_shards1",
+      "iters_per_sample": 1,
+      "samples": 1,
+      "median_ns": $wall1,
+      "min_ns": $wall1,
+      "max_ns": $wall1
+    },
+    {
+      "name": "search_wall_shards2",
+      "iters_per_sample": 1,
+      "samples": 1,
+      "median_ns": $wall2,
+      "min_ns": $wall2,
+      "max_ns": $wall2
+    }
+  ]
+}
+EOF
+
+rm -rf "$work"
+echo "sharded smoke: outcomes byte-identical; report at $report"
+echo "  shards=1: ${wall1} ns  shards=2: ${wall2} ns"

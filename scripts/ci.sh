@@ -40,6 +40,13 @@ echo "==> checkpoint/resume + persistent eval cache"
 cargo test -q --offline -p muffin-integration-tests --test checkpoint_resume
 cargo test -q --offline -p muffin-cli --test cli_process
 
+echo "==> sharded fleet: merge determinism + halving properties"
+cargo test -q --offline -p muffin-integration-tests --test sharded_equivalence
+cargo test -q --offline -p muffin --test proptest_halving
+
+echo "==> sharded fleet smoke (wall-clock vs shard slots, byte-equality gated)"
+sh scripts/bench-sharded.sh target/muffin-sharded-smoke
+
 echo "==> body-output cache equivalence"
 cargo test -q --offline -p muffin-integration-tests --test body_cache_equivalence
 

@@ -1,0 +1,183 @@
+//! The sharded-search determinism contract: the merged [`SearchOutcome`]
+//! depends only on `(seed, config, islands)` — never on the number of
+//! concurrent shard slots, per-island worker threads, or which shard
+//! finishes first. A fleet sharing one on-disk eval cache must also skip
+//! re-evaluating screened candidates (`search.cache_hit_disk > 0`), and
+//! re-running a completed fleet with `resume` must be a byte-identical
+//! no-op.
+
+use muffin::{
+    merge_shard_histories, run_sharded, EpisodeRecord, SearchConfig, SearchSpace, ShardedConfig,
+    Tracer,
+};
+use muffin_integration_tests::small_fixture;
+use muffin_nn::Activation;
+use std::path::PathBuf;
+
+const FLEET_SEED: u64 = 4242;
+
+/// A 9-point search space over the 3-model fixture pool: small enough
+/// that the halving screen plus a few episodes cover most of it, so
+/// later islands hit the shared disk cache instead of re-training heads.
+fn tiny_space() -> SearchSpace {
+    SearchSpace::new(3, 2, vec![2], vec![8], vec![Activation::Relu]).expect("valid space")
+}
+
+fn fleet_config() -> SearchConfig {
+    SearchConfig::fast(&["age", "site"])
+        .with_episodes(24)
+        .with_reinforce_batch(2)
+        .with_space(tiny_space())
+}
+
+fn fleet_sharded(shards: usize, island_workers: usize) -> ShardedConfig {
+    ShardedConfig {
+        islands: 4,
+        exchange_every: 4,
+        elites: 2,
+        screen_budget: 6,
+        screen_rungs: 2,
+        screen_keep: 0.5,
+        screen_epochs: 2,
+        shards,
+        island_workers,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("muffin_sharded_equiv")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Runs one fleet in a fresh directory and returns the outcome JSON plus
+/// the finished trace log of the supplied tracer.
+fn run_fleet(
+    tag: &str,
+    shards: usize,
+    island_workers: usize,
+    resume: bool,
+    tracer: &Tracer,
+) -> String {
+    let (split, pool, _) = small_fixture(FLEET_SEED);
+    let dir = if resume {
+        // Caller prepared the directory; reuse it.
+        std::env::temp_dir()
+            .join("muffin_sharded_equiv")
+            .join(format!("{tag}_{}", std::process::id()))
+    } else {
+        fresh_dir(tag)
+    };
+    let outcome = run_sharded(
+        pool,
+        split,
+        fleet_config(),
+        &fleet_sharded(shards, island_workers),
+        FLEET_SEED,
+        &dir,
+        resume,
+        None,
+        tracer,
+    )
+    .expect("fleet runs");
+    muffin_json::to_string(&outcome)
+}
+
+#[test]
+fn merged_outcome_is_identical_across_shard_slots_and_workers() {
+    let baseline = run_fleet("s1w1", 1, 1, false, &Tracer::noop());
+    for (shards, workers) in [(2usize, 1usize), (4, 1), (2, 2), (4, 2)] {
+        let json = run_fleet(
+            &format!("s{shards}w{workers}"),
+            shards,
+            workers,
+            false,
+            &Tracer::noop(),
+        );
+        assert!(
+            json == baseline,
+            "merged outcome diverged at shards={shards} island_workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn stripped_trace_logs_are_identical_across_shard_slots() {
+    let serial = Tracer::capturing();
+    run_fleet("trace_s1", 1, 1, false, &serial);
+    let serial_stripped = muffin_json::to_string(&serial.finish().stripped());
+    for shards in [2usize, 4] {
+        let tracer = Tracer::capturing();
+        run_fleet(&format!("trace_s{shards}"), shards, 1, false, &tracer);
+        assert_eq!(
+            muffin_json::to_string(&tracer.finish().stripped()),
+            serial_stripped,
+            "stripped trace log diverged at {shards} shard slots"
+        );
+    }
+}
+
+#[test]
+fn fleet_shares_the_disk_cache_across_islands() {
+    let tracer = Tracer::capturing();
+    run_fleet("cache_hits", 2, 1, false, &tracer);
+    let hits = tracer.counter_value("search.cache_hit_disk");
+    assert!(
+        hits > 0,
+        "a 2-shard fleet over a 9-point space must serve some \
+         evaluations from the shared disk cache (got {hits} hits)"
+    );
+}
+
+#[test]
+fn resuming_a_completed_fleet_is_a_byte_identical_noop() {
+    let first = run_fleet("resume_done", 2, 1, false, &Tracer::noop());
+    let again = run_fleet("resume_done", 2, 1, true, &Tracer::noop());
+    assert!(
+        first == again,
+        "re-running a completed fleet with resume changed the merged outcome"
+    );
+}
+
+#[test]
+fn merge_is_independent_of_shard_completion_order() {
+    // Simulates shards finishing in arbitrary order: the reduce sorts by
+    // island index before renumbering, so reversed and interleaved
+    // completion orders must produce the same bytes.
+    let record = |island: usize, episode: u32, reward: f32| EpisodeRecord {
+        episode,
+        actions: vec![island, episode as usize],
+        model_names: vec![format!("m{island}")],
+        head_desc: format!("h{island}"),
+        accuracy: 0.5,
+        unfairness: vec![0.1, 0.2],
+        reward,
+        head_params: 10,
+        total_params: 100,
+        head_seed: 7,
+        first_seen: episode,
+    };
+    let shard = |island: usize| {
+        (
+            island,
+            (0..3)
+                .map(|e| record(island, e, island as f32 + e as f32 * 0.1))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let attrs = || vec!["age".to_string(), "site".to_string()];
+
+    let ordered =
+        merge_shard_histories(vec![shard(0), shard(1), shard(2)], attrs()).expect("merges");
+    let reversed =
+        merge_shard_histories(vec![shard(2), shard(1), shard(0)], attrs()).expect("merges");
+    let shuffled =
+        merge_shard_histories(vec![shard(1), shard(2), shard(0)], attrs()).expect("merges");
+
+    let ordered_json = muffin_json::to_string(&ordered);
+    assert_eq!(ordered_json, muffin_json::to_string(&reversed));
+    assert_eq!(ordered_json, muffin_json::to_string(&shuffled));
+}
