@@ -88,6 +88,30 @@ COMMANDS:
               (read before the screen, merged back after the run).
               --verbose (print progress lines to stderr; without it the
                 run is silent apart from the result)
+  matrix      Benchmark grid: one Muffin search per scenario × reward cell
+              --scenarios a,b,... (required: registry names from
+                `docs/SCENARIOS.md` — e.g. isic-intersect, adult-income —
+                or paths to scenario JSON files)
+              --rewards r,r,... (default paper,intersect; each of
+                paper|linear[:lambda]|worst|intersect)
+              --episodes N (default 12: search episodes per cell)
+              --batch M (default 4)       --slots N (default 2)
+              --samples N (default 1200 per scenario; 0 keeps each
+                scenario's own default)
+              --epochs N (default 6: backbone training epochs)
+              --archs A,B,... (default ResNet-18,DenseNet121,MobileNet_V2)
+              --seed S (default 7: folded with the scenario name and
+                reward tag, so every cell is independently seeded)
+              --workers N (default: available parallelism; cells run
+                concurrently — the report bytes are identical for every N)
+              --out-dir DIR (default results/matrix: writes matrix.json
+                and a rendered matrix.md)
+              --cache-dir DIR (optional: one persistent eval cache per
+                cell, reused by later runs of the same grid)
+              --bench-out FILE (optional: per-cell wall-clock timings as
+                a bench-suite JSON for scripts/bench-compare.sh; timings
+                never enter matrix.json/matrix.md)
+              --verbose (phase progress on stderr)
   serve       Serve the demo fused model over stdin, one request per line
               --seed S (default 7: demo pool/head training seed)
               --queue-depth N (default 64)  --batch N (default 16)
@@ -132,6 +156,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         "train-pool" => train_pool(args),
         "evaluate" => evaluate(args),
         "search" => search(args),
+        "matrix" => crate::matrix::matrix(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
         "report" => report(args),

@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod matrix;
 
 pub use args::Args;
 pub use commands::{run, USAGE};

@@ -815,3 +815,243 @@ fn bad_arguments_exit_with_usage_code() {
     let out = muffin(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(1));
 }
+
+/// A small user-written scenario file exercising the full schema: two
+/// attributes, shares/angles/noise, and an intersectional cell effect.
+const CUSTOM_SCENARIO: &str = r#"{
+  "version": 1,
+  "name": "custom-credit",
+  "family": "tabular",
+  "description": "process-test scenario with an old-female cell effect",
+  "default_attrs": ["gender", "age"],
+  "generator": {
+    "num_samples": 300,
+    "feature_dim": 8,
+    "num_classes": 2,
+    "class_sep": 2.0,
+    "base_noise": 1.0,
+    "attributes": [
+      {
+        "name": "gender",
+        "groups": [
+          {"name": "male", "share": 0.65},
+          {"name": "female", "share": 0.35, "angle_deg": 40.0, "noise_mult": 1.4}
+        ],
+        "planes": [[0, 1]]
+      },
+      {
+        "name": "age",
+        "groups": [
+          {"name": "young", "share": 0.7},
+          {"name": "old", "share": 0.3, "angle_deg": 55.0, "noise_mult": 1.6}
+        ],
+        "planes": [[1, 2]]
+      }
+    ],
+    "correlation": 0.4,
+    "interactions": [
+      {
+        "attr_a": "gender",
+        "attr_b": "age",
+        "planes": [[0, 2]],
+        "cells": [
+          {"group_a": "female", "group_b": "old", "angle_deg": 60.0, "noise_mult": 1.8}
+        ]
+      }
+    ]
+  }
+}"#;
+
+/// `matrix` arguments for a 2×2 grid over one builtin and one user
+/// scenario file, sized for a debug-build process test.
+fn matrix_cmd(scenario_file: &str, out_dir: &str, extra: &[&str]) -> Vec<String> {
+    let scenarios = format!("german-credit,{scenario_file}");
+    let mut v: Vec<String> = [
+        "matrix",
+        "--scenarios",
+        &scenarios,
+        "--rewards",
+        "paper,intersect",
+        "--samples",
+        "300",
+        "--episodes",
+        "2",
+        "--epochs",
+        "2",
+        "--archs",
+        "ResNet-18,DenseNet121",
+        "--seed",
+        "11",
+        "--out-dir",
+        out_dir,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+#[test]
+fn matrix_reports_are_byte_identical_across_worker_counts_and_cache_reuse() {
+    let scenario_file = tmp("matrix_custom_scenario.json");
+    std::fs::write(&scenario_file, CUSTOM_SCENARIO).expect("write scenario file");
+    let dir_serial = tmp("matrix_serial");
+    let dir_parallel = tmp("matrix_parallel");
+    let dir_warm = tmp("matrix_warm");
+    let cache_dir = tmp("matrix_cache");
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let serial = muffin(
+        &matrix_cmd(&scenario_file, &dir_serial, &["--workers", "1"])
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        serial.status.success(),
+        "serial matrix failed: {}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    assert!(
+        serial.stderr.is_empty(),
+        "quiet matrix leaked to stderr: {}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&serial.stdout);
+    assert!(stdout.contains("2×2 grid"), "missing grid summary: {stdout}");
+    assert!(
+        stdout.contains("custom-credit"),
+        "missing file-scenario row: {stdout}"
+    );
+
+    let parallel = muffin(
+        &matrix_cmd(&scenario_file, &dir_parallel, &["--workers", "4"])
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        parallel.status.success(),
+        "parallel matrix failed: {}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+
+    // A warm run over a freshly written per-cell eval cache (the first
+    // --cache-dir run populates it, this one reads it back).
+    let cold = muffin(
+        &matrix_cmd(
+            &scenario_file,
+            &dir_warm,
+            &["--workers", "2", "--cache-dir", &cache_dir],
+        )
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>(),
+    );
+    assert!(cold.status.success());
+    let warm = muffin(
+        &matrix_cmd(
+            &scenario_file,
+            &dir_warm,
+            &["--workers", "2", "--cache-dir", &cache_dir],
+        )
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>(),
+    );
+    assert!(warm.status.success());
+    // One cache file per cell appeared.
+    let caches = std::fs::read_dir(&cache_dir).expect("cache dir").count();
+    assert_eq!(caches, 4, "expected one eval cache per cell");
+
+    for name in ["matrix.json", "matrix.md"] {
+        let a = std::fs::read_to_string(std::path::Path::new(&dir_serial).join(name))
+            .expect("serial report");
+        let b = std::fs::read_to_string(std::path::Path::new(&dir_parallel).join(name))
+            .expect("parallel report");
+        let c = std::fs::read_to_string(std::path::Path::new(&dir_warm).join(name))
+            .expect("warm report");
+        assert_eq!(a, b, "{name} diverged across worker counts");
+        assert_eq!(a, c, "{name} diverged under a warm eval cache");
+    }
+
+    // The JSON report parses and covers every cell of the grid.
+    let json: muffin_json::Json = muffin_json::from_str(
+        &std::fs::read_to_string(std::path::Path::new(&dir_serial).join("matrix.json"))
+            .expect("json report"),
+    )
+    .expect("report parses");
+    match json.get("cells") {
+        Some(muffin_json::Json::Arr(cells)) => assert_eq!(cells.len(), 4),
+        other => panic!("missing cells array: {other:?}"),
+    }
+
+    std::fs::remove_file(scenario_file).ok();
+    for d in [dir_serial, dir_parallel, dir_warm, cache_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn matrix_rejects_bad_grids_before_any_work() {
+    let out_dir = tmp("matrix_never_created");
+    std::fs::remove_dir_all(&out_dir).ok();
+
+    let bad_scenario = muffin(&[
+        "matrix",
+        "--scenarios",
+        "no-such-scenario",
+        "--out-dir",
+        &out_dir,
+    ]);
+    assert!(!bad_scenario.status.success());
+    let stderr = String::from_utf8_lossy(&bad_scenario.stderr);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+    assert!(
+        stderr.contains("german-credit"),
+        "error must list the builtins: {stderr}"
+    );
+
+    let bad_reward = muffin(&[
+        "matrix",
+        "--scenarios",
+        "german-credit",
+        "--rewards",
+        "paper,bogus",
+        "--out-dir",
+        &out_dir,
+    ]);
+    assert!(!bad_reward.status.success());
+    let stderr = String::from_utf8_lossy(&bad_reward.stderr);
+    assert!(stderr.contains("unknown reward"), "{stderr}");
+
+    let bad_lambda = muffin(&[
+        "matrix",
+        "--scenarios",
+        "german-credit",
+        "--rewards",
+        "linear:nope",
+        "--out-dir",
+        &out_dir,
+    ]);
+    assert!(!bad_lambda.status.success());
+    assert!(String::from_utf8_lossy(&bad_lambda.stderr).contains("lambda"));
+
+    // A malformed scenario file is rejected with the parser's
+    // line/column position, before anything is generated or trained.
+    let broken = tmp("matrix_broken_scenario.json");
+    std::fs::write(&broken, "{\n  \"version\": 1,\n  \"name\": \"x\" oops\n}")
+        .expect("write broken scenario");
+    let bad_file = muffin(&["matrix", "--scenarios", &broken, "--out-dir", &out_dir]);
+    assert!(!bad_file.status.success());
+    let stderr = String::from_utf8_lossy(&bad_file.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    std::fs::remove_file(broken).ok();
+
+    // Validation happens before the output directory is created.
+    assert!(
+        !std::path::Path::new(&out_dir).exists(),
+        "a rejected grid must not create --out-dir"
+    );
+}

@@ -109,7 +109,10 @@ pub use muffin_trace::{summarize, TraceLog, Tracer};
 // Re-export the fairness metric primitives so downstream users need only
 // this crate for the paper's Section 3.1 definitions.
 pub use muffin_data::{
-    group_accuracies, group_accuracy_gap, intersectional_unfairness, unfairness_score,
-    GroupAccuracy,
+    group_accuracies, group_accuracy_gap, intersectional_group_accuracies,
+    intersectional_unfairness, joint_group_ids, joint_unfairness, unfairness_score, GroupAccuracy,
+    Scenario, ScenarioError, ScenarioFamily, ScenarioRegistry,
 };
-pub use muffin_models::{unprivileged_by_accuracy, AttributeEvaluation, ModelEvaluation};
+pub use muffin_models::{
+    unprivileged_by_accuracy, AttributeEvaluation, IntersectionEvaluation, ModelEvaluation,
+};

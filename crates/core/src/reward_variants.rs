@@ -22,9 +22,16 @@ pub enum RewardKind {
     /// Worst-attribute focus: `accuracy / max(max_k U_k, ε)` — optimises
     /// the most unfair attribute first.
     WorstAttribute,
+    /// Intersectional-cell focus: Eq. 3 with the marginal `U_k` replaced by
+    /// the **joint-cell** unfairness of every unordered target-attribute
+    /// pair, `Σ_{i<j} accuracy / max(U_{i×j}, ε)`. Marginally-fair
+    /// candidates that misread one joint cell (e.g. `old×female`) score
+    /// poorly here while the paper ratio cannot see the difference. With
+    /// fewer than two target attributes it degenerates to the paper ratio.
+    IntersectionalRatio,
 }
 
-muffin_json::impl_json!(tagged RewardKind { PaperRatio {}, LinearPenalty { lambda }, WorstAttribute {} });
+muffin_json::impl_json!(tagged RewardKind { PaperRatio {}, LinearPenalty { lambda }, WorstAttribute {}, IntersectionalRatio {} });
 
 impl RewardKind {
     /// Evaluates the reward for `evaluation` over the listed attributes.
@@ -53,6 +60,24 @@ impl RewardKind {
             RewardKind::WorstAttribute => {
                 let worst = scores.iter().copied().fold(0.0f32, f32::max);
                 evaluation.accuracy / worst.max(config.epsilon)
+            }
+            RewardKind::IntersectionalRatio => {
+                let selected: Vec<usize> = evaluation
+                    .attributes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| target_attributes.contains(&a.name.as_str()))
+                    .map(|(i, _)| i)
+                    .collect();
+                if selected.len() < 2 {
+                    return RewardKind::PaperRatio.evaluate(evaluation, target_attributes, config);
+                }
+                evaluation
+                    .intersections
+                    .iter()
+                    .filter(|ix| selected.contains(&ix.attr_a) && selected.contains(&ix.attr_b))
+                    .map(|ix| evaluation.accuracy / ix.unfairness.max(config.epsilon))
+                    .sum()
             }
         }
     }
@@ -114,5 +139,47 @@ mod tests {
         assert_eq!(RewardKind::PaperRatio.evaluate(&e, &["zzz"], cfg), 0.0);
         let lp = RewardKind::LinearPenalty { lambda: 1.0 }.evaluate(&e, &["zzz"], cfg);
         assert!((lp - e.accuracy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersectional_ratio_matches_hand_computed_oracle() {
+        // Labels all 0 on a 2×2 joint layout; predictions wrong exactly on
+        // the (1,1) cell. Marginals are even (each group 50% right) but
+        // joint U∩ = 4·(1/2) = 2, so the reward is accuracy / U∩.
+        let ds = Dataset::new(
+            Matrix::zeros(4, 1),
+            vec![0, 0, 0, 0],
+            2,
+            AttributeSchema::new(vec![
+                SensitiveAttribute::new("a", &["g0", "g1"]),
+                SensitiveAttribute::new("b", &["g0", "g1"]),
+            ]),
+            vec![vec![0, 0, 1, 1], vec![0, 1, 0, 1]],
+        );
+        let e = ModelEvaluation::of(&[0, 1, 1, 0], &ds, "m".into());
+        let cfg = RewardConfig { epsilon: 0.05 };
+        let r = RewardKind::IntersectionalRatio.evaluate(&e, &["a", "b"], cfg);
+        assert!((r - 0.5 / 2.0).abs() < 1e-6, "got {r}");
+        // The paper ratio is blind to the hidden cell: marginal U ≈ 0, so
+        // it saturates at 2 · accuracy/ε — ranking this candidate *high*.
+        let paper = RewardKind::PaperRatio.evaluate(&e, &["a", "b"], cfg);
+        assert!(paper > r * 10.0, "paper {paper} vs intersectional {r}");
+    }
+
+    #[test]
+    fn intersectional_ratio_degenerates_to_paper_on_single_attribute() {
+        let e = eval(&[0, 0, 1, 1, 1, 1, 1, 1]);
+        let cfg = RewardConfig::default();
+        let single = RewardKind::IntersectionalRatio.evaluate(&e, &["a"], cfg);
+        let paper = RewardKind::PaperRatio.evaluate(&e, &["a"], cfg);
+        assert!((single - paper).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersectional_ratio_round_trips_json() {
+        let text = muffin_json::to_string(&RewardKind::IntersectionalRatio);
+        assert_eq!(text, r#"{"IntersectionalRatio":{}}"#);
+        let back: RewardKind = muffin_json::from_str(&text).expect("round trip");
+        assert_eq!(back, RewardKind::IntersectionalRatio);
     }
 }

@@ -179,6 +179,29 @@ impl AttributeSchema {
     pub fn attribute_names(&self) -> Vec<&str> {
         self.attributes.iter().map(SensitiveAttribute::name).collect()
     }
+
+    /// Label of one attribute pair, e.g. `age×gender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn pair_label(&self, a: AttributeId, b: AttributeId) -> String {
+        format!("{}×{}", self.attributes[a.index()].name(), self.attributes[b.index()].name())
+    }
+
+    /// Human name of one **row-major joint cell** of an attribute pair
+    /// (the indexing `joint_group_ids` produces), e.g. `old×female`.
+    ///
+    /// Returns `None` if an id or the cell index is out of range.
+    pub fn joint_cell_name(&self, a: AttributeId, b: AttributeId, cell: usize) -> Option<String> {
+        let (attr_a, attr_b) = (self.get(a)?, self.get(b)?);
+        if cell >= attr_a.num_groups() * attr_b.num_groups() {
+            return None;
+        }
+        let ga = GroupId::new((cell / attr_b.num_groups()) as u16);
+        let gb = GroupId::new((cell % attr_b.num_groups()) as u16);
+        Some(format!("{}×{}", attr_a.group_name(ga)?, attr_b.group_name(gb)?))
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +260,16 @@ mod tests {
     fn group_id_from_u16() {
         let g: GroupId = 4u16.into();
         assert_eq!(g.index(), 4);
+    }
+
+    #[test]
+    fn joint_cell_names_decode_row_major() {
+        let s = schema();
+        let (age, gender) = (AttributeId::new(0), AttributeId::new(1));
+        assert_eq!(s.pair_label(age, gender), "age×gender");
+        assert_eq!(s.joint_cell_name(age, gender, 0).as_deref(), Some("0-35×male"));
+        assert_eq!(s.joint_cell_name(age, gender, 5).as_deref(), Some("66+×female"));
+        assert!(s.joint_cell_name(age, gender, 6).is_none());
+        assert!(s.joint_cell_name(age, AttributeId::new(9), 0).is_none());
     }
 }

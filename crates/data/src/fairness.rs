@@ -158,17 +158,76 @@ pub fn intersectional_unfairness(
     groups_b: &[u16],
     num_groups_b: usize,
 ) -> f32 {
-    assert_eq!(predictions.len(), groups_b.len(), "predictions/groups_b mismatch");
-    let joint: Vec<u16> = groups_a
-        .iter()
-        .zip(groups_b)
-        .map(|(&a, &b)| {
-            assert!((a as usize) < num_groups_a, "group_a {a} out of range");
-            assert!((b as usize) < num_groups_b, "group_b {b} out of range");
-            a * num_groups_b as u16 + b
-        })
-        .collect();
-    unfairness_score(predictions, labels, &joint, num_groups_a * num_groups_b)
+    joint_unfairness(predictions, labels, &[groups_a, groups_b], &[num_groups_a, num_groups_b])
+}
+
+/// Encodes `k` parallel per-attribute group-id slices into **row-major
+/// joint cell ids**, returning the ids and the total cell count.
+///
+/// For attributes with `n_0, n_1, …` groups, the sample in groups
+/// `(g_0, g_1, …)` lands in cell `((g_0·n_1 + g_1)·n_2 + g_2)…` — the same
+/// layout [`intersectional_group_accuracies`] and the per-cell reports use,
+/// so a cell id decodes back to its group tuple by repeated `div`/`mod`.
+///
+/// # Panics
+///
+/// Panics if no attributes are given, slice lengths differ, a group id is
+/// out of range, or the joint cell count overflows `u16`.
+pub fn joint_group_ids(groups: &[&[u16]], num_groups: &[usize]) -> (Vec<u16>, usize) {
+    assert!(!groups.is_empty(), "need at least one attribute");
+    assert_eq!(groups.len(), num_groups.len(), "groups/num_groups mismatch");
+    let cells = num_groups.iter().product::<usize>();
+    assert!(cells <= u16::MAX as usize + 1, "joint cell count {cells} overflows u16");
+    let n = groups[0].len();
+    let mut joint = vec![0u16; n];
+    for (axis, (&ids, &count)) in groups.iter().zip(num_groups).enumerate() {
+        assert_eq!(ids.len(), n, "attribute {axis} length mismatch");
+        for (j, &g) in joint.iter_mut().zip(ids) {
+            assert!((g as usize) < count, "attribute {axis} group {g} out of range {count}");
+            *j = *j * count as u16 + g;
+        }
+    }
+    (joint, cells)
+}
+
+/// The paper's U computed over the joint cells of **any number** of
+/// attributes — the k-way generalisation of [`intersectional_unfairness`].
+///
+/// Empty joint cells are skipped, exactly like empty groups in the
+/// marginal score.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`joint_group_ids`] or if
+/// `predictions`/`labels` lengths disagree with the group slices.
+pub fn joint_unfairness(
+    predictions: &[usize],
+    labels: &[usize],
+    groups: &[&[u16]],
+    num_groups: &[usize],
+) -> f32 {
+    let (joint, cells) = joint_group_ids(groups, num_groups);
+    unfairness_score(predictions, labels, &joint, cells)
+}
+
+/// Per-cell accuracies over the joint groups of two attributes, in
+/// row-major order: the cell for `(g_a, g_b)` sits at index
+/// `g_a · num_groups_b + g_b`.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`joint_group_ids`].
+pub fn intersectional_group_accuracies(
+    predictions: &[usize],
+    labels: &[usize],
+    groups_a: &[u16],
+    num_groups_a: usize,
+    groups_b: &[u16],
+    num_groups_b: usize,
+) -> Vec<GroupAccuracy> {
+    let (joint, cells) =
+        joint_group_ids(&[groups_a, groups_b], &[num_groups_a, num_groups_b]);
+    group_accuracies(predictions, labels, &joint, cells)
 }
 
 fn muffin_overall_accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
@@ -290,5 +349,64 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn intersectional_validates_group_ranges() {
         intersectional_unfairness(&[0], &[0], &[2], 2, &[0], 2);
+    }
+
+    #[test]
+    fn joint_ids_are_row_major() {
+        let (joint, cells) = joint_group_ids(&[&[0, 0, 1, 1], &[0, 1, 0, 1]], &[2, 2]);
+        assert_eq!(joint, vec![0, 1, 2, 3]);
+        assert_eq!(cells, 4);
+        // Three attributes: (1, 0, 2) with counts (2, 2, 3) → (1·2+0)·3+2 = 8.
+        let (joint, cells) = joint_group_ids(&[&[1], &[0], &[2]], &[2, 2, 3]);
+        assert_eq!(joint, vec![8]);
+        assert_eq!(cells, 12);
+    }
+
+    #[test]
+    fn joint_unfairness_matches_hand_computed_three_way_oracle() {
+        // Two samples per cell over 2×2×2 cells would be tedious; use a
+        // minimal case where one of the four *occupied* cells is wrong.
+        // Cells present: (0,0,0) ok, (0,1,1) ok, (1,0,1) ok, (1,1,0) wrong.
+        // Overall accuracy 3/4; deviations = 3·|1−3/4| + |0−3/4| = 3/2.
+        let preds = [0, 0, 0, 1];
+        let labels = [0, 0, 0, 0];
+        let a = [0u16, 0, 1, 1];
+        let b = [0u16, 1, 0, 1];
+        let c = [0u16, 1, 1, 0];
+        let u = joint_unfairness(&preds, &labels, &[&a, &b, &c], &[2, 2, 2]);
+        assert!((u - 1.5).abs() < 1e-6, "got {u}");
+    }
+
+    #[test]
+    fn two_way_joint_matches_intersectional() {
+        let preds = [0, 1, 1, 0, 0];
+        let labels = [0, 0, 0, 0, 1];
+        let a = [0u16, 0, 1, 1, 0];
+        let b = [0u16, 1, 0, 1, 1];
+        let via_joint = joint_unfairness(&preds, &labels, &[&a, &b], &[2, 2]);
+        let via_pair = intersectional_unfairness(&preds, &labels, &a, 2, &b, 2);
+        assert_eq!(via_joint, via_pair);
+    }
+
+    #[test]
+    fn intersectional_accuracies_index_cells_row_major() {
+        let preds = [0, 1, 1, 0];
+        let labels = [0, 0, 0, 0];
+        let a = [0u16, 0, 1, 1];
+        let b = [0u16, 1, 0, 1];
+        let cells = intersectional_group_accuracies(&preds, &labels, &a, 2, &b, 2);
+        assert_eq!(cells.len(), 4);
+        assert!((cells[0].accuracy - 1.0).abs() < 1e-6); // (0,0)
+        assert!((cells[1].accuracy - 0.0).abs() < 1e-6); // (0,1)
+        assert!((cells[2].accuracy - 0.0).abs() < 1e-6); // (1,0)
+        assert!((cells[3].accuracy - 1.0).abs() < 1e-6); // (1,1)
+        assert!(cells.iter().all(|c| c.count == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u16")]
+    fn joint_cell_overflow_is_rejected() {
+        let g = [0u16];
+        joint_group_ids(&[&g, &g, &g], &[300, 300, 300]);
     }
 }

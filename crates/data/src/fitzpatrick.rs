@@ -86,6 +86,7 @@ impl FitzpatrickLike {
                 ),
             ],
             correlation: 0.30,
+            interactions: vec![],
         }
     }
 

@@ -148,6 +148,130 @@ impl AttributeSpec {
     }
 }
 
+/// Extra disadvantage applied to **one joint cell** of two attributes.
+///
+/// The marginal [`GroupSpec`] rotations act per attribute; a cell effect
+/// acts only on samples that fall in a specific *intersection* (e.g. the
+/// `old × female` cell), so a dataset can look fair under every marginal
+/// attribute while one joint cell is systematically misread — the hidden
+/// intersectional disadvantage MIFair and Chen & Sarro measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellEffect {
+    group_a: String,
+    group_b: String,
+    angle_deg: f32,
+    noise_mult: f32,
+}
+
+muffin_json::impl_json!(struct CellEffect { group_a, group_b, angle_deg, noise_mult });
+
+impl CellEffect {
+    /// Creates a no-op effect targeting the `(group_a, group_b)` cell.
+    ///
+    /// Group names refer to the parent [`InteractionSpec`]'s two attributes.
+    pub fn new(group_a: impl Into<String>, group_b: impl Into<String>) -> Self {
+        Self { group_a: group_a.into(), group_b: group_b.into(), angle_deg: 0.0, noise_mult: 1.0 }
+    }
+
+    /// Sets the extra class-signal rotation (degrees) for this cell.
+    pub fn with_angle(mut self, angle_deg: f32) -> Self {
+        self.angle_deg = angle_deg;
+        self
+    }
+
+    /// Sets the extra observation-noise multiplier for this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_mult` is not positive.
+    pub fn with_noise_mult(mut self, noise_mult: f32) -> Self {
+        assert!(noise_mult > 0.0, "noise multiplier must be positive");
+        self.noise_mult = noise_mult;
+        self
+    }
+
+    /// Name of the targeted group in the interaction's first attribute.
+    pub fn group_a(&self) -> &str {
+        &self.group_a
+    }
+
+    /// Name of the targeted group in the interaction's second attribute.
+    pub fn group_b(&self) -> &str {
+        &self.group_b
+    }
+
+    /// Extra rotation angle in degrees.
+    pub fn angle_deg(&self) -> f32 {
+        self.angle_deg
+    }
+
+    /// Extra observation-noise multiplier.
+    pub fn noise_mult(&self) -> f32 {
+        self.noise_mult
+    }
+}
+
+/// Intersectional disadvantage between two attributes: a set of
+/// [`CellEffect`]s plus the coordinate planes they rotate.
+///
+/// Effects are applied **after** all marginal group rotations and consume
+/// no randomness, so a config with an empty `interactions` list generates
+/// byte-identical datasets to one predating the field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionSpec {
+    attr_a: String,
+    attr_b: String,
+    planes: Vec<(usize, usize)>,
+    cells: Vec<CellEffect>,
+}
+
+muffin_json::impl_json!(struct InteractionSpec { attr_a, attr_b, planes, cells });
+
+impl InteractionSpec {
+    /// Creates an interaction between two named attributes rotating the
+    /// given planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute names coincide or a plane is degenerate.
+    pub fn new(
+        attr_a: impl Into<String>,
+        attr_b: impl Into<String>,
+        planes: Vec<(usize, usize)>,
+    ) -> Self {
+        let (attr_a, attr_b) = (attr_a.into(), attr_b.into());
+        assert!(attr_a != attr_b, "interaction needs two distinct attributes");
+        assert!(planes.iter().all(|&(i, j)| i != j), "rotation plane must use two distinct axes");
+        Self { attr_a, attr_b, planes, cells: Vec::new() }
+    }
+
+    /// Adds a cell effect.
+    pub fn with_cell(mut self, cell: CellEffect) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// First attribute name.
+    pub fn attr_a(&self) -> &str {
+        &self.attr_a
+    }
+
+    /// Second attribute name.
+    pub fn attr_b(&self) -> &str {
+        &self.attr_b
+    }
+
+    /// Rotation planes shared by every cell effect.
+    pub fn planes(&self) -> &[(usize, usize)] {
+        &self.planes
+    }
+
+    /// Cell effects.
+    pub fn cells(&self) -> &[CellEffect] {
+        &self.cells
+    }
+}
+
 /// Full configuration of a synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorConfig {
@@ -171,10 +295,12 @@ pub struct GeneratorConfig {
     /// disadvantage latent across attributes (creates the overlap between
     /// unprivileged groups that Algorithm 1 exploits).
     pub correlation: f32,
+    /// Intersectional cell effects applied after the marginal rotations.
+    pub interactions: Vec<InteractionSpec>,
 }
 
 muffin_json::impl_json!(struct GeneratorConfig {
-    num_samples, feature_dim, num_classes, class_sep, base_noise, spectral_decay, attributes, correlation,
+    num_samples, feature_dim, num_classes, class_sep, base_noise, spectral_decay, attributes, correlation, interactions,
 });
 
 impl GeneratorConfig {
@@ -210,6 +336,40 @@ impl GeneratorConfig {
                 }
             }
         }
+        for inter in &self.interactions {
+            let label = format!("interaction {}×{}", inter.attr_a(), inter.attr_b());
+            let attr_of = |name: &str| self.attributes.iter().find(|a| a.name() == name);
+            let Some(a) = attr_of(inter.attr_a()) else {
+                return Err(format!("{label} names unknown attribute {}", inter.attr_a()));
+            };
+            let Some(b) = attr_of(inter.attr_b()) else {
+                return Err(format!("{label} names unknown attribute {}", inter.attr_b()));
+            };
+            for &(i, j) in inter.planes() {
+                if i >= self.feature_dim || j >= self.feature_dim {
+                    return Err(format!(
+                        "{label} rotates plane ({i},{j}) outside feature_dim {}",
+                        self.feature_dim
+                    ));
+                }
+            }
+            for cell in inter.cells() {
+                if !a.groups().iter().any(|g| g.name() == cell.group_a()) {
+                    return Err(format!(
+                        "{label} cell names unknown group {} of {}",
+                        cell.group_a(),
+                        inter.attr_a()
+                    ));
+                }
+                if !b.groups().iter().any(|g| g.name() == cell.group_b()) {
+                    return Err(format!(
+                        "{label} cell names unknown group {} of {}",
+                        cell.group_b(),
+                        inter.attr_b()
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -236,6 +396,7 @@ impl GeneratorConfig {
 ///         vec![(0, 1)],
 ///     )],
 ///     correlation: 0.0,
+///     interactions: vec![],
 /// };
 /// let dataset = DataGenerator::new(config)?.generate(&mut Rng64::seed(1));
 /// assert_eq!(dataset.len(), 200);
@@ -298,6 +459,55 @@ impl DataGenerator {
             .map(|a| a.groups().iter().map(GroupSpec::share).collect())
             .collect();
 
+        // Resolve interaction names to indices once; validation guarantees
+        // every lookup succeeds. Applying these after the marginal loop
+        // consumes no randomness, so configs without interactions generate
+        // byte-identical datasets to pre-interaction builds.
+        struct ResolvedCell {
+            group_a: usize,
+            group_b: usize,
+            angle_rad: f32,
+            noise_mult: f32,
+        }
+        struct ResolvedInteraction<'a> {
+            attr_a: usize,
+            attr_b: usize,
+            planes: &'a [(usize, usize)],
+            cells: Vec<ResolvedCell>,
+        }
+        let attr_index = |name: &str| {
+            cfg.attributes.iter().position(|a| a.name() == name).expect("validated attribute")
+        };
+        let group_index = |attr: usize, name: &str| {
+            cfg.attributes[attr]
+                .groups()
+                .iter()
+                .position(|g| g.name() == name)
+                .expect("validated group")
+        };
+        let resolved: Vec<ResolvedInteraction> = cfg
+            .interactions
+            .iter()
+            .map(|inter| {
+                let (attr_a, attr_b) = (attr_index(inter.attr_a()), attr_index(inter.attr_b()));
+                ResolvedInteraction {
+                    attr_a,
+                    attr_b,
+                    planes: inter.planes(),
+                    cells: inter
+                        .cells()
+                        .iter()
+                        .map(|c| ResolvedCell {
+                            group_a: group_index(attr_a, c.group_a()),
+                            group_b: group_index(attr_b, c.group_b()),
+                            angle_rad: c.angle_deg().to_radians(),
+                            noise_mult: c.noise_mult(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+
         let mut features = Matrix::zeros(n, d);
         let mut labels = Vec::with_capacity(n);
         let mut group_ids: Vec<Vec<u16>> = vec![Vec::with_capacity(n); cfg.attributes.len()];
@@ -330,6 +540,26 @@ impl DataGenerator {
                         let (xi, xj) = (signal[i], signal[j]);
                         signal[i] = xi * cos - xj * sin;
                         signal[j] = xi * sin + xj * cos;
+                    }
+                }
+            }
+
+            // Intersectional cell effects: only samples landing in a
+            // targeted joint cell get the extra rotation/noise.
+            for inter in &resolved {
+                let (ga, gb) = (sample_groups[inter.attr_a], sample_groups[inter.attr_b]);
+                for cell in &inter.cells {
+                    if cell.group_a != ga || cell.group_b != gb {
+                        continue;
+                    }
+                    noise_mult *= cell.noise_mult;
+                    if cell.angle_rad != 0.0 {
+                        let (sin, cos) = cell.angle_rad.sin_cos();
+                        for &(i, j) in inter.planes {
+                            let (xi, xj) = (signal[i], signal[j]);
+                            signal[i] = xi * cos - xj * sin;
+                            signal[j] = xi * sin + xj * cos;
+                        }
                     }
                 }
             }
@@ -388,6 +618,7 @@ mod tests {
                 ),
             ],
             correlation: 0.5,
+            interactions: vec![],
         }
     }
 
@@ -516,5 +747,69 @@ mod tests {
     #[should_panic(expected = "distinct axes")]
     fn degenerate_plane_is_rejected() {
         AttributeSpec::new("bad", vec![GroupSpec::new("g", 1.0)], vec![(2, 2)]);
+    }
+
+    #[test]
+    fn empty_interactions_keep_generation_byte_identical() {
+        let gen_plain = DataGenerator::new(two_attr_config()).expect("valid");
+        let mut cfg = two_attr_config();
+        // An interaction whose cells never fire must not perturb anything
+        // either — it consumes no randomness and rotates no sample.
+        cfg.interactions = vec![InteractionSpec::new("age", "site", vec![(3, 4)])];
+        let gen_inert = DataGenerator::new(cfg).expect("valid");
+        let a = gen_plain.generate(&mut Rng64::seed(21));
+        let b = gen_inert.generate(&mut Rng64::seed(21));
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn cell_effect_shifts_only_the_targeted_cell() {
+        let mut cfg = two_attr_config();
+        cfg.base_noise = 1e-6;
+        cfg.num_samples = 1200;
+        let plain = DataGenerator::new(cfg.clone()).expect("valid").generate(&mut Rng64::seed(5));
+        cfg.interactions = vec![InteractionSpec::new("age", "site", vec![(2, 3)])
+            .with_cell(CellEffect::new("old", "oral").with_angle(90.0))];
+        let shifted = DataGenerator::new(cfg).expect("valid").generate(&mut Rng64::seed(5));
+        let age = plain.schema().by_name("age").expect("age");
+        let site = plain.schema().by_name("site").expect("site");
+        for s in 0..plain.len() {
+            let in_cell = plain.group_of(age, s).index() == 1 && plain.group_of(site, s).index() == 1;
+            let moved = plain
+                .features()
+                .row(s)
+                .iter()
+                .zip(shifted.features().row(s))
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max)
+                > 1e-4;
+            assert_eq!(moved, in_cell, "sample {s}: moved={moved} in_cell={in_cell}");
+        }
+    }
+
+    #[test]
+    fn interaction_validation_catches_unknown_attribute_and_group() {
+        let mut cfg = two_attr_config();
+        cfg.interactions = vec![InteractionSpec::new("age", "venue", vec![(0, 1)])];
+        let err = cfg.validate().expect_err("unknown attribute");
+        assert!(err.contains("unknown attribute venue"), "{err}");
+
+        let mut cfg = two_attr_config();
+        cfg.interactions = vec![InteractionSpec::new("age", "site", vec![(0, 1)])
+            .with_cell(CellEffect::new("old", "plantar"))];
+        let err = cfg.validate().expect_err("unknown group");
+        assert!(err.contains("unknown group plantar"), "{err}");
+
+        let mut cfg = two_attr_config();
+        cfg.interactions = vec![InteractionSpec::new("age", "site", vec![(0, 99)])];
+        let err = cfg.validate().expect_err("bad plane");
+        assert!(err.contains("outside feature_dim"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct attributes")]
+    fn self_interaction_is_rejected() {
+        InteractionSpec::new("age", "age", vec![(0, 1)]);
     }
 }

@@ -95,6 +95,7 @@ impl IsicLike {
                 GenderSpec::build(),
             ],
             correlation: 0.35,
+            interactions: vec![],
         }
     }
 

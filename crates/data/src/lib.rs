@@ -33,6 +33,13 @@
 //! let split = dataset.split_default(&mut Rng64::seed(8));
 //! assert!(split.train.len() > split.test.len());
 //! ```
+//!
+//! Beyond the paper's two schemas, the [`ScenarioRegistry`] resolves
+//! named scenario recipes — including tabular- and education-style
+//! schemas with **intersectional** cell effects — and parses user-written
+//! scenario JSON files (schema documented in `docs/SCENARIOS.md`).
+
+#![deny(missing_docs)]
 
 mod attribute;
 mod corruption;
@@ -43,16 +50,23 @@ mod generator;
 mod io;
 mod isic;
 mod sampling;
+mod scenario;
 mod stats;
 
 pub use attribute::{AttributeId, AttributeSchema, GroupId, SensitiveAttribute};
 pub use dataset::{Dataset, DatasetSplit};
 pub use fairness::{
-    group_accuracies, group_accuracy_gap, intersectional_unfairness, unfairness_score,
-    GroupAccuracy,
+    group_accuracies, group_accuracy_gap, intersectional_group_accuracies,
+    intersectional_unfairness, joint_group_ids, joint_unfairness, unfairness_score, GroupAccuracy,
 };
 pub use fitzpatrick::FitzpatrickLike;
-pub use generator::{AttributeSpec, DataGenerator, GeneratorConfig, GroupSpec};
+pub use generator::{
+    AttributeSpec, CellEffect, DataGenerator, GeneratorConfig, GroupSpec, InteractionSpec,
+};
 pub use io::DatasetIoError;
 pub use isic::IsicLike;
-pub use stats::{DatasetStats, GroupCount};
+pub use scenario::{
+    Scenario, ScenarioError, ScenarioFamily, ScenarioRegistry, SCENARIO_FORMAT_VERSION,
+    SCENARIO_SCHEMA_FIELDS,
+};
+pub use stats::{DatasetStats, GroupCount, JointGroupCount};

@@ -1,0 +1,998 @@
+//! Declarative scenario registry: versioned JSON descriptions of synthetic
+//! datasets, loadable by name or from user files.
+//!
+//! A *scenario* wraps a [`GeneratorConfig`] with a name, a family tag, a
+//! description and the attribute subset the search should target by
+//! default. Built-in scenarios cover the paper's two dermatology schemas
+//! plus tabular- and education-style schemas with **intersectional** cell
+//! effects (see [`InteractionSpec`](crate::InteractionSpec)); user files
+//! use the same JSON schema, documented field-by-field in
+//! `docs/SCENARIOS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use muffin_data::ScenarioRegistry;
+//! use muffin_tensor::Rng64;
+//!
+//! let scenario = ScenarioRegistry::resolve("german-credit").expect("builtin");
+//! let ds = scenario.generator().generate(&mut Rng64::seed(1));
+//! assert_eq!(ds.num_classes(), 2);
+//! ```
+
+use crate::{AttributeSpec, CellEffect, DataGenerator, GeneratorConfig, GroupSpec, InteractionSpec};
+use muffin_json::{Json, JsonError};
+use std::fmt;
+use std::path::Path;
+
+/// The scenario file format version this build reads and writes.
+pub const SCENARIO_FORMAT_VERSION: i64 = 1;
+
+/// Every field name of the scenario JSON schema, across all nesting
+/// levels. The handbook-coverage test diffs this list against
+/// `docs/SCENARIOS.md`, so adding a field here (or to the parser) without
+/// documenting it fails CI.
+pub const SCENARIO_SCHEMA_FIELDS: &[&str] = &[
+    // Top level.
+    "version",
+    "name",
+    "family",
+    "description",
+    "default_attrs",
+    "generator",
+    // Generator.
+    "num_samples",
+    "feature_dim",
+    "num_classes",
+    "class_sep",
+    "base_noise",
+    "spectral_decay",
+    "attributes",
+    "correlation",
+    "interactions",
+    // Attributes and groups (`name` is shared with the top level).
+    "groups",
+    "planes",
+    "share",
+    "angle_deg",
+    "noise_mult",
+    // Interactions and cells.
+    "attr_a",
+    "attr_b",
+    "cells",
+    "group_a",
+    "group_b",
+];
+
+const TOP_FIELDS: &[&str] =
+    &["version", "name", "family", "description", "default_attrs", "generator"];
+const GENERATOR_FIELDS: &[&str] = &[
+    "num_samples",
+    "feature_dim",
+    "num_classes",
+    "class_sep",
+    "base_noise",
+    "spectral_decay",
+    "attributes",
+    "correlation",
+    "interactions",
+];
+const ATTRIBUTE_FIELDS: &[&str] = &["name", "groups", "planes"];
+const GROUP_FIELDS: &[&str] = &["name", "share", "angle_deg", "noise_mult"];
+const INTERACTION_FIELDS: &[&str] = &["attr_a", "attr_b", "planes", "cells"];
+const CELL_FIELDS: &[&str] = &["group_a", "group_b", "angle_deg", "noise_mult"];
+
+/// Broad domain a scenario imitates; purely descriptive (reports group by
+/// it), never interpreted by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioFamily {
+    /// Dermatology-style schemas (the paper's home domain).
+    Dermatology,
+    /// Census/credit-style tabular schemas (Chen & Sarro's benchmarks).
+    Tabular,
+    /// Education-style schemas (FAIREDU's domain).
+    Education,
+}
+
+impl ScenarioFamily {
+    /// The lowercase tag used in scenario files.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ScenarioFamily::Dermatology => "dermatology",
+            ScenarioFamily::Tabular => "tabular",
+            ScenarioFamily::Education => "education",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "dermatology" => Some(ScenarioFamily::Dermatology),
+            "tabular" => Some(ScenarioFamily::Tabular),
+            "education" => Some(ScenarioFamily::Education),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Why a scenario failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Reading the file failed.
+    Io(String),
+    /// The text is not valid JSON; the message keeps muffin-json's
+    /// line/column position.
+    Parse(String),
+    /// The JSON is well-formed but not a valid scenario; the message names
+    /// the offending field path.
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io(msg) => write!(f, "scenario io error: {msg}"),
+            ScenarioError::Parse(msg) => write!(f, "scenario {msg}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A named, validated dataset recipe.
+///
+/// Construction always validates the wrapped [`GeneratorConfig`], so a
+/// `Scenario` in hand can generate without further checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    family: ScenarioFamily,
+    description: String,
+    default_attrs: Vec<String>,
+    config: GeneratorConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario after validating the configuration and the
+    /// default attribute list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] naming the violated constraint.
+    pub fn new(
+        name: impl Into<String>,
+        family: ScenarioFamily,
+        description: impl Into<String>,
+        default_attrs: Vec<String>,
+        config: GeneratorConfig,
+    ) -> Result<Self, ScenarioError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ScenarioError::Invalid("name: must not be empty".into()));
+        }
+        config.validate().map_err(|e| ScenarioError::Invalid(format!("generator: {e}")))?;
+        if default_attrs.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "default_attrs: must name at least one attribute".into(),
+            ));
+        }
+        for attr in &default_attrs {
+            if !config.attributes.iter().any(|a| a.name() == attr) {
+                return Err(ScenarioError::Invalid(format!(
+                    "default_attrs: unknown attribute `{attr}`"
+                )));
+            }
+        }
+        Ok(Self { name, family, description: description.into(), default_attrs, config })
+    }
+
+    /// Scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scenario family tag.
+    pub fn family(&self) -> ScenarioFamily {
+        self.family
+    }
+
+    /// Human description of what the scenario provokes.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Attribute names the search should target by default.
+    pub fn default_attrs(&self) -> &[String] {
+        &self.default_attrs
+    }
+
+    /// The validated generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// A ready generator for this scenario.
+    pub fn generator(&self) -> DataGenerator {
+        DataGenerator::new(self.config.clone()).expect("scenario config validated on construction")
+    }
+
+    /// Returns a copy with the sample count overridden (grid runs shrink
+    /// builtins this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_samples == 0`.
+    pub fn with_num_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples > 0, "num_samples must be positive");
+        self.config.num_samples = num_samples;
+        self
+    }
+
+    /// Parses a scenario from JSON text.
+    ///
+    /// Syntax errors carry muffin-json's line/column position; semantic
+    /// errors name the offending field path. Optional fields take the
+    /// defaults documented in `docs/SCENARIOS.md`; unknown fields are
+    /// rejected (they are almost always typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] or [`ScenarioError::Invalid`].
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let json: Json = muffin_json::from_str(text).map_err(|e| match e {
+            JsonError::Parse { .. } => ScenarioError::Parse(e.to_string()),
+            other => ScenarioError::Parse(other.to_string()),
+        })?;
+        Self::from_json_value(&json)
+    }
+
+    /// Loads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] if reading fails, otherwise the
+    /// [`parse`](Self::parse) errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Canonical JSON serialisation: every field explicit (defaults
+    /// included) in schema order, pretty-printed, trailing newline.
+    /// Parsing this text and re-serialising reproduces it byte-for-byte.
+    pub fn to_json_string(&self) -> String {
+        use muffin_json::ToJson;
+        let mut top = Json::object();
+        top.insert("version", Json::Int(SCENARIO_FORMAT_VERSION as i128));
+        top.insert("name", Json::Str(self.name.clone()));
+        top.insert("family", Json::Str(self.family.tag().to_string()));
+        top.insert("description", Json::Str(self.description.clone()));
+        top.insert("default_attrs", self.default_attrs.to_json());
+        top.insert("generator", self.config.to_json());
+        let mut text = muffin_json::to_string_pretty(&top);
+        text.push('\n');
+        text
+    }
+
+    fn from_json_value(json: &Json) -> Result<Self, ScenarioError> {
+        expect_object(json, "scenario")?;
+        check_keys(json, "scenario", TOP_FIELDS)?;
+        let version: i64 = field_req(json, "scenario", "version")?;
+        if version != SCENARIO_FORMAT_VERSION {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario.version: unsupported version {version} (this build reads version {SCENARIO_FORMAT_VERSION})"
+            )));
+        }
+        let name: String = field_req(json, "scenario", "name")?;
+        let family_tag: String =
+            field_opt(json, "scenario", "family", ScenarioFamily::Tabular.tag().to_string())?;
+        let family = ScenarioFamily::from_tag(&family_tag).ok_or_else(|| {
+            ScenarioError::Invalid(format!(
+                "scenario.family: unknown family `{family_tag}` (expected dermatology, tabular or education)"
+            ))
+        })?;
+        let description: String = field_opt(json, "scenario", "description", String::new())?;
+        let generator = json.get("generator").ok_or_else(|| {
+            ScenarioError::Invalid("scenario: missing required field `generator`".into())
+        })?;
+        let config = parse_generator(generator)?;
+        let default_attrs: Vec<String> = match json.get("default_attrs") {
+            Some(v) => v
+                .decode()
+                .map_err(|e| invalid_field("scenario", "default_attrs", &e))?,
+            None => config.attributes.iter().map(|a| a.name().to_string()).collect(),
+        };
+        Scenario::new(name, family, description, default_attrs, config)
+    }
+}
+
+fn expect_object(json: &Json, path: &str) -> Result<(), ScenarioError> {
+    match json {
+        Json::Obj(_) => Ok(()),
+        other => {
+            Err(ScenarioError::Invalid(format!("{path}: expected object, found {}", other.kind())))
+        }
+    }
+}
+
+fn check_keys(json: &Json, path: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    if let Json::Obj(entries) = json {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ScenarioError::Invalid(format!(
+                    "{path}: unknown field `{key}` (expected one of: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn invalid_field(path: &str, key: &str, err: &JsonError) -> ScenarioError {
+    ScenarioError::Invalid(format!("{path}.{key}: {err}"))
+}
+
+fn field_req<T: muffin_json::FromJson>(
+    json: &Json,
+    path: &str,
+    key: &str,
+) -> Result<T, ScenarioError> {
+    match json.get(key) {
+        Some(v) => v.decode().map_err(|e| invalid_field(path, key, &e)),
+        None => {
+            Err(ScenarioError::Invalid(format!("{path}: missing required field `{key}`")))
+        }
+    }
+}
+
+fn field_opt<T: muffin_json::FromJson>(
+    json: &Json,
+    path: &str,
+    key: &str,
+    default: T,
+) -> Result<T, ScenarioError> {
+    match json.get(key) {
+        Some(v) => v.decode().map_err(|e| invalid_field(path, key, &e)),
+        None => Ok(default),
+    }
+}
+
+fn parse_generator(json: &Json) -> Result<GeneratorConfig, ScenarioError> {
+    let path = "scenario.generator";
+    expect_object(json, path)?;
+    check_keys(json, path, GENERATOR_FIELDS)?;
+    let attributes_json = json.get("attributes").ok_or_else(|| {
+        ScenarioError::Invalid(format!("{path}: missing required field `attributes`"))
+    })?;
+    let attributes = parse_array(attributes_json, &format!("{path}.attributes"), parse_attribute)?;
+    let interactions = match json.get("interactions") {
+        Some(v) => parse_array(v, &format!("{path}.interactions"), parse_interaction)?,
+        None => Vec::new(),
+    };
+    Ok(GeneratorConfig {
+        num_samples: field_req(json, path, "num_samples")?,
+        feature_dim: field_req(json, path, "feature_dim")?,
+        num_classes: field_req(json, path, "num_classes")?,
+        class_sep: field_opt(json, path, "class_sep", 2.0)?,
+        base_noise: field_opt(json, path, "base_noise", 1.0)?,
+        spectral_decay: field_opt(json, path, "spectral_decay", 0.85)?,
+        attributes,
+        correlation: field_opt(json, path, "correlation", 0.0)?,
+        interactions,
+    })
+}
+
+fn parse_array<T>(
+    json: &Json,
+    path: &str,
+    parse_item: impl Fn(&Json, &str) -> Result<T, ScenarioError>,
+) -> Result<Vec<T>, ScenarioError> {
+    match json {
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| parse_item(item, &format!("{path}[{i}]")))
+            .collect(),
+        other => {
+            Err(ScenarioError::Invalid(format!("{path}: expected array, found {}", other.kind())))
+        }
+    }
+}
+
+fn parse_attribute(json: &Json, path: &str) -> Result<AttributeSpec, ScenarioError> {
+    expect_object(json, path)?;
+    check_keys(json, path, ATTRIBUTE_FIELDS)?;
+    let name: String = field_req(json, path, "name")?;
+    let groups_json = json
+        .get("groups")
+        .ok_or_else(|| ScenarioError::Invalid(format!("{path}: missing required field `groups`")))?;
+    let groups = parse_array(groups_json, &format!("{path}.groups"), parse_group)?;
+    if groups.is_empty() {
+        return Err(ScenarioError::Invalid(format!("{path}.groups: must not be empty")));
+    }
+    let planes: Vec<(usize, usize)> = field_opt(json, path, "planes", Vec::new())?;
+    if let Some(&(i, j)) = planes.iter().find(|&&(i, j)| i == j) {
+        return Err(ScenarioError::Invalid(format!(
+            "{path}.planes: degenerate plane ({i},{j}) must use two distinct axes"
+        )));
+    }
+    Ok(AttributeSpec::new(name, groups, planes))
+}
+
+fn parse_group(json: &Json, path: &str) -> Result<GroupSpec, ScenarioError> {
+    expect_object(json, path)?;
+    check_keys(json, path, GROUP_FIELDS)?;
+    let name: String = field_req(json, path, "name")?;
+    let share: f32 = field_req(json, path, "share")?;
+    if !(share > 0.0) {
+        return Err(ScenarioError::Invalid(format!("{path}.share: must be positive")));
+    }
+    let angle_deg: f32 = field_opt(json, path, "angle_deg", 0.0)?;
+    let noise_mult: f32 = field_opt(json, path, "noise_mult", 1.0)?;
+    if !(noise_mult > 0.0) {
+        return Err(ScenarioError::Invalid(format!("{path}.noise_mult: must be positive")));
+    }
+    Ok(GroupSpec::new(name, share).with_angle(angle_deg).with_noise_mult(noise_mult))
+}
+
+fn parse_interaction(json: &Json, path: &str) -> Result<InteractionSpec, ScenarioError> {
+    expect_object(json, path)?;
+    check_keys(json, path, INTERACTION_FIELDS)?;
+    let attr_a: String = field_req(json, path, "attr_a")?;
+    let attr_b: String = field_req(json, path, "attr_b")?;
+    if attr_a == attr_b {
+        return Err(ScenarioError::Invalid(format!(
+            "{path}: attr_a and attr_b must name two distinct attributes"
+        )));
+    }
+    let planes: Vec<(usize, usize)> = field_opt(json, path, "planes", Vec::new())?;
+    if let Some(&(i, j)) = planes.iter().find(|&&(i, j)| i == j) {
+        return Err(ScenarioError::Invalid(format!(
+            "{path}.planes: degenerate plane ({i},{j}) must use two distinct axes"
+        )));
+    }
+    let cells_json = json
+        .get("cells")
+        .ok_or_else(|| ScenarioError::Invalid(format!("{path}: missing required field `cells`")))?;
+    let cells = parse_array(cells_json, &format!("{path}.cells"), parse_cell)?;
+    let mut spec = InteractionSpec::new(attr_a, attr_b, planes);
+    for cell in cells {
+        spec = spec.with_cell(cell);
+    }
+    Ok(spec)
+}
+
+fn parse_cell(json: &Json, path: &str) -> Result<CellEffect, ScenarioError> {
+    expect_object(json, path)?;
+    check_keys(json, path, CELL_FIELDS)?;
+    let group_a: String = field_req(json, path, "group_a")?;
+    let group_b: String = field_req(json, path, "group_b")?;
+    let angle_deg: f32 = field_opt(json, path, "angle_deg", 0.0)?;
+    let noise_mult: f32 = field_opt(json, path, "noise_mult", 1.0)?;
+    if !(noise_mult > 0.0) {
+        return Err(ScenarioError::Invalid(format!("{path}.noise_mult: must be positive")));
+    }
+    Ok(CellEffect::new(group_a, group_b).with_angle(angle_deg).with_noise_mult(noise_mult))
+}
+
+/// Resolves scenario names: built-in scenarios first, file paths second.
+///
+/// # Example
+///
+/// ```
+/// use muffin_data::ScenarioRegistry;
+///
+/// assert!(ScenarioRegistry::builtin_names().contains(&"adult-income"));
+/// let s = ScenarioRegistry::resolve("adult-income").expect("builtin");
+/// assert_eq!(s.default_attrs(), ["gender", "race"]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRegistry;
+
+impl ScenarioRegistry {
+    /// Names of every built-in scenario, in registry order.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &[
+            "isic",
+            "fitzpatrick",
+            "isic-intersect",
+            "adult-income",
+            "german-credit",
+            "edu-grades",
+            "edu-dropout",
+        ]
+    }
+
+    /// The built-in scenario of that name, if any.
+    pub fn builtin(name: &str) -> Option<Scenario> {
+        let scenario = match name {
+            "isic" => builtin_isic(),
+            "fitzpatrick" => builtin_fitzpatrick(),
+            "isic-intersect" => builtin_isic_intersect(),
+            "adult-income" => builtin_adult_income(),
+            "german-credit" => builtin_german_credit(),
+            "edu-grades" => builtin_edu_grades(),
+            "edu-dropout" => builtin_edu_dropout(),
+            _ => return None,
+        };
+        Some(scenario)
+    }
+
+    /// Resolves `spec` as a built-in name, then as a scenario file path.
+    ///
+    /// A spec that is neither a built-in nor an existing file fails with
+    /// the built-in list in the message, so typos surface immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Scenario::load`] errors for file specs, or
+    /// [`ScenarioError::Invalid`] for unknown names.
+    pub fn resolve(spec: &str) -> Result<Scenario, ScenarioError> {
+        if let Some(scenario) = Self::builtin(spec) {
+            return Ok(scenario);
+        }
+        let path = Path::new(spec);
+        if path.exists() || spec.contains('/') || spec.contains('.') {
+            return Scenario::load(path);
+        }
+        Err(ScenarioError::Invalid(format!(
+            "unknown scenario `{spec}` (builtins: {})",
+            Self::builtin_names().join(", ")
+        )))
+    }
+}
+
+fn must(scenario: Result<Scenario, ScenarioError>) -> Scenario {
+    scenario.expect("builtin scenario is valid")
+}
+
+fn builtin_isic() -> Scenario {
+    must(Scenario::new(
+        "isic",
+        ScenarioFamily::Dermatology,
+        "The paper's ISIC2019-like schema: large age and site gaps pulling in \
+         opposite directions (the seesaw), near-fair gender.",
+        vec!["age".into(), "site".into()],
+        crate::IsicLike::new().config(),
+    ))
+}
+
+fn builtin_fitzpatrick() -> Scenario {
+    must(Scenario::new(
+        "fitzpatrick",
+        ScenarioFamily::Dermatology,
+        "The paper's Fitzpatrick17K-like schema: rare dark skin tones distorted \
+         against the malignant lesion type in shared planes.",
+        vec!["skin_tone".into(), "type".into()],
+        crate::FitzpatrickLike::new().config(),
+    ))
+}
+
+fn builtin_isic_intersect() -> Scenario {
+    let config = GeneratorConfig {
+        num_samples: 4_000,
+        feature_dim: 16,
+        num_classes: 6,
+        class_sep: 2.2,
+        base_noise: 1.0,
+        spectral_decay: 0.85,
+        attributes: vec![
+            AttributeSpec::new(
+                "age",
+                vec![
+                    GroupSpec::new("young", 0.38),
+                    GroupSpec::new("middle", 0.34),
+                    // Mild marginal handicap: below the designed-disadvantage
+                    // threshold, so the *marginal* age gap stays small.
+                    GroupSpec::new("old", 0.28).with_angle(15.0).with_noise_mult(1.15),
+                ],
+                vec![(0, 1)],
+            ),
+            AttributeSpec::new(
+                "gender",
+                vec![
+                    GroupSpec::new("male", 0.52),
+                    GroupSpec::new("female", 0.48).with_noise_mult(1.1),
+                ],
+                vec![(2, 3)],
+            ),
+        ],
+        correlation: 0.2,
+        // The real damage hides in one joint cell: elderly women are
+        // rotated hard while both marginals stay near-fair — the hidden
+        // intersectional disadvantage MIFair measures.
+        interactions: vec![InteractionSpec::new("age", "gender", vec![(0, 2), (1, 3)])
+            .with_cell(CellEffect::new("old", "female").with_angle(70.0).with_noise_mult(1.8))],
+    };
+    must(Scenario::new(
+        "isic-intersect",
+        ScenarioFamily::Dermatology,
+        "Dermatology schema whose marginals look near-fair while the old×female \
+         joint cell is systematically misread; only intersectional U exposes it.",
+        vec!["age".into(), "gender".into()],
+        config,
+    ))
+}
+
+fn builtin_adult_income() -> Scenario {
+    let config = GeneratorConfig {
+        num_samples: 4_000,
+        feature_dim: 12,
+        num_classes: 2,
+        class_sep: 1.8,
+        base_noise: 1.1,
+        spectral_decay: 0.88,
+        attributes: vec![
+            AttributeSpec::new(
+                "gender",
+                vec![
+                    GroupSpec::new("male", 0.67),
+                    GroupSpec::new("female", 0.33).with_angle(25.0).with_noise_mult(1.2),
+                ],
+                vec![(0, 1)],
+            ),
+            AttributeSpec::new(
+                "race",
+                vec![
+                    GroupSpec::new("white", 0.70),
+                    GroupSpec::new("black", 0.18).with_angle(45.0).with_noise_mult(1.5),
+                    GroupSpec::new("other", 0.12).with_angle(30.0).with_noise_mult(1.3),
+                ],
+                vec![(1, 2), (4, 5)],
+            ),
+            AttributeSpec::new(
+                "age_band",
+                vec![
+                    GroupSpec::new("under-25", 0.28),
+                    GroupSpec::new("25-45", 0.47),
+                    GroupSpec::new("46+", 0.25).with_angle(20.0).with_noise_mult(1.2),
+                ],
+                vec![(3, 4)],
+            ),
+        ],
+        correlation: 0.4,
+        interactions: vec![InteractionSpec::new("gender", "race", vec![(2, 3)])
+            .with_cell(CellEffect::new("female", "black").with_angle(40.0).with_noise_mult(1.4))],
+    };
+    must(Scenario::new(
+        "adult-income",
+        ScenarioFamily::Tabular,
+        "Census-style binary task with three protected attributes (Chen & \
+         Sarro's setting); the female×black cell carries extra disadvantage \
+         on top of both marginals.",
+        vec!["gender".into(), "race".into()],
+        config,
+    ))
+}
+
+fn builtin_german_credit() -> Scenario {
+    let config = GeneratorConfig {
+        num_samples: 3_000,
+        feature_dim: 10,
+        num_classes: 2,
+        class_sep: 2.0,
+        base_noise: 1.0,
+        spectral_decay: 0.9,
+        attributes: vec![
+            AttributeSpec::new(
+                "gender",
+                vec![
+                    GroupSpec::new("male", 0.69),
+                    GroupSpec::new("female", 0.31).with_angle(35.0).with_noise_mult(1.3),
+                ],
+                vec![(0, 1)],
+            ),
+            AttributeSpec::new(
+                "age",
+                vec![
+                    GroupSpec::new("older", 0.81),
+                    GroupSpec::new("young", 0.19).with_angle(55.0).with_noise_mult(1.6),
+                ],
+                vec![(1, 2)],
+            ),
+        ],
+        // High membership correlation + a shared plane coordinate: the
+        // credit-scoring seesaw where de-biasing gender re-biases age.
+        correlation: 0.45,
+        interactions: vec![],
+    };
+    must(Scenario::new(
+        "german-credit",
+        ScenarioFamily::Tabular,
+        "Small credit-scoring task with strongly correlated gender and age \
+         disadvantage rotating entangled planes — the classic two-attribute \
+         seesaw in tabular form.",
+        vec!["gender".into(), "age".into()],
+        config,
+    ))
+}
+
+fn builtin_edu_grades() -> Scenario {
+    let config = GeneratorConfig {
+        num_samples: 3_500,
+        feature_dim: 14,
+        num_classes: 3,
+        class_sep: 2.0,
+        base_noise: 1.05,
+        spectral_decay: 0.86,
+        attributes: vec![
+            AttributeSpec::new(
+                "gender",
+                vec![
+                    GroupSpec::new("male", 0.5),
+                    GroupSpec::new("female", 0.5).with_angle(8.0).with_noise_mult(1.05),
+                ],
+                vec![(5, 6)],
+            ),
+            AttributeSpec::new(
+                "ses",
+                vec![
+                    GroupSpec::new("high", 0.30),
+                    GroupSpec::new("mid", 0.45),
+                    GroupSpec::new("low", 0.25).with_angle(60.0).with_noise_mult(1.7),
+                ],
+                vec![(0, 1), (2, 3)],
+            ),
+            AttributeSpec::new(
+                "region",
+                vec![
+                    GroupSpec::new("urban", 0.60),
+                    GroupSpec::new("rural", 0.40).with_angle(30.0).with_noise_mult(1.3),
+                ],
+                vec![(1, 2)],
+            ),
+        ],
+        correlation: 0.35,
+        interactions: vec![InteractionSpec::new("ses", "region", vec![(3, 4)])
+            .with_cell(CellEffect::new("low", "rural").with_angle(35.0).with_noise_mult(1.3))],
+    };
+    must(Scenario::new(
+        "edu-grades",
+        ScenarioFamily::Education,
+        "FAIREDU-style grade prediction: socio-economic status dominates, \
+         region entangles with it, and the low×rural cell is hit twice.",
+        vec!["ses".into(), "region".into()],
+        config,
+    ))
+}
+
+fn builtin_edu_dropout() -> Scenario {
+    let config = GeneratorConfig {
+        num_samples: 3_000,
+        feature_dim: 12,
+        num_classes: 2,
+        class_sep: 1.9,
+        base_noise: 1.1,
+        spectral_decay: 0.88,
+        attributes: vec![
+            AttributeSpec::new(
+                "age_band",
+                vec![
+                    GroupSpec::new("teen", 0.35),
+                    GroupSpec::new("adult", 0.45),
+                    GroupSpec::new("mature", 0.20).with_angle(50.0).with_noise_mult(1.5),
+                ],
+                vec![(0, 1)],
+            ),
+            AttributeSpec::new(
+                "disability",
+                vec![
+                    GroupSpec::new("none", 0.88),
+                    GroupSpec::new("declared", 0.12).with_angle(70.0).with_noise_mult(1.9),
+                ],
+                vec![(1, 2)],
+            ),
+        ],
+        correlation: 0.5,
+        interactions: vec![],
+    };
+    must(Scenario::new(
+        "edu-dropout",
+        ScenarioFamily::Education,
+        "Dropout prediction with a rare, heavily distorted disability group \
+         whose membership correlates with mature students — rare-group \
+         fairness under strong correlation.",
+        vec!["age_band".into(), "disability".into()],
+        config,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muffin_tensor::Rng64;
+
+    #[test]
+    fn every_builtin_resolves_and_validates() {
+        for name in ScenarioRegistry::builtin_names() {
+            let s = ScenarioRegistry::resolve(name).expect(name);
+            assert_eq!(s.name(), *name);
+            assert!(!s.description().is_empty(), "{name} needs a description");
+            assert!(!s.default_attrs().is_empty());
+        }
+    }
+
+    #[test]
+    fn builtins_generate_small_datasets() {
+        for name in ScenarioRegistry::builtin_names() {
+            let s = ScenarioRegistry::resolve(name).expect(name).with_num_samples(300);
+            let ds = s.generator().generate(&mut Rng64::seed(3));
+            assert_eq!(ds.len(), 300, "{name}");
+            assert!(ds.num_classes() >= 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_builtins() {
+        let err = ScenarioRegistry::resolve("no-such-scenario").expect_err("unknown");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown scenario"), "{msg}");
+        assert!(msg.contains("german-credit"), "{msg}");
+    }
+
+    #[test]
+    fn minimal_scenario_takes_documented_defaults() {
+        let s = Scenario::parse(
+            r#"{
+                "version": 1,
+                "name": "tiny",
+                "generator": {
+                    "num_samples": 100,
+                    "feature_dim": 4,
+                    "num_classes": 2,
+                    "attributes": [
+                        {"name": "g", "groups": [
+                            {"name": "a", "share": 0.5},
+                            {"name": "b", "share": 0.5}
+                        ]}
+                    ]
+                }
+            }"#,
+        )
+        .expect("minimal scenario");
+        assert_eq!(s.family(), ScenarioFamily::Tabular);
+        assert_eq!(s.description(), "");
+        assert_eq!(s.default_attrs(), ["g"]);
+        let cfg = s.config();
+        assert_eq!(cfg.class_sep, 2.0);
+        assert_eq!(cfg.base_noise, 1.0);
+        assert_eq!(cfg.spectral_decay, 0.85);
+        assert_eq!(cfg.correlation, 0.0);
+        assert!(cfg.interactions.is_empty());
+        assert_eq!(cfg.attributes[0].groups()[0].noise_mult(), 1.0);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_path() {
+        let err = Scenario::parse(
+            r#"{"version": 1, "name": "x", "generatr": {}}"#,
+        )
+        .expect_err("typo");
+        assert!(err.to_string().contains("unknown field `generatr`"), "{err}");
+
+        let err = Scenario::parse(
+            r#"{
+                "version": 1,
+                "name": "x",
+                "generator": {
+                    "num_samples": 10, "feature_dim": 4, "num_classes": 2,
+                    "attributes": [
+                        {"name": "g", "groups": [{"name": "a", "share": 1.0, "nois_mult": 2.0}]}
+                    ]
+                }
+            }"#,
+        )
+        .expect_err("typo in group");
+        let msg = err.to_string();
+        assert!(msg.contains("groups[0]"), "{msg}");
+        assert!(msg.contains("unknown field `nois_mult`"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let err = Scenario::parse(r#"{"version": 9, "name": "x", "generator": {}}"#)
+            .expect_err("future version");
+        assert!(err.to_string().contains("unsupported version 9"), "{err}");
+    }
+
+    #[test]
+    fn json_syntax_errors_carry_line_and_column() {
+        // The stray token sits on line 3; the parse error must say so, in
+        // the muffin-json `line L, column C` form the handbook documents.
+        let text = "{\n  \"version\": 1,\n  \"name\": \"x\" oops\n}";
+        let err = Scenario::parse(text).expect_err("syntax error");
+        assert!(matches!(err, ScenarioError::Parse(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("column"), "{msg}");
+    }
+
+    #[test]
+    fn scenarios_load_from_disk_and_io_errors_name_the_path() {
+        let dir = std::env::temp_dir().join("muffin_scenario_load_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("custom.json");
+        let text = ScenarioRegistry::builtin("adult-income").expect("builtin").to_json_string();
+        std::fs::write(&path, &text).expect("write scenario file");
+        let loaded = Scenario::load(&path).expect("loads from disk");
+        assert_eq!(loaded.name(), "adult-income");
+        // The registry resolves paths too, not just builtin names.
+        let resolved =
+            ScenarioRegistry::resolve(path.to_str().expect("utf8 path")).expect("resolves");
+        assert_eq!(resolved.to_json_string(), text);
+        std::fs::remove_file(&path).ok();
+        let err = Scenario::load(&path).expect_err("missing file");
+        assert!(matches!(err, ScenarioError::Io(_)), "{err}");
+        assert!(err.to_string().contains("custom.json"), "{err}");
+    }
+
+    #[test]
+    fn semantic_errors_name_the_field_path() {
+        let err = Scenario::parse(
+            r#"{
+                "version": 1,
+                "name": "x",
+                "generator": {
+                    "num_samples": 10, "feature_dim": 4, "num_classes": 2,
+                    "attributes": [
+                        {"name": "g", "groups": [{"name": "a", "share": -1.0}]}
+                    ]
+                }
+            }"#,
+        )
+        .expect_err("bad share");
+        let msg = err.to_string();
+        assert!(msg.contains("groups[0].share"), "{msg}");
+        assert!(msg.contains("must be positive"), "{msg}");
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_for_every_builtin() {
+        for name in ScenarioRegistry::builtin_names() {
+            let original = ScenarioRegistry::resolve(name).expect(name);
+            let text = original.to_json_string();
+            let reparsed = Scenario::parse(&text).expect(name);
+            assert_eq!(reparsed, original, "{name} round-trip changed the scenario");
+            assert_eq!(reparsed.to_json_string(), text, "{name} round-trip changed bytes");
+        }
+    }
+
+    #[test]
+    fn schema_fields_match_the_canonical_serialisation() {
+        // The canonical serialisation of a full-featured scenario must use
+        // exactly the fields in SCENARIO_SCHEMA_FIELDS — no more (every
+        // emitted field is documented) and no less (every documented field
+        // is real).
+        let s = ScenarioRegistry::resolve("isic-intersect").expect("builtin");
+        let json: Json = muffin_json::from_str(&s.to_json_string()).expect("canonical json");
+        let mut seen = std::collections::BTreeSet::new();
+        collect_keys(&json, &mut seen);
+        let expected: std::collections::BTreeSet<&str> =
+            SCENARIO_SCHEMA_FIELDS.iter().copied().collect();
+        let seen: std::collections::BTreeSet<&str> =
+            seen.iter().map(String::as_str).collect();
+        assert_eq!(seen, expected);
+    }
+
+    fn collect_keys(json: &Json, out: &mut std::collections::BTreeSet<String>) {
+        match json {
+            Json::Obj(entries) => {
+                for (k, v) in entries {
+                    out.insert(k.clone());
+                    collect_keys(v, out);
+                }
+            }
+            Json::Arr(items) => items.iter().for_each(|v| collect_keys(v, out)),
+            _ => {}
+        }
+    }
+}

@@ -12,6 +12,20 @@ pub struct GroupCount {
 
 muffin_json::impl_json!(struct GroupCount { group, count });
 
+/// Sample counts over the joint cells of one attribute pair, row-major
+/// (cell `(g_a, g_b)` sits at index `g_a · num_groups_b + g_b`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointGroupCount {
+    /// Index of the first attribute in the schema.
+    pub attr_a: usize,
+    /// Index of the second attribute in the schema (`attr_a < attr_b`).
+    pub attr_b: usize,
+    /// Per-cell counts; the `group` field holds the row-major cell id.
+    pub cells: Vec<GroupCount>,
+}
+
+muffin_json::impl_json!(struct JointGroupCount { attr_a, attr_b, cells });
+
 /// Descriptive statistics of a [`Dataset`]: per-attribute group counts and
 /// the class distribution.
 ///
@@ -30,10 +44,11 @@ muffin_json::impl_json!(struct GroupCount { group, count });
 pub struct DatasetStats {
     class_counts: Vec<usize>,
     group_counts: Vec<Vec<GroupCount>>,
+    joint_counts: Vec<JointGroupCount>,
     num_samples: usize,
 }
 
-muffin_json::impl_json!(struct DatasetStats { class_counts, group_counts, num_samples });
+muffin_json::impl_json!(struct DatasetStats { class_counts, group_counts, joint_counts, num_samples });
 
 impl DatasetStats {
     /// Computes statistics for `dataset`.
@@ -57,7 +72,29 @@ impl DatasetStats {
                     .collect()
             })
             .collect();
-        Self { class_counts, group_counts, num_samples: dataset.len() }
+        let attrs: Vec<_> = dataset.schema().iter().collect();
+        let mut joint_counts = Vec::new();
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                let (id_a, attr_a) = &attrs[i];
+                let (id_b, attr_b) = &attrs[j];
+                let nb = attr_b.num_groups();
+                let mut counts = vec![0usize; attr_a.num_groups() * nb];
+                for (&ga, &gb) in dataset.groups(*id_a).iter().zip(dataset.groups(*id_b)) {
+                    counts[ga as usize * nb + gb as usize] += 1;
+                }
+                joint_counts.push(JointGroupCount {
+                    attr_a: i,
+                    attr_b: j,
+                    cells: counts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(c, count)| GroupCount { group: c as u16, count })
+                        .collect(),
+                });
+            }
+        }
+        Self { class_counts, group_counts, joint_counts, num_samples: dataset.len() }
     }
 
     /// Samples per class.
@@ -72,6 +109,26 @@ impl DatasetStats {
     /// Panics if `attr` is out of range.
     pub fn group_counts(&self, attr: AttributeId) -> &[GroupCount] {
         &self.group_counts[attr.index()]
+    }
+
+    /// Joint cell counts of one attribute pair, row-major over the second
+    /// attribute's groups. Accepts the pair in either order; `None` if
+    /// either attribute is out of range.
+    pub fn joint_counts(&self, a: AttributeId, b: AttributeId) -> Option<&[GroupCount]> {
+        let (lo, hi) = if a.index() <= b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        self.joint_counts
+            .iter()
+            .find(|jc| jc.attr_a == lo && jc.attr_b == hi)
+            .map(|jc| jc.cells.as_slice())
+    }
+
+    /// All pairwise joint cell counts, ordered by `(attr_a, attr_b)`.
+    pub fn joint_counts_all(&self) -> &[JointGroupCount] {
+        &self.joint_counts
     }
 
     /// Total number of samples.
@@ -149,5 +206,27 @@ mod tests {
         let text = DatasetStats::of(&ds).to_string();
         assert!(text.contains("attr#0"));
         assert!(text.contains("attr#2"));
+    }
+
+    #[test]
+    fn joint_counts_cover_every_pair_and_sum_to_dataset_size() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let stats = DatasetStats::of(&ds);
+        let attrs = ds.schema().iter().count();
+        assert_eq!(stats.joint_counts_all().len(), attrs * (attrs - 1) / 2);
+        for jc in stats.joint_counts_all() {
+            assert!(jc.attr_a < jc.attr_b);
+            assert_eq!(jc.cells.iter().map(|c| c.count).sum::<usize>(), ds.len());
+        }
+    }
+
+    #[test]
+    fn joint_counts_lookup_is_order_insensitive() {
+        let ds = IsicLike::small().generate(&mut Rng64::seed(7));
+        let stats = DatasetStats::of(&ds);
+        let fwd = stats.joint_counts(AttributeId::new(0), AttributeId::new(1)).expect("pair");
+        let rev = stats.joint_counts(AttributeId::new(1), AttributeId::new(0)).expect("pair");
+        assert_eq!(fwd, rev);
+        assert!(stats.joint_counts(AttributeId::new(0), AttributeId::new(9)).is_none());
     }
 }

@@ -29,6 +29,7 @@ fn config(groups: u16, correlation: f32) -> GeneratorConfig {
             AttributeSpec::new("b", gs, vec![(1, 2)]),
         ],
         correlation,
+        interactions: vec![],
     }
 }
 

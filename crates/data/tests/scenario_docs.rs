@@ -1,0 +1,45 @@
+//! The scenario handbook must stay in lockstep with the code: every field
+//! of the JSON schema and every builtin scenario name has to appear in
+//! `docs/SCENARIOS.md`, so the docs can never silently fall behind a
+//! schema change.
+
+use muffin_data::{ScenarioRegistry, SCENARIO_SCHEMA_FIELDS};
+
+fn handbook() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SCENARIOS.md");
+    std::fs::read_to_string(path).expect("docs/SCENARIOS.md is committed")
+}
+
+#[test]
+fn every_schema_field_is_documented() {
+    let text = handbook();
+    for field in SCENARIO_SCHEMA_FIELDS {
+        assert!(
+            text.contains(&format!("`{field}`")),
+            "docs/SCENARIOS.md does not document the schema field `{field}`"
+        );
+    }
+}
+
+#[test]
+fn every_builtin_has_a_handbook_section() {
+    let text = handbook();
+    for name in ScenarioRegistry::builtin_names() {
+        assert!(
+            text.contains(&format!("`{name}`")),
+            "docs/SCENARIOS.md does not mention the builtin scenario `{name}`"
+        );
+    }
+}
+
+#[test]
+fn the_handbook_documents_the_current_format_version() {
+    let text = handbook();
+    assert!(
+        text.contains(&format!(
+            "`\"version\": {}`",
+            muffin_data::SCENARIO_FORMAT_VERSION
+        )),
+        "docs/SCENARIOS.md must state the current format version"
+    );
+}

@@ -53,7 +53,9 @@ pub use backbone::BackboneConfig;
 pub use baselines::{FairnessMethod, MethodApplication};
 pub use calibration::{expected_calibration_error, TemperatureScale};
 pub use ensemble::{oracle_accuracy, Ensemble, EnsembleRule};
-pub use evaluation::{unprivileged_by_accuracy, AttributeEvaluation, ModelEvaluation};
+pub use evaluation::{
+    unprivileged_by_accuracy, AttributeEvaluation, IntersectionEvaluation, ModelEvaluation,
+};
 pub use frozen::FrozenModel;
 pub use persist::PoolIoError;
 pub use pool::ModelPool;

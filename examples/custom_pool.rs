@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ],
         correlation: 0.4,
+        interactions: vec![],
     };
     let dataset = DataGenerator::new(config)?.generate(&mut rng);
     let split = dataset.split_default(&mut rng);

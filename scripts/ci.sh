@@ -70,6 +70,26 @@ echo "==> bench smoke (3 samples per bench)"
 MUFFIN_BENCH_SAMPLES=3 MUFFIN_BENCH_OUT="$PWD/target/muffin-bench-smoke" \
     cargo bench --offline -p muffin-bench
 
+echo "==> scenario registry + handbook coverage"
+cargo test -q --offline -p muffin-data --lib scenario::
+cargo test -q --offline -p muffin-data --test scenario_docs
+
+echo "==> scenario × reward matrix smoke (2x2 grid, deterministic report)"
+# A tiny grid over two builtin scenarios and two reward shapes: must exit
+# 0 and write the deterministic report pair plus a bench-shaped timing
+# file that scripts/bench-compare.sh can diff against a saved baseline.
+mkdir -p target/muffin-matrix-smoke
+cargo run -q --release --offline -p muffin-cli -- matrix \
+    --scenarios german-credit,edu-grades --rewards paper,intersect \
+    --samples 400 --episodes 2 --epochs 2 \
+    --out-dir target/muffin-matrix-smoke \
+    --bench-out target/muffin-matrix-smoke/matrix.json.bench
+test -s target/muffin-matrix-smoke/matrix.json
+test -s target/muffin-matrix-smoke/matrix.md
+
+echo "==> documentation link check"
+sh scripts/check-doc-links.sh
+
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 

@@ -57,6 +57,7 @@ impl ConfigCase {
             spectral_decay: 0.85,
             attributes: vec![AttributeSpec::new("a", groups, vec![(0, 1)])],
             correlation: self.correlation,
+            interactions: vec![],
         }
     }
 }
