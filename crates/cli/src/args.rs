@@ -4,11 +4,11 @@ use std::collections::BTreeMap;
 
 /// Options that are boolean flags: they take no value and parse as `true`
 /// when present. Everything else follows the strict `--key value` shape.
-const FLAG_OPTIONS: &[&str] = &["verbose", "resume"];
+const FLAG_OPTIONS: &[&str] = &["verbose", "resume", "dry-run"];
 
 /// Command groups: these subcommands take a second word naming the action
 /// (e.g. `muffin trace summarize`), parsed into a two-word command.
-const COMMAND_GROUPS: &[&str] = &["trace"];
+const COMMAND_GROUPS: &[&str] = &["trace", "pool"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 ///
@@ -239,6 +239,15 @@ mod tests {
         assert!(!Args::parse_from(["search"])
             .expect("valid")
             .get_flag("resume"));
+    }
+
+    #[test]
+    fn pool_group_and_dry_run_flag_parse() {
+        let args = Args::parse_from(["pool", "gc", "--pool", "p.json", "--dry-run"]).expect("valid");
+        assert_eq!(args.command(), "pool gc");
+        assert!(args.get_flag("dry-run"));
+        assert_eq!(args.get("pool"), Some("p.json"));
+        assert!(Args::parse_from(["pool"]).is_err());
     }
 
     #[test]

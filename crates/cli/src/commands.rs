@@ -5,7 +5,7 @@ use muffin::{
     WorkerPool,
 };
 use muffin_data::{Dataset, FitzpatrickLike, IsicLike};
-use muffin_models::{Architecture, BackboneConfig, ModelPool};
+use muffin_models::{format_model_id, Architecture, BackboneConfig, ModelIdentity, ModelPool};
 use muffin_serve::{run_loadgen, serve_scoped, LoadgenConfig, ServeConfig, ServeEngine};
 use muffin_tensor::Rng64;
 use std::time::Duration;
@@ -30,6 +30,27 @@ COMMANDS:
   evaluate    Evaluate every pool model on the test split
               --data FILE  --pool FILE (required)
               --split-seed S (default 7)
+  pool list   Show every pool model with its content id
+              --pool FILE (required)
+  pool add    Train new models and append them to an existing pool
+              --pool FILE  --data FILE  --archs A,B,... (required)
+              --epochs N (default 60)     --seed S (default 7)
+              --split-seed S (default 7)
+              Appending keeps every existing model at its index, so
+              checkpoints and eval caches written against the old pool
+              warm-resume via `search --resume` (see docs/OPERATIONS.md
+              §12).
+  pool remove Remove one model from a pool, by name or 16-hex content id
+              --pool FILE  --model NAME|ID (required)
+              --outcome FILE (optional: refuse to remove a model that the
+                outcome's best fused candidate uses; the outcome file is
+                never touched)
+              Removal changes surviving models' indices: artifacts
+              recorded against the old pool are rejected, naming the
+              removed model by id.
+  pool gc     Drop every model the outcome's best candidate does not use
+              --pool FILE  --outcome FILE (required)
+              --dry-run (print what would be removed, change nothing)
   search      Run the Muffin reinforcement-learning search
               --data FILE  --pool FILE (required)
               --attrs a,b (required)      --episodes N (default 150)
@@ -56,7 +77,10 @@ COMMANDS:
               --resume (continue from --checkpoint instead of starting
                 fresh; the resumed outcome is byte-identical to an
                 uninterrupted run. The checkpoint must match the run's
-                seed, config, pool and data, or it is rejected)
+                seed, config, pool and data, or it is rejected — except
+                a pool that *grew* via `pool add`: the controller is
+                warm-started over the larger pool and every recorded
+                evaluation is reused)
               --eval-cache FILE (optional: cross-run evaluation cache —
                 candidates already trained by an earlier run with the
                 same seed/config/pool/data are reused, counted on the
@@ -155,6 +179,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         "generate" => generate(args),
         "train-pool" => train_pool(args),
         "evaluate" => evaluate(args),
+        "pool list" => pool_list(args),
+        "pool add" => pool_add(args),
+        "pool remove" => pool_remove(args),
+        "pool gc" => pool_gc(args),
         "search" => search(args),
         "matrix" => crate::matrix::matrix(args),
         "serve" => serve(args),
@@ -254,6 +282,164 @@ fn evaluate(args: &Args) -> Result<(), String> {
         table.row_owned(row);
     }
     println!("{table}");
+    Ok(())
+}
+
+fn load_pool(args: &Args) -> Result<(ModelPool, String), String> {
+    let path = args.require("pool")?.to_string();
+    let pool = ModelPool::load_json(&path).map_err(|e| e.to_string())?;
+    Ok((pool, path))
+}
+
+/// Resolves `--model NAME|ID` against a pool, returning the model's index
+/// and identity. Names win over ids (a name can't be 16 hex digits of an
+/// id by accident in practice, but the order makes lookups predictable).
+fn find_pool_model(pool: &ModelPool, selector: &str) -> Result<(usize, ModelIdentity), String> {
+    let manifest = pool.manifest();
+    if let Some(entry) = manifest.by_name(selector) {
+        let index = manifest
+            .index_of_id(entry.id)
+            .expect("entry comes from the manifest");
+        return Ok((index, entry.clone()));
+    }
+    if selector.len() == 16 {
+        if let Ok(id) = u64::from_str_radix(selector, 16) {
+            if let Some(index) = manifest.index_of_id(id) {
+                let entry = manifest.get(index).expect("index from the manifest");
+                return Ok((index, entry.clone()));
+            }
+        }
+    }
+    Err(format!(
+        "no pool model named {selector} (nor with that content id); try `muffin pool list`"
+    ))
+}
+
+fn pool_list(args: &Args) -> Result<(), String> {
+    let (pool, path) = load_pool(args)?;
+    println!("{path}: {} model(s)", pool.len());
+    let mut table = TextTable::new(&["index", "model", "id", "params"]);
+    for (index, model) in pool.iter().enumerate() {
+        let identity = model.identity();
+        table.row_owned(vec![
+            index.to_string(),
+            identity.name,
+            format_model_id(identity.id),
+            model.reported_params().to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn pool_add(args: &Args) -> Result<(), String> {
+    let (mut pool, path) = load_pool(args)?;
+    let requested = args.get_list("archs");
+    if requested.is_empty() {
+        return Err("pool add requires --archs naming at least one architecture".into());
+    }
+    let architectures: Vec<Architecture> = requested
+        .iter()
+        .map(|name| {
+            Architecture::by_name(name).ok_or_else(|| format!("unknown architecture: {name}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for arch in &architectures {
+        if pool.by_name(arch.name()).is_some() {
+            return Err(format!(
+                "model {} is already in the pool; `pool remove` it first to retrain it",
+                arch.name()
+            ));
+        }
+    }
+    let (_, split) = load_split(args)?;
+    let epochs = args.get_u32("epochs", 60)?;
+    let seed = args.get_u64("seed", 7)?;
+    let config = BackboneConfig::default().with_epochs(epochs);
+    let mut rng = Rng64::seed(seed);
+    let trained = ModelPool::train(&split.train, &architectures, &config, &mut rng);
+    let added: Vec<ModelIdentity> = trained.iter().map(|m| m.identity()).collect();
+    pool.extend(trained.iter().cloned());
+    pool.save_json(&path).map_err(|e| e.to_string())?;
+    println!("appended {} model(s) to {path}:", added.len());
+    for identity in &added {
+        println!("  {identity}");
+    }
+    println!(
+        "existing models kept their indices: checkpoints and eval caches \
+         warm-resume via `muffin search --resume`"
+    );
+    Ok(())
+}
+
+fn pool_remove(args: &Args) -> Result<(), String> {
+    let (pool, path) = load_pool(args)?;
+    let (index, identity) = find_pool_model(&pool, args.require("model")?)?;
+    if let Some(outcome_path) = args.get("outcome") {
+        let outcome = SearchOutcome::load_json(outcome_path)?;
+        let best = outcome.best();
+        if best.model_names.iter().any(|name| name == &identity.name) {
+            return Err(format!(
+                "refusing to remove {identity}: the best fused candidate in {outcome_path} \
+                 unites {}",
+                best.model_names.join(" + ")
+            ));
+        }
+    }
+    let remaining: ModelPool = pool
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != index)
+        .map(|(_, model)| model.clone())
+        .collect();
+    remaining.save_json(&path).map_err(|e| e.to_string())?;
+    println!(
+        "removed {identity} from {path}; {} model(s) remain",
+        remaining.len()
+    );
+    println!(
+        "note: removal re-indexes the pool — artifacts recorded against the old pool \
+         will be rejected naming this model"
+    );
+    Ok(())
+}
+
+fn pool_gc(args: &Args) -> Result<(), String> {
+    let (pool, path) = load_pool(args)?;
+    let outcome = SearchOutcome::load_json(args.require("outcome")?)?;
+    let best = outcome.best();
+    let garbage: Vec<ModelIdentity> = pool
+        .iter()
+        .filter(|model| !best.model_names.iter().any(|name| name == model.name()))
+        .map(|model| model.identity())
+        .collect();
+    if garbage.is_empty() {
+        println!("nothing to collect: the best candidate unites every pool model");
+        return Ok(());
+    }
+    let verb = if args.get_flag("dry-run") {
+        "would remove"
+    } else {
+        "removing"
+    };
+    println!(
+        "{verb} {} model(s) not united by the best candidate ({}):",
+        garbage.len(),
+        best.model_names.join(" + ")
+    );
+    for identity in &garbage {
+        println!("  {identity}");
+    }
+    if args.get_flag("dry-run") {
+        return Ok(());
+    }
+    let kept: ModelPool = pool
+        .iter()
+        .filter(|model| best.model_names.iter().any(|name| name == model.name()))
+        .cloned()
+        .collect();
+    kept.save_json(&path).map_err(|e| e.to_string())?;
+    println!("{path}: {} model(s) remain", kept.len());
     Ok(())
 }
 

@@ -8,8 +8,10 @@
 //! `EXPERIMENTS.md` build on: it shows where the paper's Eq. 3 reward and
 //! the intersectional variant rank candidates differently.
 //!
-//! Everything is derived from fixed seeds (`--seed` xor-folded with the
-//! scenario name and reward tag via FNV-1a), cells run independently, and
+//! Everything is derived from fixed seeds (`--seed` folded with the
+//! scenario name and reward tag — each part's FNV-1a hash is mixed in
+//! through a SplitMix64 step, see [`fold_seed`]), cells run
+//! independently, and
 //! the two report files (`matrix.json`, `matrix.md`) contain no
 //! wall-clock data — so the report bytes are identical for every
 //! `--workers` count. Timings, when wanted, go to a separate
@@ -22,8 +24,24 @@ use muffin::{
 };
 use muffin_data::DatasetSplit;
 use muffin_models::{Architecture, BackboneConfig, ModelPool};
-use muffin_tensor::Rng64;
+use muffin_tensor::{Rng64, SplitMix64};
 use std::path::{Path, PathBuf};
+
+/// Derives a per-scenario / per-cell seed by folding each part's FNV-1a
+/// hash into the accumulator through a SplitMix64 step.
+///
+/// The previous plain XOR (`seed ^ fnv1a64(a) ^ fnv1a64(b)`) was
+/// symmetric and self-cancelling: any two cells whose part hashes XORed
+/// to the same value — e.g. swapped (scenario, tag) pairs — silently
+/// shared a seed. The multiply-fold makes the accumulator depend on the
+/// order and on every bit of every part.
+fn fold_seed(base: u64, parts: &[&str]) -> u64 {
+    let mut acc = base;
+    for part in parts {
+        acc = SplitMix64::new(acc ^ fnv1a64(part.as_bytes())).next_u64();
+    }
+    acc
+}
 
 /// One parsed `--rewards` entry: the canonical tag used in reports and
 /// cache file names, plus the reward shape it names.
@@ -338,7 +356,7 @@ pub(crate) fn matrix(args: &Args) -> Result<(), String> {
         );
     }
     let prepared = pool.map(&scenarios, |_, scenario| {
-        let scen_seed = seed ^ fnv1a64(scenario.name().as_bytes());
+        let scen_seed = fold_seed(seed, &[scenario.name()]);
         let mut rng = Rng64::seed(scen_seed);
         let dataset = scenario.generator().generate(&mut rng);
         let split = dataset.split_default(&mut rng);
@@ -466,9 +484,7 @@ fn run_cell(
             .map(|dir| dir.join(format!("{}-{}.json", scenario.name(), file_tag(&reward.tag)))),
         ..PersistenceOptions::default()
     };
-    let cell_seed = params.seed
-        ^ fnv1a64(scenario.name().as_bytes())
-        ^ fnv1a64(reward.tag.as_bytes());
+    let cell_seed = fold_seed(params.seed, &[scenario.name(), &reward.tag]);
     let outcome = search
         .run_persistent(
             &mut Rng64::seed(cell_seed),
@@ -537,6 +553,41 @@ mod tests {
     fn reward_tags_are_file_safe() {
         assert_eq!(file_tag("linear:0.75"), "linear_0.75");
         assert_eq!(file_tag("paper"), "paper");
+    }
+
+    #[test]
+    fn cell_seeds_are_order_sensitive_and_collision_free() {
+        // The old XOR fold was symmetric: swapping (scenario, tag) — or
+        // any pair of parts whose hashes XOR to the same value — silently
+        // shared one seed. The SplitMix64 fold must not.
+        assert_ne!(
+            fold_seed(7, &["isic-age", "paper"]),
+            fold_seed(7, &["paper", "isic-age"])
+        );
+        // A crafted XOR collision from the old scheme: parts ("ab", "ba")
+        // and ("ba", "ab") of course, but also any base; the fold must
+        // separate every grid cell pairwise.
+        let scenarios = ["isic-age", "isic-site", "isic-intersect", "fitz-skin"];
+        let tags = ["paper", "intersect", "worst", "linear:0.75"];
+        let mut seen = std::collections::HashSet::new();
+        for s in &scenarios {
+            assert!(seen.insert(fold_seed(7, &[s])), "scenario seed collided");
+            for t in &tags {
+                assert!(seen.insert(fold_seed(7, &[s, t])), "cell seed collided");
+            }
+        }
+        // Pin the exact streams: these constants are part of the grid's
+        // reproducibility contract — changing the fold changes every
+        // committed matrix artifact.
+        assert_eq!(fold_seed(7, &["isic-age"]), 3_428_123_955_328_576_630);
+        assert_eq!(
+            fold_seed(7, &["isic-age", "paper"]),
+            2_214_657_400_447_323_925
+        );
+        assert_eq!(
+            fold_seed(7, &["isic-age", "intersect"]),
+            15_723_222_128_181_611_331
+        );
     }
 
     #[test]

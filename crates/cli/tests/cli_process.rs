@@ -465,6 +465,195 @@ fn warm_eval_cache_reports_disk_hits_and_preserves_outcome_bytes() {
     }
 }
 
+#[test]
+fn pool_lifecycle_extends_warm_resumes_and_guards_chosen_models() {
+    let (data, fixture_pool) = fixture();
+    let pool = tmp("lifecycle_pool.json");
+    let out = tmp("lifecycle_out.json");
+    let ckpt = tmp("lifecycle_ckpt.json");
+    let cache = tmp("lifecycle_cache.json");
+    let trace = tmp("lifecycle_trace.json");
+    std::fs::copy(&fixture_pool, &pool).expect("copy fixture pool");
+    for f in [&out, &ckpt, &cache, &trace] {
+        std::fs::remove_file(f).ok();
+    }
+
+    // Phase 1: search on the 2-model pool, halting at episode 4 with a
+    // checkpoint and a cross-run eval cache on disk.
+    let halted = run_search(&search_cmd(
+        &data,
+        &pool,
+        &out,
+        &["--checkpoint", &ckpt, "--eval-cache", &cache, "--stop-after", "4"],
+    ));
+    assert!(
+        halted.status.success(),
+        "halted search failed: {}",
+        String::from_utf8_lossy(&halted.stderr)
+    );
+
+    // Phase 2: grow the pool with two freshly trained models. Existing
+    // models must keep their indices (prefix growth).
+    let add = muffin(&[
+        "pool", "add", "--pool", &pool, "--data", &data,
+        "--archs", "ShuffleNet_V2_X0_5,MobileNet_V3_Small",
+        "--epochs", "2", "--seed", "29",
+    ]);
+    assert!(
+        add.status.success(),
+        "pool add failed: {}",
+        String::from_utf8_lossy(&add.stderr)
+    );
+    let add_stdout = String::from_utf8_lossy(&add.stdout);
+    assert!(
+        add_stdout.contains("appended 2 model(s)"),
+        "missing append notice: {add_stdout}"
+    );
+
+    // Re-adding an existing model is rejected by name, not silently
+    // duplicated.
+    let dup = muffin(&[
+        "pool", "add", "--pool", &pool, "--data", &data, "--archs", "ResNet-18",
+    ]);
+    assert!(!dup.status.success(), "duplicate pool add must fail");
+    assert!(
+        String::from_utf8_lossy(&dup.stderr).contains("already in the pool"),
+        "unhelpful duplicate error: {}",
+        String::from_utf8_lossy(&dup.stderr)
+    );
+
+    // Phase 3: resume against the grown pool. The checkpoint's fingerprint
+    // records the old manifest, so this exercises the warm-start path; the
+    // eval cache must serve the pre-extension evaluations from disk.
+    let resumed = run_search(&search_cmd(
+        &data,
+        &pool,
+        &out,
+        &[
+            "--checkpoint", &ckpt, "--eval-cache", &cache, "--resume",
+            "--trace-out", &trace, "--verbose",
+        ],
+    ));
+    assert!(
+        resumed.status.success(),
+        "resume over grown pool failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("pool grew"),
+        "missing warm-start progress line: {stderr}"
+    );
+
+    // Pre-extension evaluations were served from the disk cache.
+    let log = TraceLog::load_json(&trace).expect("trace log parses");
+    let disk_hits: u64 = log
+        .events
+        .iter()
+        .filter(|e| e.name == "search.cache_hit_disk")
+        .map(|e| match e.data {
+            muffin_trace::EventData::Counter { value } => value,
+            _ => 0,
+        })
+        .sum();
+    assert!(
+        disk_hits >= 1,
+        "resumed run reported no search.cache_hit_disk counter"
+    );
+
+    // The warm-started search keeps its full history, so the final best
+    // reward can only match or beat the best seen before the extension.
+    let outcome = muffin::SearchOutcome::load_json(&out).expect("resumed outcome parses");
+    let pre_extension_best = outcome
+        .history
+        .iter()
+        .filter(|r| r.episode < 4)
+        .map(|r| r.reward)
+        .fold(f32::NEG_INFINITY, f32::max);
+    assert!(
+        pre_extension_best.is_finite(),
+        "resumed outcome lost its pre-extension history"
+    );
+    assert!(
+        outcome.best().reward >= pre_extension_best,
+        "extension lost reward: best {} < pre-extension best {pre_extension_best}",
+        outcome.best().reward
+    );
+
+    // Phase 4: `pool list` names every model with its content id.
+    let list = muffin(&["pool", "list", "--pool", &pool]);
+    assert!(list.status.success());
+    let list_stdout = String::from_utf8_lossy(&list.stdout);
+    assert!(
+        list_stdout.contains("4 model(s)") && list_stdout.contains("ShuffleNet_V2_X0_5"),
+        "pool list missing models: {list_stdout}"
+    );
+
+    // Phase 5: removing a model the best candidate unites is rejected
+    // loudly, naming the model by identity.
+    let chosen = outcome.best().model_names[0].clone();
+    let reject = muffin(&[
+        "pool", "remove", "--pool", &pool, "--model", &chosen, "--outcome", &out,
+    ]);
+    assert!(!reject.status.success(), "removing a chosen model must fail");
+    let reject_err = String::from_utf8_lossy(&reject.stderr);
+    assert!(
+        reject_err.contains("refusing to remove") && reject_err.contains("(id "),
+        "rejection must name the model id: {reject_err}"
+    );
+
+    // Removing a never-chosen model succeeds and never touches the outcome
+    // file: the recorded snapshot stays byte-identical.
+    let outcome_bytes = std::fs::read(&out).expect("outcome bytes");
+    let pool_models = muffin_models::ModelPool::load_json(&pool).expect("pool parses");
+    let unchosen = pool_models
+        .iter()
+        .map(|m| m.name().to_string())
+        .find(|name| !outcome.best().model_names.contains(name))
+        .expect("a 4-model pool has an unchosen model");
+    let remove = muffin(&[
+        "pool", "remove", "--pool", &pool, "--model", &unchosen, "--outcome", &out,
+    ]);
+    assert!(
+        remove.status.success(),
+        "removing an unchosen model failed: {}",
+        String::from_utf8_lossy(&remove.stderr)
+    );
+    assert_eq!(
+        outcome_bytes,
+        std::fs::read(&out).expect("outcome bytes after remove"),
+        "pool remove must not rewrite the outcome file"
+    );
+
+    // Phase 6: `pool gc --dry-run` reports garbage without writing; the
+    // real gc keeps exactly the united models.
+    let before_gc = std::fs::read(&pool).expect("pool bytes");
+    let dry = muffin(&["pool", "gc", "--pool", &pool, "--outcome", &out, "--dry-run"]);
+    assert!(dry.status.success());
+    assert_eq!(
+        before_gc,
+        std::fs::read(&pool).expect("pool bytes after dry run"),
+        "gc --dry-run must not rewrite the pool"
+    );
+    let gc = muffin(&["pool", "gc", "--pool", &pool, "--outcome", &out]);
+    assert!(
+        gc.status.success(),
+        "pool gc failed: {}",
+        String::from_utf8_lossy(&gc.stderr)
+    );
+    let kept = muffin_models::ModelPool::load_json(&pool).expect("gc'd pool parses");
+    let mut kept_names: Vec<&str> = kept.iter().map(|m| m.name()).collect();
+    let mut united: Vec<&str> = outcome.best().model_names.iter().map(String::as_str).collect();
+    kept_names.sort_unstable();
+    united.sort_unstable();
+    united.dedup();
+    assert_eq!(kept_names, united, "gc kept the wrong models");
+
+    for f in [pool, out, ckpt, cache, trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
 /// `search` arguments for a sharded fleet on the shared fixture recipe:
 /// 2 islands on 2 shard slots, exchanging elites every 2 episodes, fleet
 /// state in `dir`.

@@ -28,25 +28,23 @@
 use crate::controller::ControllerState;
 use crate::search::{EpisodeRecord, SearchConfig};
 use crate::{MuffinError, SearchSpace};
+use muffin_models::{PoolManifest, PoolRelation};
 use std::path::Path;
 
 /// Format version written into every checkpoint and eval-cache file.
 /// Bumped whenever the serialised layout changes incompatibly; loading a
 /// file with a different version is a [`MuffinError::StaleArtifact`].
 /// Version 2 added [`SearchCheckpoint::exchanges_applied`] for sharded
-/// elite exchange.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// elite exchange; version 3 added the per-model
+/// [`PoolManifest`] to [`SearchFingerprint`] for content-addressed pool
+/// lifecycle.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// The 64-bit FNV-1a hash, used to fingerprint the model pool and the
-/// dataset split without embedding them in the checkpoint.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
+/// dataset split without embedding them in the checkpoint. Canonically
+/// defined in `muffin-models` ([`muffin_models::fnv1a64`]), where it also
+/// provides per-model content ids.
+pub use muffin_models::fnv1a64;
 
 /// Identity of a search run, for staleness detection.
 ///
@@ -66,12 +64,17 @@ pub struct SearchFingerprint {
     pub space: SearchSpace,
     /// [`fnv1a64`] over the serialised model pool.
     pub pool_hash: u64,
+    /// The pool's ordered per-model content ids. This is what lets a
+    /// later run tell a safe pool *extension* (old manifest is a prefix
+    /// of the new one) apart from a genuine pool *change*, and lets
+    /// rejection messages name the models involved.
+    pub manifest: PoolManifest,
     /// [`fnv1a64`] over the serialised train/val/test split.
     pub data_hash: u64,
 }
 
 muffin_json::impl_json!(struct SearchFingerprint {
-    rng_state, config, space, pool_hash, data_hash,
+    rng_state, config, space, pool_hash, manifest, data_hash,
 });
 
 impl SearchFingerprint {
@@ -82,6 +85,7 @@ impl SearchFingerprint {
         config: &SearchConfig,
         space: &SearchSpace,
         pool_json: &str,
+        manifest: PoolManifest,
         split_json: &str,
     ) -> Self {
         let mut config = config.clone();
@@ -91,6 +95,7 @@ impl SearchFingerprint {
             config,
             space: space.clone(),
             pool_hash: fnv1a64(pool_json.as_bytes()),
+            manifest,
             data_hash: fnv1a64(split_json.as_bytes()),
         }
     }
@@ -98,10 +103,12 @@ impl SearchFingerprint {
     /// Names the first component differing from `other`, or `None` when
     /// the fingerprints match. Field-by-field so rejection messages say
     /// *what* went stale (reseeded run, edited config, retrained pool,
-    /// regenerated data) instead of a bare "mismatch".
-    pub fn mismatch(&self, other: &Self) -> Option<&'static str> {
+    /// regenerated data) instead of a bare "mismatch". Pool mismatches
+    /// name the added/removed/mutated models by id when the manifests
+    /// can tell (see [`PoolRelation::describe`]).
+    pub fn mismatch(&self, other: &Self) -> Option<String> {
         if self.rng_state != other.rng_state {
-            return Some("rng seed/state");
+            return Some("rng seed/state changed".to_string());
         }
         self.mismatch_ignoring_rng(other)
     }
@@ -112,20 +119,98 @@ impl SearchFingerprint {
     /// a sharded fleet's islands run distinct controller seeds but train
     /// candidates on identical pool/data/config, so their evaluations are
     /// interchangeable even though their trajectories differ.
-    pub fn mismatch_ignoring_rng(&self, other: &Self) -> Option<&'static str> {
+    pub fn mismatch_ignoring_rng(&self, other: &Self) -> Option<String> {
         if muffin_json::to_string(&self.config) != muffin_json::to_string(&other.config) {
-            return Some("search configuration");
+            return Some("search configuration changed".to_string());
+        }
+        // Pool before space: a grown pool also grows the space's pool
+        // size, and the manifest diff is the message operators need.
+        if self.pool_hash != other.pool_hash || self.manifest != other.manifest {
+            return Some(self.describe_pool_mismatch(other));
         }
         if muffin_json::to_string(&self.space) != muffin_json::to_string(&other.space) {
-            return Some("search space");
-        }
-        if self.pool_hash != other.pool_hash {
-            return Some("model pool");
+            return Some("search space changed".to_string());
         }
         if self.data_hash != other.data_hash {
-            return Some("dataset split");
+            return Some("dataset split changed".to_string());
         }
         None
+    }
+
+    /// Operator-facing description of a pool mismatch between an artifact
+    /// fingerprint (`other`, read from disk) and the current run
+    /// (`self`), naming models by id wherever the manifests can tell.
+    fn describe_pool_mismatch(&self, other: &Self) -> String {
+        match other.manifest.relation_to(&self.manifest) {
+            // Manifests agree but pool_hash differs: pre-manifest callers
+            // (unit fixtures) or byte-level drift outside any model.
+            PoolRelation::Identical => "model pool changed".to_string(),
+            relation => relation.describe(),
+        }
+    }
+
+    /// Classifies an artifact fingerprint (`old`, read from disk) against
+    /// the current run (`self`) for **warm resume after pool growth**.
+    ///
+    /// Returns the pool relation when every non-pool component matches
+    /// and the pool either matches too ([`PoolRelation::Identical`]) or
+    /// strictly grew ([`PoolRelation::Grew`]: the old pool is a prefix of
+    /// the new one, so every recorded pool index still names the same
+    /// model). The search space is allowed to differ in its pool size
+    /// only. Any other difference — including removed, mutated, inserted
+    /// or reordered models — is an error naming what changed.
+    ///
+    /// `ignore_rng` matches [`Self::mismatch_ignoring_rng`]: pass `true`
+    /// for cross-seed shared artifacts (fleet caches).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first disqualifying
+    /// difference; required models that vanished from the pool are named
+    /// by identity.
+    pub fn growth_from(&self, old: &Self, ignore_rng: bool) -> Result<PoolRelation, String> {
+        if !ignore_rng && self.rng_state != old.rng_state {
+            return Err("rng seed/state changed".to_string());
+        }
+        if muffin_json::to_string(&self.config) != muffin_json::to_string(&old.config) {
+            return Err("search configuration changed".to_string());
+        }
+        if self.data_hash != old.data_hash {
+            return Err("dataset split changed".to_string());
+        }
+        // A required model must survive any pool edit *at its recorded
+        // index*: report it by identity before the generic pool verdict.
+        for &index in old.space.required_models() {
+            if old.manifest.get(index).is_some() && self.manifest.get(index) != old.manifest.get(index)
+            {
+                let ident = old.manifest.get(index).expect("checked above");
+                return Err(format!(
+                    "required model {ident} is no longer at pool index {index}"
+                ));
+            }
+        }
+        let relation = old.manifest.relation_to(&self.manifest);
+        match relation {
+            PoolRelation::Identical => {
+                if self.pool_hash != old.pool_hash {
+                    return Err("model pool changed".to_string());
+                }
+                if muffin_json::to_string(&self.space) != muffin_json::to_string(&old.space) {
+                    return Err("search space changed".to_string());
+                }
+                Ok(PoolRelation::Identical)
+            }
+            PoolRelation::Grew { added } => {
+                let shrunk = self.space.clone().with_pool_size(old.space.pool_size());
+                match shrunk {
+                    Ok(s) if muffin_json::to_string(&s) == muffin_json::to_string(&old.space) => {
+                        Ok(PoolRelation::Grew { added })
+                    }
+                    _ => Err("search space changed beyond the pool size".to_string()),
+                }
+            }
+            changed => Err(changed.describe()),
+        }
     }
 }
 
@@ -196,6 +281,52 @@ impl SearchCheckpoint {
     ///   `expected`.
     pub fn load(path: impl AsRef<Path>, expected: &SearchFingerprint) -> Result<Self, MuffinError> {
         let path = path.as_ref();
+        let ckpt = Self::parse_checked(path)?;
+        if let Some(what) = expected.mismatch(&ckpt.fingerprint) {
+            return Err(MuffinError::StaleArtifact(format!(
+                "checkpoint {} belongs to a different run: {what}",
+                path.display()
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Loads a checkpoint for `muffin search --resume`, additionally
+    /// accepting one written against a pool that has since **grown** by
+    /// appended models ([`SearchFingerprint::growth_from`]).
+    ///
+    /// Returns the checkpoint together with the pool relation:
+    /// [`PoolRelation::Identical`] is the plain bit-identical resume;
+    /// [`PoolRelation::Grew`] means the caller must warm-start — extend
+    /// the controller over the grown pool and continue, reusing every
+    /// recorded evaluation (old pool indices are still valid because the
+    /// old pool is a prefix of the new one).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::load`]; pool edits other than pure growth are rejected
+    /// naming the added/removed/mutated models by id.
+    pub fn load_for_resume(
+        path: impl AsRef<Path>,
+        expected: &SearchFingerprint,
+    ) -> Result<(Self, PoolRelation), MuffinError> {
+        let path = path.as_ref();
+        let ckpt = Self::parse_checked(path)?;
+        if expected.mismatch(&ckpt.fingerprint).is_none() {
+            return Ok((ckpt, PoolRelation::Identical));
+        }
+        match expected.growth_from(&ckpt.fingerprint, false) {
+            Ok(relation) => Ok((ckpt, relation)),
+            Err(what) => Err(MuffinError::StaleArtifact(format!(
+                "checkpoint {} belongs to a different run: {what}",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Reads, parses and structurally validates a checkpoint, without any
+    /// fingerprint comparison.
+    fn parse_checked(path: &Path) -> Result<Self, MuffinError> {
         let text = std::fs::read_to_string(path).map_err(|e| {
             MuffinError::Io(format!("cannot read checkpoint {}: {e}", path.display()))
         })?;
@@ -210,12 +341,6 @@ impl SearchCheckpoint {
                 "checkpoint {} has version {}, this build reads version {CHECKPOINT_VERSION}",
                 path.display(),
                 ckpt.version
-            )));
-        }
-        if let Some(what) = expected.mismatch(&ckpt.fingerprint) {
-            return Err(MuffinError::StaleArtifact(format!(
-                "checkpoint {} belongs to a different run: {what} changed",
-                path.display()
             )));
         }
         if ckpt.episode as usize != ckpt.history.len() {
@@ -299,11 +424,97 @@ impl EvalCacheFile {
         Self::load_impl(path.as_ref(), expected, true)
     }
 
+    /// Loads a cache for a run whose pool may have **grown** since the
+    /// cache was written ([`SearchFingerprint::growth_from`]).
+    ///
+    /// On success the cache comes with the pool relation:
+    /// [`PoolRelation::Identical`] is a plain warm cache,
+    /// [`PoolRelation::Grew`] means the cache was written against a
+    /// prefix of the current pool — call [`Self::rekey_records`] before
+    /// use so every record's slot entries index the current pool.
+    /// `shared` selects the cross-seed rule of [`Self::load_shared`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::load`]; pool edits other than pure growth are rejected
+    /// naming the added/removed/mutated models by id.
+    pub fn load_warm(
+        path: impl AsRef<Path>,
+        expected: &SearchFingerprint,
+        shared: bool,
+    ) -> Result<Option<(Self, PoolRelation)>, MuffinError> {
+        let path = path.as_ref();
+        let Some(cache) = Self::parse_checked(path)? else {
+            return Ok(None);
+        };
+        let strict = if shared {
+            expected.mismatch_ignoring_rng(&cache.fingerprint)
+        } else {
+            expected.mismatch(&cache.fingerprint)
+        };
+        if strict.is_none() {
+            return Ok(Some((cache, PoolRelation::Identical)));
+        }
+        match expected.growth_from(&cache.fingerprint, shared) {
+            Ok(relation) => Ok(Some((cache, relation))),
+            Err(what) => Err(MuffinError::StaleArtifact(format!(
+                "eval cache {} belongs to a different run: {what} — \
+                 delete it or pass a fresh path",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Re-keys every record's slot entries from the pool this cache was
+    /// written against ([`SearchFingerprint::manifest`]) to `new`: each
+    /// chosen model translates pool index → content id → index in `new`.
+    /// Records choosing a model absent from `new` are dropped. Returns
+    /// the number of records dropped.
+    ///
+    /// Under pure prefix growth this is the identity map — the method
+    /// exists so cache reuse is keyed by model *ids*, never by the
+    /// accident of pool position.
+    pub fn rekey_records(&mut self, num_slots: usize, new: &PoolManifest) -> usize {
+        let old = self.fingerprint.manifest.clone();
+        let before = self.records.len();
+        self.records.retain_mut(|record| {
+            for slot in record.actions.iter_mut().take(num_slots) {
+                let Some(idx) = old.get(*slot).and_then(|e| new.index_of_id(e.id)) else {
+                    return false;
+                };
+                *slot = idx;
+            }
+            true
+        });
+        before - self.records.len()
+    }
+
     fn load_impl(
         path: &Path,
         expected: &SearchFingerprint,
         ignore_rng: bool,
     ) -> Result<Option<Self>, MuffinError> {
+        let Some(cache) = Self::parse_checked(path)? else {
+            return Ok(None);
+        };
+        let what = if ignore_rng {
+            expected.mismatch_ignoring_rng(&cache.fingerprint)
+        } else {
+            expected.mismatch(&cache.fingerprint)
+        };
+        if let Some(what) = what {
+            return Err(MuffinError::StaleArtifact(format!(
+                "eval cache {} belongs to a different run: {what} — \
+                 delete it or pass a fresh path",
+                path.display()
+            )));
+        }
+        Ok(Some(cache))
+    }
+
+    /// Reads, parses and version-checks a cache file, without any
+    /// fingerprint comparison. Missing or empty files are `Ok(None)`.
+    fn parse_checked(path: &Path) -> Result<Option<Self>, MuffinError> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -328,18 +539,6 @@ impl EvalCacheFile {
                 "eval cache {} has version {}, this build reads version {CHECKPOINT_VERSION}",
                 path.display(),
                 cache.version
-            )));
-        }
-        let what = if ignore_rng {
-            expected.mismatch_ignoring_rng(&cache.fingerprint)
-        } else {
-            expected.mismatch(&cache.fingerprint)
-        };
-        if let Some(what) = what {
-            return Err(MuffinError::StaleArtifact(format!(
-                "eval cache {} belongs to a different run: {what} changed — \
-                 delete it or pass a fresh path",
-                path.display()
             )));
         }
         Ok(Some(cache))
@@ -614,7 +813,21 @@ mod tests {
     fn fingerprint(seed_word: u64) -> SearchFingerprint {
         let config = SearchConfig::fast(&["age"]);
         let space = SearchSpace::paper_default(3);
-        SearchFingerprint::new([seed_word, 1, 2, 3], &config, &space, "pool", "data")
+        SearchFingerprint::new(
+            [seed_word, 1, 2, 3],
+            &config,
+            &space,
+            "pool",
+            PoolManifest::default(),
+            "data",
+        )
+    }
+
+    fn entry(name: &str, id: u64) -> muffin_models::ModelIdentity {
+        muffin_models::ModelIdentity {
+            name: name.to_string(),
+            id,
+        }
     }
 
     #[test]
@@ -623,20 +836,170 @@ mod tests {
         // Same run with a different episode budget: identical fingerprint.
         let mut config = SearchConfig::fast(&["age"]).with_episodes(5000);
         let space = SearchSpace::paper_default(3);
-        let b = SearchFingerprint::new([0, 1, 2, 3], &config, &space, "pool", "data");
+        let b = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &space,
+            "pool",
+            PoolManifest::default(),
+            "data",
+        );
         assert_eq!(a.mismatch(&b), None);
 
         let c = fingerprint(9);
-        assert_eq!(a.mismatch(&c), Some("rng seed/state"));
+        assert_eq!(a.mismatch(&c).as_deref(), Some("rng seed/state changed"));
 
         config.reinforce_batch = 4;
-        let d = SearchFingerprint::new([0, 1, 2, 3], &config, &space, "pool", "data");
-        assert_eq!(a.mismatch(&d), Some("search configuration"));
+        let d = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &space,
+            "pool",
+            PoolManifest::default(),
+            "data",
+        );
+        assert_eq!(a.mismatch(&d).as_deref(), Some("search configuration changed"));
 
-        let e = SearchFingerprint::new([0, 1, 2, 3], &a.config, &space, "other pool", "data");
-        assert_eq!(a.mismatch(&e), Some("model pool"));
-        let f = SearchFingerprint::new([0, 1, 2, 3], &a.config, &space, "pool", "other data");
-        assert_eq!(a.mismatch(&f), Some("dataset split"));
+        let e = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &a.config,
+            &space,
+            "other pool",
+            PoolManifest::default(),
+            "data",
+        );
+        assert_eq!(a.mismatch(&e).as_deref(), Some("model pool changed"));
+        let f = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &a.config,
+            &space,
+            "pool",
+            PoolManifest::default(),
+            "other data",
+        );
+        assert_eq!(a.mismatch(&f).as_deref(), Some("dataset split changed"));
+    }
+
+    #[test]
+    fn pool_mismatches_name_the_differing_models_by_id() {
+        let mut old = fingerprint(0);
+        old.manifest = PoolManifest::new(vec![entry("ResNet-18", 0xaa), entry("DenseNet121", 0xbb)]);
+        // `pool remove DenseNet121` + retrain of ResNet-18 + a new model.
+        let mut new = fingerprint(0);
+        new.pool_hash ^= 1;
+        new.manifest =
+            PoolManifest::new(vec![entry("ResNet-18", 0xcc), entry("MobileNet_V2", 0xdd)]);
+        let msg = new.mismatch(&old).expect("pools differ");
+        assert!(msg.contains("removed DenseNet121 (id 00000000000000bb)"), "{msg}");
+        assert!(msg.contains("mutated ResNet-18 (id 00000000000000aa)"), "{msg}");
+        assert!(msg.contains("added MobileNet_V2 (id 00000000000000dd)"), "{msg}");
+
+        // A pure extension reads as growth, not generic change.
+        let mut grown = fingerprint(0);
+        grown.pool_hash ^= 1;
+        grown.manifest = PoolManifest::new(vec![
+            entry("ResNet-18", 0xaa),
+            entry("DenseNet121", 0xbb),
+            entry("MobileNet_V2", 0xdd),
+        ]);
+        let msg = grown.mismatch(&old).expect("pools differ");
+        assert!(
+            msg.contains("model pool grew: added MobileNet_V2 (id 00000000000000dd)"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn growth_from_accepts_prefix_growth_and_rejects_everything_else() {
+        let mut old = fingerprint(0);
+        old.manifest = PoolManifest::new(vec![entry("a", 1), entry("b", 2)]);
+
+        let mut same = old.clone();
+        assert_eq!(
+            same.growth_from(&old, false).expect("identical pools"),
+            PoolRelation::Identical
+        );
+        same.rng_state[0] ^= 1;
+        assert!(same
+            .growth_from(&old, false)
+            .unwrap_err()
+            .contains("rng seed/state"));
+        // The shared-artifact rule ignores the rng difference.
+        assert_eq!(
+            same.growth_from(&old, true).expect("rng ignored"),
+            PoolRelation::Identical
+        );
+
+        // Prefix growth: accepted, naming the appended models, with the
+        // space allowed to differ in pool size only.
+        let config = SearchConfig::fast(&["age"]);
+        let mut grown = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &SearchSpace::paper_default(4),
+            "bigger pool",
+            PoolManifest::new(vec![entry("a", 1), entry("b", 2), entry("c", 3), entry("d", 4)]),
+            "data",
+        );
+        match grown.growth_from(&old, false).expect("grown pool") {
+            PoolRelation::Grew { added } => {
+                assert_eq!(added, vec![entry("c", 3), entry("d", 4)]);
+            }
+            other => panic!("expected growth, got {other:?}"),
+        }
+
+        // Same manifest shape but a slot-count change: not warm-resumable.
+        grown.config.num_slots += 1;
+        assert!(grown
+            .growth_from(&old, false)
+            .unwrap_err()
+            .contains("configuration"));
+        grown.config.num_slots -= 1;
+
+        // Removal is named by model id.
+        let shrunk = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &SearchSpace::paper_default(1),
+            "smaller pool",
+            PoolManifest::new(vec![entry("a", 1)]),
+            "data",
+        );
+        let err = shrunk.growth_from(&old, false).unwrap_err();
+        assert!(err.contains("removed b (id 0000000000000002)"), "{err}");
+    }
+
+    #[test]
+    fn growth_from_names_a_required_model_that_moved_or_vanished() {
+        let config = SearchConfig::fast(&["age"]);
+        let space = SearchSpace::paper_default(2)
+            .with_required_models(vec![1])
+            .expect("in range");
+        let old = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &space,
+            "pool",
+            PoolManifest::new(vec![entry("a", 1), entry("b", 2)]),
+            "data",
+        );
+        // `pool remove b` dangles the required index: the error names the
+        // model, not the index alone.
+        let new = SearchFingerprint::new(
+            [0, 1, 2, 3],
+            &config,
+            &SearchSpace::paper_default(1)
+                .with_required_models(vec![])
+                .expect("in range"),
+            "pool without b",
+            PoolManifest::new(vec![entry("a", 1)]),
+            "data",
+        );
+        let err = new.growth_from(&old, false).unwrap_err();
+        assert!(
+            err.contains("required model b (id 0000000000000002)"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::{
     ProxyDataset, RewardConfig, RewardKind, RnnController, SearchSpace,
 };
 use muffin_data::{Dataset, DatasetSplit};
-use muffin_models::ModelPool;
+use muffin_models::{fnv1a64, ModelPool, PoolRelation};
 use muffin_par::WorkerPool;
 use muffin_tensor::{Rng64, SplitMix64};
 use muffin_trace::{Field, Tracer};
@@ -656,6 +656,7 @@ impl MuffinSearch {
             &self.config,
             space,
             &muffin_json::to_string(&self.pool),
+            self.pool.manifest(),
             &muffin_json::to_string(&self.split),
         )
     }
@@ -743,10 +744,11 @@ impl MuffinSearch {
         // the sharded supervisor owns this counter, the search loop only
         // preserves it across a resume.
         let mut exchanges_applied = 0u32;
+        let mut pool_grew = false;
         if opts.resume {
             let path = opts.checkpoint.as_ref().expect("validated above");
             let fp = fingerprint.as_ref().expect("checkpoint path set");
-            let ckpt = SearchCheckpoint::load(path, fp)?;
+            let (ckpt, relation) = SearchCheckpoint::load_for_resume(path, fp)?;
             if ckpt.episode > self.config.episodes {
                 return Err(MuffinError::StaleArtifact(format!(
                     "checkpoint {} already covers {} episodes, more than the requested {}",
@@ -768,7 +770,41 @@ impl MuffinSearch {
                     ckpt.target_episodes
                 )));
             }
-            controller.import_state(ckpt.controller)?;
+            match &relation {
+                PoolRelation::Identical => controller.import_state(ckpt.controller)?,
+                PoolRelation::Grew { added } => {
+                    // Warm start over the grown pool: rebuild the
+                    // controller for the new space from a deterministic
+                    // extension stream (so the new models' logits and
+                    // embedding rows are reproducible), then graft every
+                    // learned parameter and optimizer moment back in.
+                    let ext_seed =
+                        SplitMix64::new(ckpt.seed_stream_seed ^ fnv1a64(b"pool-extension"))
+                            .next_u64();
+                    controller = RnnController::new(
+                        space.clone(),
+                        self.config.controller,
+                        &mut Rng64::seed(ext_seed),
+                    );
+                    controller.import_extended(&ckpt.fingerprint.space, ckpt.controller)?;
+                    pool_grew = true;
+                    let names: Vec<String> =
+                        added.iter().map(ToString::to_string).collect();
+                    tracer.progress(|| {
+                        format!(
+                            "pool grew since checkpoint: warm-starting over {} added model(s): {}",
+                            names.len(),
+                            names.join(", ")
+                        )
+                    });
+                }
+                // load_for_resume never returns Changed.
+                PoolRelation::Changed { .. } => {
+                    return Err(MuffinError::StaleArtifact(
+                        "checkpoint pool relation must be identical or grown".into(),
+                    ))
+                }
+            }
             *rng = Rng64::from_state(ckpt.rng_state);
             seed_stream_seed = ckpt.seed_stream_seed;
             episode = ckpt.episode;
@@ -786,12 +822,24 @@ impl MuffinSearch {
 
         if let Some(path) = &opts.eval_cache {
             let fp = fingerprint.as_ref().expect("eval cache path set");
-            let loaded = if opts.eval_cache_shared {
-                EvalCacheFile::load_shared(path, fp)?
-            } else {
-                EvalCacheFile::load(path, fp)?
-            };
-            if let Some(file) = loaded {
+            let loaded = EvalCacheFile::load_warm(path, fp, opts.eval_cache_shared)?;
+            if let Some((mut file, relation)) = loaded {
+                if matches!(relation, PoolRelation::Grew { .. }) {
+                    // The cache predates the pool extension: translate
+                    // every record's chosen models through their content
+                    // ids into current pool indices (the identity map
+                    // under prefix growth, but keyed by id on principle).
+                    let dropped = file.rekey_records(space.num_slots(), &self.pool.manifest());
+                    if dropped > 0 {
+                        tracer.progress(|| {
+                            format!(
+                                "eval cache {}: dropped {dropped} record(s) naming models \
+                                 absent from the current pool",
+                                path.display()
+                            )
+                        });
+                    }
+                }
                 tracer.progress(|| {
                     format!(
                         "eval cache {}: {} record(s)",
@@ -804,6 +852,43 @@ impl MuffinSearch {
                     // A resumed checkpoint's entry wins, though the two
                     // are bit-identical whenever both exist.
                     cache.entry(record.actions.clone()).or_insert(record);
+                }
+            }
+        }
+
+        // After a pool extension, the cached records were re-keyed through
+        // model content ids. Re-validate the best candidate so far from
+        // the cache before searching on: its action vector must still
+        // unite exactly the models its episode recorded, or the re-keying
+        // (or a pool edit the fingerprint could not see) scrambled model
+        // identity.
+        if pool_grew {
+            let best = history
+                .iter()
+                .max_by(|a, b| a.reward.total_cmp(&b.reward));
+            if let Some(best) = best {
+                match cache.get(&best.actions) {
+                    Some(record) if record.model_names == best.model_names => {
+                        // Served from cache, not re-evaluated; the disk
+                        // counter keeps its meaning of "episodes answered
+                        // by records loaded from --eval-cache".
+                        if disk_origin.contains(&best.actions) {
+                            tracer.count("search.cache_hit_disk", 1);
+                        }
+                        let names = record.model_names.join(" + ");
+                        tracer.progress(|| {
+                            format!("re-validated best candidate ({names}) from the eval cache")
+                        });
+                    }
+                    Some(record) => {
+                        return Err(MuffinError::StaleArtifact(format!(
+                            "eval cache re-keying maps the best candidate to {}, but its \
+                             episode recorded {}",
+                            record.model_names.join(" + "),
+                            best.model_names.join(" + ")
+                        )))
+                    }
+                    None => {}
                 }
             }
         }

@@ -396,6 +396,7 @@ pub fn run_sharded(
                 &island_config,
                 &space,
                 &pool_json,
+                pool.manifest(),
                 &split_json,
             )
         })
@@ -405,6 +406,7 @@ pub fn run_sharded(
         &island_config,
         &space,
         &pool_json,
+        pool.manifest(),
         &split_json,
     );
 
@@ -817,7 +819,14 @@ mod tests {
         let fp = {
             let config = crate::SearchConfig::fast(&["age"]);
             let space = crate::SearchSpace::paper_default(3);
-            SearchFingerprint::new([0, 1, 2, 3], &config, &space, "pool", "data")
+            SearchFingerprint::new(
+                [0, 1, 2, 3],
+                &config,
+                &space,
+                "pool",
+                muffin_models::PoolManifest::default(),
+                "data",
+            )
         };
         let mut throwaway = RnnController::new(
             crate::SearchSpace::paper_default(3),

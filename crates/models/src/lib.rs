@@ -45,6 +45,7 @@ mod calibration;
 mod ensemble;
 mod evaluation;
 mod frozen;
+mod identity;
 mod persist;
 mod pool;
 
@@ -57,5 +58,6 @@ pub use evaluation::{
     unprivileged_by_accuracy, AttributeEvaluation, IntersectionEvaluation, ModelEvaluation,
 };
 pub use frozen::FrozenModel;
+pub use identity::{fnv1a64, format_model_id, ModelIdentity, PoolManifest, PoolRelation};
 pub use persist::PoolIoError;
 pub use pool::ModelPool;

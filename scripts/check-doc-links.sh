@@ -45,7 +45,31 @@ for doc in $DOCS; do
     unset IFS
 done
 
+# Cross-document section references ("docs/OPERATIONS.md §12", "DESIGN.md
+# §14") are plain text, not links, so the link walk above can't see them
+# rot. Verify that every "<doc> §N" reference points at a real "## N."
+# heading in the referenced file.
+for doc in $DOCS; do
+    [ -f "$doc" ] || continue
+    refs=$(grep -ohE '(docs/)?(OPERATIONS|DESIGN|SCENARIOS)\.md[[:space:]]§[0-9]+' "$doc" \
+        | sed 's/[[:space:]]§/ /') || continue
+    IFS='
+'
+    for ref in $refs; do
+        file=${ref% *}
+        section=${ref##* }
+        case "$file" in
+            OPERATIONS.md | SCENARIOS.md) file="docs/$file" ;;
+        esac
+        if ! grep -q "^## $section\." "$file"; then
+            echo "ERROR: $doc references $file §$section, which has no '## $section.' heading" >&2
+            status=1
+        fi
+    done
+    unset IFS
+done
+
 if [ "$status" -eq 0 ]; then
-    echo "doc links: all relative links resolve"
+    echo "doc links: all relative links and section references resolve"
 fi
 exit "$status"

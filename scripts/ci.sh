@@ -40,6 +40,32 @@ echo "==> checkpoint/resume + persistent eval cache"
 cargo test -q --offline -p muffin-integration-tests --test checkpoint_resume
 cargo test -q --offline -p muffin-cli --test cli_process
 
+echo "==> pool lifecycle: content-addressed ids + grow/resume e2e"
+cargo test -q --offline -p muffin-models --test identity_props
+cargo test -q --offline -p muffin-cli --test cli_process pool_lifecycle
+
+echo "==> pool gc --dry-run smoke (never rewrites the pool)"
+# A tiny end-to-end: train a 2-model pool, search 2 episodes, then ask gc
+# what it would drop. The dry run must exit 0 and leave the pool file
+# byte-identical.
+mkdir -p target/muffin-pool-smoke
+cargo run -q --release --offline -p muffin-cli -- generate \
+    --samples 300 --seed 3 --out target/muffin-pool-smoke/data.json
+cargo run -q --release --offline -p muffin-cli -- train-pool \
+    --data target/muffin-pool-smoke/data.json \
+    --archs ResNet-18,DenseNet121 --epochs 2 \
+    --out target/muffin-pool-smoke/pool.json
+cargo run -q --release --offline -p muffin-cli -- search \
+    --data target/muffin-pool-smoke/data.json \
+    --pool target/muffin-pool-smoke/pool.json \
+    --attrs age,site --episodes 2 \
+    --out target/muffin-pool-smoke/outcome.json
+cp target/muffin-pool-smoke/pool.json target/muffin-pool-smoke/pool.before.json
+cargo run -q --release --offline -p muffin-cli -- pool gc \
+    --pool target/muffin-pool-smoke/pool.json \
+    --outcome target/muffin-pool-smoke/outcome.json --dry-run
+cmp target/muffin-pool-smoke/pool.json target/muffin-pool-smoke/pool.before.json
+
 echo "==> sharded fleet: merge determinism + halving properties"
 cargo test -q --offline -p muffin-integration-tests --test sharded_equivalence
 cargo test -q --offline -p muffin --test proptest_halving
